@@ -1,0 +1,547 @@
+// Command dipbench regenerates the paper's evaluation artifacts as printed
+// tables: Figure 2 (per-packet processing time for IP, NDN, OPT and
+// NDN+OPT against the IPv4/IPv6 baselines, at 128/768/1500-byte packets)
+// and Table 2 (header size overhead), plus the ablations indexed in
+// DESIGN.md (MAC algorithm, parallel flag, FN count, FIB scale, PISA vs
+// software engine).
+//
+// Absolute times are CPU nanoseconds, not Tofino pipeline nanoseconds; the
+// claim being reproduced is the *shape*: DIP ≈ IP baseline, OPT and
+// NDN+OPT slower because MACs dominate, size-independence of processing
+// time, and Table 2 byte-exactness.
+//
+// Usage:
+//
+//	dipbench                    # everything
+//	dipbench -experiment fig2   # one experiment: fig2, table2, mac,
+//	                            # parallel, fncount, fibscale, pisa
+//	dipbench -trials 1000       # per-measurement packet count (paper: 1000)
+package main
+
+import (
+	"bytes"
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+
+	"dip"
+	"dip/internal/core"
+	"dip/internal/fib"
+	"dip/internal/ip"
+	"dip/internal/ndn"
+	"dip/internal/pisa"
+	"dip/internal/workload"
+)
+
+var (
+	trials  = flag.Int("trials", 1000, "forwarding tests per measurement (paper: 1000)")
+	rounds  = flag.Int("rounds", 31, "measurement rounds; the median is reported")
+	packets = []int{128, 768, 1500}
+)
+
+func main() {
+	exp := flag.String("experiment", "all", "fig2 | table2 | mac | parallel | fncount | fibscale | pisa | mixed | all")
+	flag.Parse()
+	switch *exp {
+	case "fig2":
+		fig2()
+	case "table2":
+		table2()
+	case "mac":
+		ablationMAC()
+	case "parallel":
+		ablationParallel()
+	case "fncount":
+		ablationFNCount()
+	case "fibscale":
+		ablationFIBScale()
+	case "pisa":
+		ablationPISA()
+	case "mixed":
+		mixedTraffic()
+	case "all":
+		table2()
+		fig2()
+		ablationMAC()
+		ablationParallel()
+		ablationFNCount()
+		ablationFIBScale()
+		ablationPISA()
+		mixedTraffic()
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// measure runs fn over *trials packets per round and returns the median
+// per-packet time across rounds.
+func measure(fn func(n int)) time.Duration { return measureWithSetup(nil, fn) }
+
+// measureWithSetup runs setup (untimed) before each round, then times fn.
+func measureWithSetup(setup, fn func(n int)) time.Duration {
+	times := make([]time.Duration, 0, *rounds)
+	warm := *trials / 10
+	if setup != nil {
+		setup(warm)
+	}
+	fn(warm) // warm up
+	for r := 0; r < *rounds; r++ {
+		if setup != nil {
+			setup(*trials)
+		}
+		start := time.Now()
+		fn(*trials)
+		times = append(times, time.Since(start)/time.Duration(*trials))
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	return times[len(times)/2]
+}
+
+type node struct {
+	engine *dip.Engine
+	state  *dip.NodeState
+}
+
+func newNode(kind dip.MACKind) *node {
+	state := dip.NewNodeState()
+	sv, err := dip.NewSecret("bench", bytes.Repeat([]byte{0x42}, 16))
+	if err != nil {
+		log.Fatal(err)
+	}
+	state.EnableOPT(sv, kind, [16]byte{}, 0)
+	state.FIB32.AddUint32(0x0A000000, 8, dip.NextHop{Port: 1})
+	pfx := make([]byte, 16)
+	pfx[0] = 0x20
+	state.FIB128.Add(pfx, 8, dip.NextHop{Port: 1})
+	state.NameFIB.AddUint32(0xAA000000, 8, dip.NextHop{Port: 1})
+	reg := dip.NewRouterRegistry(state.OpsConfig())
+	return &node{engine: core.NewEngine(reg, dip.Limits{}), state: state}
+}
+
+func (nd *node) session(kind dip.MACKind) *dip.Session {
+	dst, _ := dip.NewSecret("dst", bytes.Repeat([]byte{0xD0}, 16))
+	sess, err := dip.NewSession(kind, []dip.HopConfig{{Secret: nd.state.Secret}}, dst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return sess
+}
+
+// runDIP processes one DIP packet n times through the engine.
+func (nd *node) runDIP(pkt []byte) func(int) {
+	var ctx dip.ExecContext
+	return func(n int) {
+		for i := 0; i < n; i++ {
+			pkt[3] = 64
+			v, err := dip.ParsePacket(pkt)
+			if err != nil {
+				log.Fatal(err)
+			}
+			v.DecHopLimit()
+			ctx.Reset(v, 0)
+			nd.engine.Process(&ctx)
+			if ctx.Verdict == dip.VerdictDrop {
+				log.Fatalf("dropped: %v", ctx.Reason)
+			}
+		}
+	}
+}
+
+// nameOffset returns the byte offset of the 32-bit content name (the first
+// FN's operand) inside an NDN-style packet.
+func nameOffset(pkt []byte) int {
+	v, err := dip.ParsePacket(pkt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return v.HeaderLen() - len(v.Locations())
+}
+
+func pad(pkt []byte, size int) []byte {
+	for len(pkt) < size {
+		pkt = append(pkt, 0xA5)
+	}
+	return pkt
+}
+
+func fig2() {
+	fmt.Println("== Figure 2: packet processing time (median ns/packet) ==")
+	fmt.Printf("%-14s", "protocol")
+	for _, s := range packets {
+		fmt.Printf("%12s", fmt.Sprintf("%dB", s))
+	}
+	fmt.Println()
+
+	row := func(name string, mk func(size int) func(int)) {
+		fmt.Printf("%-14s", name)
+		for _, size := range packets {
+			fmt.Printf("%12v", measure(mk(size)))
+		}
+		fmt.Println()
+	}
+	rowSetup := func(name string, mk func(size int) (setup, fn func(int))) {
+		fmt.Printf("%-14s", name)
+		for _, size := range packets {
+			setup, fn := mk(size)
+			fmt.Printf("%12v", measureWithSetup(setup, fn))
+		}
+		fmt.Println()
+	}
+
+	row("IPv4-baseline", func(size int) func(int) {
+		table := fib.New()
+		table.Add([]byte{10, 0, 0, 0}, 8, fib.NextHop{Port: 1})
+		fwd := &ip.Forwarder4{FIB: table}
+		pkt := make([]byte, size)
+		return func(n int) {
+			for i := 0; i < n; i++ {
+				ip.Build4(pkt, [4]byte{1, 1, 1, 1}, [4]byte{10, 0, 0, 9}, ip.ProtoUDP, 64, size-ip.HeaderLen4)
+				if v, _ := fwd.Process(pkt); v != ip.Forward {
+					log.Fatal("ipv4 baseline: not forwarded")
+				}
+			}
+		}
+	})
+	row("IPv6-baseline", func(size int) func(int) {
+		table := fib.New()
+		pfx := make([]byte, 16)
+		pfx[0] = 0x20
+		table.Add(pfx, 8, fib.NextHop{Port: 1})
+		fwd := &ip.Forwarder6{FIB: table}
+		var src, dst [16]byte
+		dst[0] = 0x20
+		pkt := make([]byte, size)
+		ip.Build6(pkt, src, dst, ip.ProtoUDP, 64, size-ip.HeaderLen6)
+		return func(n int) {
+			for i := 0; i < n; i++ {
+				pkt[7] = 64
+				if v, _ := fwd.Process(pkt); v != ip.Forward {
+					log.Fatal("ipv6 baseline: not forwarded")
+				}
+			}
+		}
+	})
+	row("DIP-32", func(size int) func(int) {
+		nd := newNode(dip.MAC2EM)
+		pkt, _ := dip.BuildPacket(dip.IPv4Profile([4]byte{1, 1, 1, 1}, [4]byte{10, 0, 0, 9}), nil)
+		return nd.runDIP(pad(pkt, size))
+	})
+	row("DIP-128", func(size int) func(int) {
+		nd := newNode(dip.MAC2EM)
+		var src, dst [16]byte
+		dst[0] = 0x20
+		pkt, _ := dip.BuildPacket(dip.IPv6Profile(src, dst), nil)
+		return nd.runDIP(pad(pkt, size))
+	})
+	// NDN interest processing: FIB match + PIT record, a distinct name per
+	// packet so every interest does the full insert-and-forward work. The
+	// companion data packets are processed untimed to keep the PIT steady.
+	rowSetup("NDN-interest", func(size int) (func(int), func(int)) {
+		nd := newNode(dip.MAC2EM)
+		interest, _ := dip.BuildPacket(dip.NDNInterestProfile(0xAA000000), nil)
+		interest = pad(interest, size)
+		data, _ := dip.BuildPacket(dip.NDNDataProfile(0xAA000000), nil)
+		nameOff := nameOffset(interest)
+		dataNameOff := nameOffset(data)
+		var ctx dip.ExecContext
+		seq := uint32(0)
+		fn := func(n int) {
+			for i := 0; i < n; i++ {
+				seq++
+				interest[3] = 64
+				binary.BigEndian.PutUint32(interest[nameOff:], 0xAA000000|seq&0xFFFF)
+				v, _ := dip.ParsePacket(interest)
+				ctx.Reset(v, 5)
+				nd.engine.Process(&ctx)
+			}
+		}
+		drain := func(n int) {
+			// Consume whatever the previous round inserted.
+			for i := 0; i < 0x10000; i++ {
+				data[3] = 64
+				binary.BigEndian.PutUint32(data[dataNameOff:], 0xAA000000|uint32(i))
+				v, _ := dip.ParsePacket(data)
+				ctx.Reset(v, 1)
+				nd.engine.Process(&ctx)
+			}
+		}
+		return drain, fn
+	})
+	// NDN data processing: PIT consume + fan-out; matching interests are
+	// installed untimed before each round.
+	rowSetup("NDN-data", func(size int) (func(int), func(int)) {
+		nd := newNode(dip.MAC2EM)
+		data, _ := dip.BuildPacket(dip.NDNDataProfile(0xAA000000), nil)
+		data = pad(data, size)
+		nameOff := nameOffset(data)
+		var ctx dip.ExecContext
+		seq := uint32(0)
+		setup := func(n int) {
+			for i := 0; i < n; i++ {
+				nd.state.PIT.AddInterest(0xAA000000|(seq+uint32(i))&0xFFFFFF, 5)
+			}
+		}
+		fn := func(n int) {
+			for i := 0; i < n; i++ {
+				data[3] = 64
+				binary.BigEndian.PutUint32(data[nameOff:], 0xAA000000|seq&0xFFFFFF)
+				seq++
+				v, _ := dip.ParsePacket(data)
+				ctx.Reset(v, 1)
+				nd.engine.Process(&ctx)
+				if ctx.Verdict != dip.VerdictForward {
+					log.Fatalf("NDN data: %v/%v", ctx.Verdict, ctx.Reason)
+				}
+			}
+		}
+		return setup, fn
+	})
+	row("OPT", func(size int) func(int) {
+		nd := newNode(dip.MAC2EM)
+		sess := nd.session(dip.MAC2EM)
+		h, err := dip.OPTProfile(sess, nil, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pkt, _ := dip.BuildPacket(h, nil)
+		return nd.runDIP(pad(pkt, size))
+	})
+	// NDN+OPT data processing: the derived protocol's expensive direction
+	// (PIT consume + the full authentication chain).
+	rowSetup("NDN+OPT", func(size int) (func(int), func(int)) {
+		nd := newNode(dip.MAC2EM)
+		sess := nd.session(dip.MAC2EM)
+		h, err := dip.NDNOPTDataProfile(sess, 0xAA000002, nil, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		data, _ := dip.BuildPacket(h, nil)
+		data = pad(data, size)
+		nameOff := nameOffset(data)
+		var ctx dip.ExecContext
+		seq := uint32(0)
+		setup := func(n int) {
+			for i := 0; i < n; i++ {
+				nd.state.PIT.AddInterest(0xAA000000|(seq+uint32(i))&0xFFFFFF, 5)
+			}
+		}
+		fn := func(n int) {
+			for i := 0; i < n; i++ {
+				data[3] = 64
+				binary.BigEndian.PutUint32(data[nameOff:], 0xAA000000|seq&0xFFFFFF)
+				seq++
+				v, _ := dip.ParsePacket(data)
+				ctx.Reset(v, 1)
+				nd.engine.Process(&ctx)
+				if ctx.Verdict != dip.VerdictForward {
+					log.Fatalf("NDN+OPT data: %v/%v", ctx.Verdict, ctx.Reason)
+				}
+			}
+		}
+		return setup, fn
+	})
+	fmt.Println(`shape check (paper §4.2): DIP rows ≈ IP baselines; OPT and NDN+OPT
+slower ("the MAC operations are expensive"); times ~independent of size.`)
+	fmt.Println()
+}
+
+func table2() {
+	fmt.Println("== Table 2: packet header size overhead (bytes) ==")
+	nd := newNode(dip.MAC2EM)
+	sess := nd.session(dip.MAC2EM)
+	optHdr, err := dip.OPTProfile(sess, []byte("x"), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ndnOptHdr, err := dip.NDNOPTDataProfile(sess, 1, []byte("x"), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows := []struct {
+		name     string
+		measured int
+		paper    int
+	}{
+		{"IPv6 forwarding", ip.HeaderLen6, 40},
+		{"IPv4 forwarding", ip.HeaderLen4, 20},
+		{"DIP-128 forwarding", dip.IPv6Profile([16]byte{}, [16]byte{}).WireSize(), 50},
+		{"DIP-32 forwarding", dip.IPv4Profile([4]byte{}, [4]byte{}).WireSize(), 26},
+		{"NDN forwarding", dip.NDNInterestProfile(1).WireSize(), 16},
+		{"OPT forwarding", optHdr.WireSize(), 98},
+		{"NDN+OPT forwarding", ndnOptHdr.WireSize(), 108},
+	}
+	fmt.Printf("%-22s %9s %7s\n", "network function", "measured", "paper")
+	exact := true
+	for _, r := range rows {
+		mark := ""
+		if r.measured != r.paper {
+			mark = "  MISMATCH"
+			exact = false
+		}
+		fmt.Printf("%-22s %9d %7d%s\n", r.name, r.measured, r.paper, mark)
+	}
+	if exact {
+		fmt.Println("all rows match the paper exactly")
+	}
+	_ = ndn.HeaderSize
+	fmt.Println()
+}
+
+func ablationMAC() {
+	fmt.Println("== E3: MAC algorithm (full OPT hop: parm+MAC+mark) ==")
+	for _, kind := range []dip.MACKind{dip.MAC2EM, dip.MACAESCMAC} {
+		nd := newNode(kind)
+		sess := nd.session(kind)
+		h, err := dip.OPTProfile(sess, nil, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pkt, _ := dip.BuildPacket(h, nil)
+		fmt.Printf("  %-10s %v/packet\n", kind, measure(nd.runDIP(pkt)))
+	}
+	fmt.Println("  (the paper chose 2EM over AES for Tofino; in software the gap is\n   the AES per-packet key schedule + allocations)")
+	fmt.Println()
+}
+
+func ablationParallel() {
+	fmt.Println("== E4: packet-parameter parallel flag (OPT auth chain) ==")
+	for _, parallel := range []bool{false, true} {
+		nd := newNode(dip.MAC2EM)
+		sess := nd.session(dip.MAC2EM)
+		h, err := dip.OPTProfile(sess, nil, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		h.Parallel = parallel
+		pkt, _ := dip.BuildPacket(h, nil)
+		name := "sequential"
+		if parallel {
+			name = "parallel"
+		}
+		fmt.Printf("  %-10s %v/packet\n", name, measure(nd.runDIP(pkt)))
+	}
+	fmt.Println("  (software goroutine fan-out costs more than it saves at these op\n   sizes — the flag targets hardware module parallelism)")
+	fmt.Println()
+}
+
+func ablationFNCount() {
+	fmt.Println("== E5: cost per additional FN (F_source no-ops) ==")
+	var prev time.Duration
+	for _, count := range []int{1, 2, 4, 8} {
+		nd := newNode(dip.MAC2EM)
+		h := &dip.Header{HopLimit: 64, Locations: make([]byte, 8)}
+		for i := 0; i < count; i++ {
+			h.FNs = append(h.FNs, dip.FN{Loc: 0, Len: 32, Key: dip.KeySource})
+		}
+		pkt, err := dip.BuildPacket(h, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		d := measure(nd.runDIP(pkt))
+		delta := ""
+		if prev > 0 {
+			delta = fmt.Sprintf("  (+%v vs previous)", d-prev)
+		}
+		fmt.Printf("  %d FNs: %v/packet%s\n", count, d, delta)
+		prev = d
+	}
+	fmt.Println()
+}
+
+func ablationFIBScale() {
+	fmt.Println("== E6: DIP-32 forwarding vs FIB size ==")
+	for _, routes := range []int{100, 10_000, 1_000_000} {
+		state := dip.NewNodeState()
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < routes; i++ {
+			plen := 8 + rng.Intn(25)
+			key := rng.Uint32() &^ (1<<(32-plen) - 1)
+			state.FIB32.AddUint32(key, plen, dip.NextHop{Port: 1})
+		}
+		state.FIB32.AddUint32(0x0A000000, 8, dip.NextHop{Port: 1})
+		reg := dip.NewRouterRegistry(state.OpsConfig())
+		nd := &node{engine: core.NewEngine(reg, dip.Limits{}), state: state}
+		pkt, _ := dip.BuildPacket(dip.IPv4Profile([4]byte{1, 1, 1, 1}, [4]byte{10, 0, 0, 9}), nil)
+		fmt.Printf("  %8d routes: %v/packet\n", routes, measure(nd.runDIP(pkt)))
+	}
+	fmt.Println()
+}
+
+func ablationPISA() {
+	fmt.Println("== E7: software engine vs PISA-compiled datapath ==")
+	// DIP-32 on both.
+	nd := newNode(dip.MAC2EM)
+	pkt, _ := dip.BuildPacket(dip.IPv4Profile([4]byte{1, 1, 1, 1}, [4]byte{10, 0, 0, 9}), nil)
+	fmt.Printf("  DIP-32 software: %v/packet\n", measure(nd.runDIP(pkt)))
+
+	state := dip.NewNodeState()
+	state.FIB32.AddUint32(0x0A000000, 8, dip.NextHop{Port: 1})
+	pl, err := dip.CompilePISA(state.OpsConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	pkt2, _ := dip.BuildPacket(dip.IPv4Profile([4]byte{1, 1, 1, 1}, [4]byte{10, 0, 0, 9}), nil)
+	var phv pisa.PHV
+	var md pisa.Metadata
+	fmt.Printf("  DIP-32 pisa:     %v/packet\n", measure(func(n int) {
+		for i := 0; i < n; i++ {
+			pkt2[3] = 64
+			if _, err := pl.Process(pkt2, 0, &phv, &md); err != nil || md.Drop {
+				log.Fatalf("pisa: md=%+v err=%v", md, err)
+			}
+		}
+	}))
+	fmt.Println("  (the PISA model pays for parser-FSM generality; the hardware it\n   models pays in pipeline stages instead)")
+	fmt.Println()
+	_ = binary.BigEndian // keep imports symmetrical with fig2 helpers
+}
+
+// mixedTraffic replays a realistic five-protocol blend from the workload
+// generator through one fully loaded engine and reports aggregate
+// throughput — the "one dataplane, every protocol" summary number.
+func mixedTraffic() {
+	fmt.Println("== mixed traffic: five protocols through one engine ==")
+	nd := newNode(dip.MAC2EM)
+	sess := nd.session(dip.MAC2EM)
+	tr, err := workload.Generate(workload.Spec{
+		Weights: map[workload.Protocol]float64{
+			workload.ProtoIPv4:   4,
+			workload.ProtoIPv6:   2,
+			workload.ProtoNDN:    2,
+			workload.ProtoOPT:    1,
+			workload.ProtoNDNOPT: 1,
+		},
+		Names:   4096,
+		ZipfS:   1.2,
+		Session: sess,
+		Seed:    1,
+	}, 4096)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range []workload.Protocol{workload.ProtoIPv4, workload.ProtoIPv6,
+		workload.ProtoNDN, workload.ProtoOPT, workload.ProtoNDNOPT} {
+		fmt.Printf("  %-8v %5d packets\n", p, tr.Counts[p])
+	}
+	var ctx dip.ExecContext
+	per := measure(func(n int) {
+		for i := 0; i < n; i++ {
+			p := &tr.Packets[i%len(tr.Packets)]
+			p.Rearm()
+			v, err := dip.ParsePacket(p.Buf)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ctx.Reset(v, p.InPort)
+			nd.engine.Process(&ctx)
+		}
+	})
+	fmt.Printf("  blended cost: %v/packet (≈ %.2f Mpps single-core)\n\n",
+		per, 1e3/float64(per.Nanoseconds()))
+}

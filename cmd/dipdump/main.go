@@ -1,0 +1,49 @@
+// Command dipdump dissects DIP packets: it reads hex-encoded packets (one
+// per line, from arguments or stdin) and prints the basic header, every FN
+// triple in the paper's notation, and a hex dump of the FN-locations region
+// and payload.
+//
+// Usage:
+//
+//	dipdump 01001140...            # hex packet as argument
+//	some-producer | dipdump        # hex packets on stdin
+package main
+
+import (
+	"bufio"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"strings"
+
+	"dip/internal/dissect"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) > 0 {
+		for _, a := range args {
+			dump(a)
+		}
+		return
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		dump(line)
+	}
+}
+
+func dump(hexStr string) {
+	hexStr = strings.NewReplacer(" ", "", "\t", "", ":", "").Replace(hexStr)
+	b, err := hex.DecodeString(hexStr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dipdump: bad hex: %v\n", err)
+		return
+	}
+	dissect.Packet(os.Stdout, b)
+}

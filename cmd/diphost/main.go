@@ -1,0 +1,184 @@
+// Command diphost is the host-side companion of diprouter: it constructs
+// DIP packets from the §3 protocol profiles, sends them over UDP, and
+// receives/verifies packets with the host stack.
+//
+// Modes:
+//
+//	diphost -mode send -proto ipv4 -src 10.0.0.1 -dst 10.0.0.2 \
+//	        -to 127.0.0.1:7000 -payload "hello"
+//	diphost -mode send -proto interest -name 0xAA000001 -to 127.0.0.1:7000
+//	diphost -mode send -proto data -name 0xAA000001 -payload "bits" -to ...
+//	diphost -mode recv -listen 127.0.0.1:7001 [-count 1]
+//
+// recv prints each received packet's disposition (delivered, rejected,
+// FN-unsupported) and payload.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+
+	"dip"
+)
+
+func main() {
+	var (
+		mode    = flag.String("mode", "send", "send | recv")
+		proto   = flag.String("proto", "ipv4", "ipv4 | ipv6 | interest | data")
+		src     = flag.String("src", "10.0.0.1", "source address")
+		dst     = flag.String("dst", "10.0.0.2", "destination address")
+		name    = flag.String("name", "0xAA000001", "32-bit content name (hex)")
+		payload = flag.String("payload", "", "payload string")
+		to      = flag.String("to", "", "router UDP address (send mode)")
+		listen  = flag.String("listen", "", "UDP address to bind (recv mode)")
+		count   = flag.Int("count", 0, "packets to receive before exiting (0 = forever)")
+	)
+	flag.Parse()
+
+	switch *mode {
+	case "send":
+		if err := send(*proto, *src, *dst, *name, *payload, *to); err != nil {
+			log.Fatal(err)
+		}
+	case "recv":
+		if err := recv(*listen, *count); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func send(proto, src, dst, name, payload, to string) error {
+	if to == "" {
+		return fmt.Errorf("send mode needs -to")
+	}
+	var h *dip.Header
+	switch proto {
+	case "ipv4":
+		s, err := parse4(src)
+		if err != nil {
+			return fmt.Errorf("-src: %w", err)
+		}
+		d, err := parse4(dst)
+		if err != nil {
+			return fmt.Errorf("-dst: %w", err)
+		}
+		h = dip.IPv4Profile(s, d)
+	case "ipv6":
+		s, err := parse16(src)
+		if err != nil {
+			return fmt.Errorf("-src: %w", err)
+		}
+		d, err := parse16(dst)
+		if err != nil {
+			return fmt.Errorf("-dst: %w", err)
+		}
+		h = dip.IPv6Profile(s, d)
+	case "interest":
+		id, err := parseName(name)
+		if err != nil {
+			return err
+		}
+		h = dip.NDNInterestProfile(id)
+	case "data":
+		id, err := parseName(name)
+		if err != nil {
+			return err
+		}
+		h = dip.NDNDataProfile(id)
+	default:
+		return fmt.Errorf("unknown -proto %q", proto)
+	}
+	pkt, err := dip.BuildPacket(h, []byte(payload))
+	if err != nil {
+		return err
+	}
+	conn, err := net.Dial("udp", to)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if _, err := conn.Write(pkt); err != nil {
+		return err
+	}
+	fmt.Printf("sent %d-byte %s packet to %s\n", len(pkt), proto, to)
+	return nil
+}
+
+func recv(listen string, count int) error {
+	if listen == "" {
+		return fmt.Errorf("recv mode needs -listen")
+	}
+	laddr, err := net.ResolveUDPAddr("udp", listen)
+	if err != nil {
+		return err
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	stack := dip.NewHost()
+	log.Printf("diphost listening on %v", laddr)
+	buf := make([]byte, 65535)
+	for received := 0; count == 0 || received < count; {
+		n, raddr, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			return err
+		}
+		received++
+		rx := stack.HandlePacket(buf[:n])
+		fmt.Printf("from %v: %s", raddr, rx.Kind)
+		switch {
+		case rx.Kind.String() == "delivered":
+			fmt.Printf(" payload=%q", rx.Payload)
+		case rx.Kind.String() == "rejected":
+			fmt.Printf(" reason=%s", rx.Reason)
+		case rx.Kind.String() == "fn-unsupported":
+			fmt.Printf(" key=%s", rx.Key)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func parse4(s string) ([4]byte, error) {
+	var out [4]byte
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return out, fmt.Errorf("want a.b.c.d, got %q", s)
+	}
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 0 || v > 255 {
+			return out, fmt.Errorf("bad octet %q", p)
+		}
+		out[i] = byte(v)
+	}
+	return out, nil
+}
+
+func parse16(s string) ([16]byte, error) {
+	var out [16]byte
+	ip := net.ParseIP(s)
+	if ip == nil || ip.To16() == nil {
+		return out, fmt.Errorf("bad IPv6 address %q", s)
+	}
+	copy(out[:], ip.To16())
+	return out, nil
+}
+
+func parseName(s string) (uint32, error) {
+	v, err := strconv.ParseUint(strings.TrimPrefix(s, "0x"), 16, 32)
+	if err != nil {
+		return 0, fmt.Errorf("-name: %w", err)
+	}
+	return uint32(v), nil
+}

@@ -1,0 +1,235 @@
+// Command diprouter runs a DIP router over a UDP overlay: each router port
+// is a UDP peer, DIP packets travel as datagrams, and the forwarding tables
+// are configured from flags. Together with diphost this demonstrates the
+// library on real sockets rather than the simulator.
+//
+// Example (a one-router NDN setup):
+//
+//	diprouter -listen 127.0.0.1:7000 \
+//	    -peer 127.0.0.1:7001 -peer 127.0.0.1:7002 \
+//	    -name 0xAA000000/8=1
+//
+// gives the router two ports (0 → :7001, 1 → :7002) and routes content
+// names under 0xAA/8 to port 1. Incoming datagrams are attributed to a port
+// by their source address; datagrams from unknown sources arrive on port 0.
+//
+// Flags:
+//
+//	-listen addr      UDP address to bind (required)
+//	-peer addr        add a port sending to addr (repeatable, in port order)
+//	-route32 P/L=N    route 32-bit prefix P (hex or dotted) length L to port N
+//	-route128 HEX/L=N route 128-bit prefix to port N
+//	-name P/L=N       route content-name prefix to port N ("local" delivers)
+//	-cache N          enable an N-entry content store
+//	-secret HEX       16-byte DRKey secret enabling the OPT operations
+//	-maxfns N         per-packet FN budget (security limit, §2.4)
+//	-v                log every packet decision
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+
+	"dip"
+	"dip/internal/telemetry"
+)
+
+type stringList []string
+
+func (s *stringList) String() string     { return strings.Join(*s, ",") }
+func (s *stringList) Set(v string) error { *s = append(*s, v); return nil }
+
+func main() {
+	var (
+		listen    = flag.String("listen", "", "UDP address to bind")
+		cacheSize = flag.Int("cache", 0, "content store capacity (0 = off)")
+		secretHex = flag.String("secret", "", "16-byte hex DRKey secret (enables OPT ops)")
+		maxFNs    = flag.Int("maxfns", 0, "per-packet FN budget (0 = wire max)")
+		verbose   = flag.Bool("v", false, "log packets")
+		peers     stringList
+		routes32  stringList
+		routes128 stringList
+		names     stringList
+	)
+	flag.Var(&peers, "peer", "peer UDP address (one per port, in order)")
+	flag.Var(&routes32, "route32", "32-bit route prefix/len=port")
+	flag.Var(&routes128, "route128", "128-bit route hexprefix/len=port")
+	flag.Var(&names, "name", "content-name route hexprefix/len=port|local")
+	flag.Parse()
+
+	if *listen == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	laddr, err := net.ResolveUDPAddr("udp", *listen)
+	if err != nil {
+		log.Fatalf("listen address: %v", err)
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		log.Fatalf("bind: %v", err)
+	}
+	defer conn.Close()
+
+	state := dip.NewNodeState()
+	if *cacheSize > 0 {
+		state.EnableCache(*cacheSize)
+	}
+	if *secretHex != "" {
+		secret, err := hex.DecodeString(*secretHex)
+		if err != nil {
+			log.Fatalf("secret: %v", err)
+		}
+		sv, err := dip.NewSecret(*listen, secret)
+		if err != nil {
+			log.Fatalf("secret: %v", err)
+		}
+		state.EnableOPT(sv, dip.MAC2EM, [16]byte{}, 0)
+	}
+	for _, r := range routes32 {
+		if err := addRoute32(state, r); err != nil {
+			log.Fatalf("-route32 %q: %v", r, err)
+		}
+	}
+	for _, r := range routes128 {
+		if err := addRoute128(state, r); err != nil {
+			log.Fatalf("-route128 %q: %v", r, err)
+		}
+	}
+	for _, r := range names {
+		if err := addNameRoute(state, r); err != nil {
+			log.Fatalf("-name %q: %v", r, err)
+		}
+	}
+
+	metrics := &telemetry.Metrics{}
+	r := dip.NewRouter(state.OpsConfig(), dip.RouterOptions{
+		Name:    *listen,
+		Limits:  dip.Limits{MaxFNs: *maxFNs},
+		Metrics: metrics,
+		LocalDelivery: func(pkt []byte, inPort int) {
+			if *verbose {
+				log.Printf("delivered locally: %d bytes from port %d", len(pkt), inPort)
+			}
+		},
+	})
+
+	portOf := map[string]int{}
+	for i, p := range peers {
+		raddr, err := net.ResolveUDPAddr("udp", p)
+		if err != nil {
+			log.Fatalf("-peer %q: %v", p, err)
+		}
+		idx := r.AttachPort(dip.PortFunc(func(pkt []byte) {
+			if _, err := conn.WriteToUDP(pkt, raddr); err != nil && *verbose {
+				log.Printf("send to %v: %v", raddr, err)
+			}
+		}))
+		portOf[raddr.String()] = idx
+		if *verbose {
+			log.Printf("port %d -> %v", i, raddr)
+		}
+	}
+
+	log.Printf("diprouter listening on %v with %d ports", laddr, r.NumPorts())
+	buf := make([]byte, 65535)
+	for {
+		n, raddr, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			log.Printf("read: %v", err)
+			continue
+		}
+		inPort := portOf[raddr.String()] // unknown senders map to port 0
+		if *verbose {
+			log.Printf("rx %d bytes from %v (port %d)", n, raddr, inPort)
+		}
+		r.HandlePacket(buf[:n], inPort)
+	}
+}
+
+// parseTarget splits "prefix/len=port" and resolves "local".
+func parseTarget(spec string) (prefix string, plen int, port int, local bool, err error) {
+	eq := strings.LastIndex(spec, "=")
+	sl := strings.LastIndex(spec, "/")
+	if eq < 0 || sl < 0 || sl > eq {
+		return "", 0, 0, false, fmt.Errorf("want prefix/len=port")
+	}
+	prefix = spec[:sl]
+	plen, err = strconv.Atoi(spec[sl+1 : eq])
+	if err != nil {
+		return "", 0, 0, false, fmt.Errorf("prefix length: %v", err)
+	}
+	target := spec[eq+1:]
+	if target == "local" {
+		return prefix, plen, 0, true, nil
+	}
+	port, err = strconv.Atoi(target)
+	return prefix, plen, port, false, err
+}
+
+func parse32(s string) (uint32, error) {
+	if strings.Contains(s, ".") {
+		var a, b, c, d int
+		if _, err := fmt.Sscanf(s, "%d.%d.%d.%d", &a, &b, &c, &d); err != nil {
+			return 0, err
+		}
+		return uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d), nil
+	}
+	v, err := strconv.ParseUint(strings.TrimPrefix(s, "0x"), 16, 32)
+	return uint32(v), err
+}
+
+func addRoute32(state *dip.NodeState, spec string) error {
+	prefix, plen, port, local, err := parseTarget(spec)
+	if err != nil {
+		return err
+	}
+	key, err := parse32(prefix)
+	if err != nil {
+		return err
+	}
+	nh := dip.NextHop{Port: port}
+	if local {
+		nh = dip.Local
+	}
+	return state.FIB32.AddUint32(key, plen, nh)
+}
+
+func addRoute128(state *dip.NodeState, spec string) error {
+	prefix, plen, port, local, err := parseTarget(spec)
+	if err != nil {
+		return err
+	}
+	key, err := hex.DecodeString(strings.TrimPrefix(prefix, "0x"))
+	if err != nil {
+		return err
+	}
+	key = append(key, make([]byte, 16-len(key))...)
+	nh := dip.NextHop{Port: port}
+	if local {
+		nh = dip.Local
+	}
+	return state.FIB128.Add(key, plen, nh)
+}
+
+func addNameRoute(state *dip.NodeState, spec string) error {
+	prefix, plen, port, local, err := parseTarget(spec)
+	if err != nil {
+		return err
+	}
+	key, err := parse32(prefix)
+	if err != nil {
+		return err
+	}
+	nh := dip.NextHop{Port: port}
+	if local {
+		nh = dip.Local
+	}
+	return state.NameFIB.AddUint32(key, plen, nh)
+}

@@ -1,0 +1,62 @@
+// Command diptopo runs a DIP network described by a topology/scenario file
+// on the virtual-time simulator and reports deliveries plus per-router
+// telemetry. See internal/topo for the file syntax.
+//
+//	diptopo scenario.topo
+//	diptopo -q scenario.topo      # deliveries only, no event log
+//
+// Example file:
+//
+//	router R1 cache=16
+//	router R2
+//	host   C
+//	host   P
+//	link C R1:0
+//	link R1:1 R2:0 2ms
+//	link R2:1 P
+//	name R1 aa000000/8 1
+//	name R2 aa000000/8 1
+//	produce P aa000001 "the bits"
+//	interest C aa000001
+//	interest C aa000001 at 100ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"dip/internal/topo"
+)
+
+func main() {
+	quiet := flag.Bool("q", false, "suppress the event log")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: diptopo [-q] <file.topo>")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+
+	t, err := topo.Parse(f)
+	if err != nil {
+		log.Fatalf("%s: %v", flag.Arg(0), err)
+	}
+	if !*quiet {
+		t.Log = func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		}
+	}
+	deliveries := t.Run()
+	fmt.Printf("\n%d deliveries:\n", len(deliveries))
+	for _, d := range deliveries {
+		fmt.Printf("  [%8v] %-8s %-8s %q\n", d.At, d.Host, d.Profile, d.Payload)
+	}
+	fmt.Println()
+	t.Report(os.Stdout)
+}

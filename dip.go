@@ -1,0 +1,321 @@
+// Package dip is the public API of this DIP implementation — a from-scratch
+// Go realization of "DIP: Unifying Network Layer Innovations using Shared
+// L3 Core Functions" (Wang, Liu, Wang, Fu, Xu; HotNets 2022).
+//
+// DIP replaces fixed per-protocol packet processing with one primitive, the
+// Field Operation (FN): a triple (field location, field length, operation
+// key) carried in the packet header. Routers execute the operations the
+// packet names against the operands it carries, so the packet itself —
+// not the router's protocol stack — decides how it is processed. Radically
+// different network layers then become mere header compositions:
+//
+//	h := dip.IPv4Profile(src, dst)          // canonical IP forwarding
+//	h  = dip.NDNInterestProfile(nameID)     // named-data interest
+//	h, _ = dip.OPTProfile(sess, payload, t) // source auth + path validation
+//	h, _ = dip.NDNOPTDataProfile(...)       // the derived NDN+OPT protocol
+//	pkt, _ := dip.BuildPacket(h, payload)
+//
+// A Router executes Algorithm 1 of the paper over a Registry of operation
+// modules; a Host constructs packets and runs the host-tagged operations
+// (destination verification) on receipt. See DESIGN.md for the system map
+// and EXPERIMENTS.md for the reproduction of the paper's evaluation.
+//
+// # Quick start
+//
+//	cfg := dip.NewNodeState()
+//	cfg.FIB32.AddUint32(0x0A000000, 8, dip.NextHop{Port: 1})
+//	r := dip.NewRouter(cfg.OpsConfig(), dip.RouterOptions{Name: "r1"})
+//	r.AttachPort(...)
+//	r.HandlePacket(pkt, 0)
+//
+// The examples/ directory contains six runnable scenarios; cmd/ contains
+// the benchmark harness (dipbench), a UDP-overlay router and host
+// (diprouter, diphost), a packet dissector (dipdump), and a topology
+// scenario runner (diptopo).
+package dip
+
+import (
+	"dip/internal/bootstrap"
+	"dip/internal/core"
+	"dip/internal/cs"
+	"dip/internal/drkey"
+	"dip/internal/fib"
+	"dip/internal/host"
+	"dip/internal/ndn"
+	"dip/internal/ops"
+	"dip/internal/opt"
+	"dip/internal/pisa"
+	"dip/internal/pit"
+	"dip/internal/profiles"
+	"dip/internal/router"
+	"dip/internal/telemetry"
+	"dip/internal/xia"
+)
+
+// Core protocol types.
+type (
+	// Header is the builder-side DIP header (hosts construct these).
+	Header = core.Header
+	// FN is one field-operation triple.
+	FN = core.FN
+	// View is a zero-copy parse of a DIP packet.
+	View = core.View
+	// Key identifies an operation module.
+	Key = core.Key
+	// Verdict is a packet's fate after Algorithm 1.
+	Verdict = core.Verdict
+	// DropReason explains a dropped packet.
+	DropReason = core.DropReason
+	// Registry is the operation dispatch table.
+	Registry = core.Registry
+	// Operation is one FN operation module.
+	Operation = core.Operation
+	// ExecContext carries one packet through the engine.
+	ExecContext = core.ExecContext
+	// Engine executes Algorithm 1.
+	Engine = core.Engine
+	// Limits are the per-packet security limits of §2.4.
+	Limits = core.Limits
+)
+
+// Operation keys (the paper's Table 1, plus F_pass from §2.4).
+const (
+	KeyMatch32  = core.KeyMatch32
+	KeyMatch128 = core.KeyMatch128
+	KeySource   = core.KeySource
+	KeyFIB      = core.KeyFIB
+	KeyPIT      = core.KeyPIT
+	KeyParm     = core.KeyParm
+	KeyMAC      = core.KeyMAC
+	KeyMark     = core.KeyMark
+	KeyVer      = core.KeyVer
+	KeyDAG      = core.KeyDAG
+	KeyIntent   = core.KeyIntent
+	KeyPass     = core.KeyPass
+)
+
+// Verdicts.
+const (
+	VerdictContinue = core.VerdictContinue
+	VerdictAbsorb   = core.VerdictAbsorb
+	VerdictForward  = core.VerdictForward
+	VerdictDeliver  = core.VerdictDeliver
+	VerdictDrop     = core.VerdictDrop
+)
+
+// Node-state and infrastructure types.
+type (
+	// FIB is a longest-prefix-match forwarding table.
+	FIB = fib.Table
+	// NextHop is a FIB entry's target.
+	NextHop = fib.NextHop
+	// PIT is a pending interest table keyed by 32-bit content names.
+	PIT = pit.Table[uint32]
+	// ContentStore is the LRU content cache.
+	ContentStore = cs.Store[uint32]
+	// SecretValue is a router's DRKey secret.
+	SecretValue = drkey.SecretValue
+	// Session is a negotiated OPT session (held by hosts).
+	Session = opt.Session
+	// HopConfig is one hop's OPT contribution.
+	HopConfig = opt.HopConfig
+	// MACKind selects the OPT MAC algorithm.
+	MACKind = opt.Kind
+	// OpsConfig binds node state to operation modules.
+	OpsConfig = ops.Config
+	// Router is a DIP-capable node.
+	Router = router.Router
+	// RouterOptions tunes a router.
+	RouterOptions = router.Config
+	// Port is a router attachment point.
+	Port = router.Port
+	// PortFunc adapts a function to Port.
+	PortFunc = router.PortFunc
+	// Host is a DIP host stack.
+	Host = host.Stack
+	// Rx is a host receive outcome.
+	Rx = host.Rx
+	// RxKind classifies a host receive outcome.
+	RxKind = host.RxKind
+	// Metrics collects forwarding telemetry.
+	Metrics = telemetry.Metrics
+	// Catalog is an advertised FN availability set.
+	Catalog = bootstrap.Catalog
+	// DAG is an XIA address.
+	DAG = xia.DAG
+	// DAGNode is one XIA address node.
+	DAGNode = xia.Node
+	// XID is an XIA typed identifier.
+	XID = xia.XID
+	// Pipeline is a PISA switch model running the compiled DIP program.
+	Pipeline = pisa.Pipeline
+)
+
+// MAC kinds for OPT sessions.
+const (
+	MAC2EM     = opt.Kind2EM
+	MACAESCMAC = opt.KindAESCMAC
+)
+
+// Host receive outcomes.
+const (
+	RxDelivered     = host.RxDelivered
+	RxRejected      = host.RxRejected
+	RxFNUnsupported = host.RxFNUnsupported
+	RxMalformed     = host.RxMalformed
+)
+
+// Local is the next hop meaning "deliver to this node".
+var Local = fib.Local
+
+// NodeState bundles the forwarding state a fully-featured DIP node keeps.
+// Zero-valued fields are valid: a node built from a fresh NodeState
+// supports every operation in Table 1 except those needing extra
+// configuration (XIA routes, OPT secret).
+type NodeState struct {
+	FIB32        *fib.Table
+	FIB128       *fib.Table
+	NameFIB      *fib.Table
+	PIT          *pit.Table[uint32]
+	ContentStore *cs.Store[uint32]
+	Secret       *drkey.SecretValue
+	MACKind      opt.Kind
+	PrevLabel    [16]byte
+	HopIndex     uint8
+	XIARoutes    *xia.RouteTable
+	GuardKey     [16]byte
+	// RequirePass puts the node in content-poisoning defense posture
+	// (F_PIT refuses to cache unlabelled payloads, §2.4).
+	RequirePass bool
+}
+
+// NewNodeState allocates fresh tables (no content store; pass csCapacity
+// via EnableCache).
+func NewNodeState() *NodeState {
+	return &NodeState{
+		FIB32:     fib.New(),
+		FIB128:    fib.New(),
+		NameFIB:   fib.New(),
+		PIT:       pit.New[uint32](),
+		XIARoutes: xia.NewRouteTable(),
+	}
+}
+
+// EnableCache attaches a content store of the given capacity.
+func (s *NodeState) EnableCache(capacity int) *NodeState {
+	s.ContentStore = cs.New[uint32](capacity)
+	return s
+}
+
+// EnableOPT attaches the DRKey secret and MAC configuration the
+// authentication operations need.
+func (s *NodeState) EnableOPT(secret *drkey.SecretValue, kind opt.Kind, prevLabel [16]byte, hopIndex uint8) *NodeState {
+	s.Secret = secret
+	s.MACKind = kind
+	s.PrevLabel = prevLabel
+	s.HopIndex = hopIndex
+	return s
+}
+
+// OpsConfig converts the node state into the operation-module binding.
+func (s *NodeState) OpsConfig() ops.Config {
+	return ops.Config{
+		FIB32:        s.FIB32,
+		FIB128:       s.FIB128,
+		NameFIB:      s.NameFIB,
+		PIT:          s.PIT,
+		ContentStore: s.ContentStore,
+		Secret:       s.Secret,
+		MACKind:      s.MACKind,
+		PrevLabel:    s.PrevLabel,
+		HopIndex:     s.HopIndex,
+		XIARoutes:    s.XIARoutes,
+		GuardKey:     s.GuardKey,
+		RequirePass:  s.RequirePass,
+	}
+}
+
+// Maintain sweeps expired soft state (PIT entries). Long-running nodes
+// call it periodically; correctness never depends on it because every
+// read path re-checks expiry.
+func (s *NodeState) Maintain() (expired int) {
+	if s.PIT != nil {
+		expired = s.PIT.Expire()
+	}
+	return expired
+}
+
+// NewRouter builds a DIP router: an operation registry over cfg plus the
+// per-hop pipeline (hop limit, Algorithm 1, verdict handling).
+func NewRouter(cfg OpsConfig, rc RouterOptions) *Router {
+	return router.New(ops.NewRouterRegistry(cfg), rc)
+}
+
+// NewRouterRegistry exposes the registry builder for callers who want to
+// customize policies or add their own operation modules before building a
+// router with NewRouterWithRegistry.
+func NewRouterRegistry(cfg OpsConfig) *Registry {
+	return ops.NewRouterRegistry(cfg)
+}
+
+// NewRouterWithRegistry builds a router over an explicitly prepared
+// registry (custom operation modules, adjusted unknown-key policies).
+func NewRouterWithRegistry(reg *Registry, rc RouterOptions) *Router {
+	return router.New(reg, rc)
+}
+
+// Unknown-key policies (§2.4): what a router does with a router-tagged FN
+// it has no module for.
+const (
+	PolicyIgnore = core.PolicyIgnore
+	PolicySignal = core.PolicySignal
+)
+
+// NewHost builds a DIP host stack (session store + host-side engine).
+func NewHost() *Host { return host.NewStack() }
+
+// NewSecret wraps a 16-byte DRKey secret for a named node.
+func NewSecret(nodeID string, secret []byte) (*SecretValue, error) {
+	return drkey.NewSecretValue(nodeID, secret)
+}
+
+// NewSession simulates OPT key negotiation across hops toward a
+// destination, giving the source every hop key (see internal/opt).
+func NewSession(kind MACKind, hops []HopConfig, destSecret *SecretValue) (*Session, error) {
+	return opt.NewSession(kind, hops, destSecret)
+}
+
+// CompilePISA compiles the DIP dataplane onto the PISA switch model — the
+// software stand-in for the paper's Tofino prototype (§4.1 constraints
+// included).
+func CompilePISA(cfg OpsConfig) (*Pipeline, error) { return pisa.Compile(cfg) }
+
+// Profile builders (the §3 host constructions).
+var (
+	// IPv4Profile builds the DIP-32 forwarding header (Table 2: 26 B).
+	IPv4Profile = profiles.IPv4
+	// IPv6Profile builds the DIP-128 forwarding header (Table 2: 50 B).
+	IPv6Profile = profiles.IPv6
+	// NDNInterestProfile builds the one-FN NDN interest (Table 2: 16 B).
+	NDNInterestProfile = profiles.NDNInterest
+	// NDNDataProfile builds the one-FN NDN data header.
+	NDNDataProfile = profiles.NDNData
+	// OPTProfile builds the standalone OPT header (Table 2: 98 B).
+	OPTProfile = profiles.OPT
+	// NDNOPTDataProfile builds the derived NDN+OPT data header (108 B).
+	NDNOPTDataProfile = profiles.NDNOPTData
+	// NDNOPTInterestProfile is its interest-side twin.
+	NDNOPTInterestProfile = profiles.NDNOPTInterest
+	// XIAProfile builds the F_DAG + F_intent header over an XIA address.
+	XIAProfile = profiles.XIA
+	// XIAOPTProfile builds the XIA+OPT derived protocol (secure DAG
+	// routing) — a composition beyond the paper's own NDN+OPT.
+	XIAOPTProfile = profiles.XIAOPT
+	// BuildPacket serializes a header plus payload into a wire packet.
+	BuildPacket = host.BuildPacket
+	// ParsePacket parses a wire packet into a zero-copy view.
+	ParsePacket = core.ParseView
+)
+
+// NativeNDNForwarder builds the non-DIP NDN baseline forwarder.
+func NativeNDNForwarder(csCapacity int) *ndn.Forwarder { return ndn.NewForwarder(csCapacity) }

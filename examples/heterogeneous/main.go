@@ -1,0 +1,191 @@
+// Incremental deployment (paper §2.4): two DIP domains separated by a
+// legacy IPv4 domain, bridged by a DIP-in-IPv4 tunnel; plus the
+// FN-unsupported signalling path when a packet demands an operation an AS
+// cannot run; plus backward compatibility by viewing a whole IPv6 header
+// as an FN location.
+//
+//	host ── [DIP domain A: borderA] ═══ legacy IPv4 ═══ [borderB: DIP domain B] ── server
+//
+//	go run ./examples/heterogeneous
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"dip"
+	"dip/internal/bootstrap"
+	"dip/internal/compat"
+	"dip/internal/ip"
+	"dip/internal/netsim"
+	"dip/internal/tunnel"
+)
+
+func main() {
+	part1Tunnel()
+	part2Signalling()
+	part3Compat()
+}
+
+// part1Tunnel: a DIP packet crosses a legacy IPv4 domain inside a tunnel.
+func part1Tunnel() {
+	fmt.Println("== 1. tunneling across a DIP-agnostic domain ==")
+	sim := netsim.New()
+
+	// Border A: port 0 faces the local host, port 1 is the tunnel.
+	stateA := dip.NewNodeState()
+	stateA.FIB32.AddUint32(0x0B000000, 8, dip.NextHop{Port: 1}) // far domain via tunnel
+	borderA := dip.NewRouter(stateA.OpsConfig(), dip.RouterOptions{Name: "borderA"})
+
+	// Border B: port 0 is the tunnel, port 1 faces the server.
+	stateB := dip.NewNodeState()
+	stateB.FIB32.AddUint32(0x0B000001, 32, dip.Local) // the server itself
+	var serverGot []byte
+	borderB := dip.NewRouter(stateB.OpsConfig(), dip.RouterOptions{
+		Name: "borderB",
+		LocalDelivery: func(pkt []byte, _ int) {
+			v, _ := dip.ParsePacket(pkt)
+			serverGot = append([]byte(nil), v.Payload()...)
+		},
+	})
+
+	// The legacy domain: a plain IPv4 router that only understands IPv4.
+	// The tunnel endpoints hand it ordinary IPv4 packets.
+	legacyHops := 0
+	epA := &tunnel.Endpoint{Local: [4]byte{192, 0, 2, 1}, Remote: [4]byte{192, 0, 2, 2}}
+	epB := &tunnel.Endpoint{Local: [4]byte{192, 0, 2, 2}, Remote: [4]byte{192, 0, 2, 1}}
+	legacy := netsim.ReceiverFunc(func(outer []byte, _ int) {
+		h4, err := ip.Parse4(outer)
+		if err != nil {
+			log.Fatalf("legacy domain got a non-IPv4 packet: %v", err)
+		}
+		legacyHops++
+		h4.DecTTL()
+		// Route on the outer IPv4 destination only — the legacy router
+		// never sees DIP.
+		if h4.Dst()[3] == 2 {
+			sim.Schedule(1e6, func() {
+				if err := epB.Receive(outer); err != nil {
+					log.Fatal(err)
+				}
+			})
+		}
+	})
+	epA.Carrier = sim.Pipe(legacy, 0, 1e6, 0)
+	epB.Deliver = func(inner []byte) { borderB.HandlePacket(inner, 0) }
+
+	borderA.AttachPort(dip.PortFunc(func([]byte) {})) // host-facing
+	borderA.AttachPort(epA)                           // tunnel port
+	borderB.AttachPort(epB)
+	borderB.AttachPort(dip.PortFunc(func([]byte) {}))
+
+	pkt, err := dip.BuildPacket(dip.IPv4Profile([4]byte{10, 0, 0, 1}, [4]byte{11, 0, 0, 1}), []byte("through the tunnel"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	borderA.HandlePacket(pkt, 0)
+	sim.Run()
+
+	fmt.Printf("legacy router forwarded %d outer IPv4 packet(s) without understanding DIP\n", legacyHops)
+	fmt.Printf("server received payload: %q\n\n", serverGot)
+	if !bytes.Equal(serverGot, []byte("through the tunnel")) {
+		log.Fatal("tunnel delivery failed")
+	}
+}
+
+// part2Signalling: an AS without the OPT operations receives an OPT packet
+// whose F_parm requires on-path participation — it must notify the source
+// (§2.4) rather than silently break the authentication chain.
+func part2Signalling() {
+	fmt.Println("== 2. heterogeneous FN configurations: FN-unsupported signalling ==")
+
+	// The limited AS supports only plain forwarding.
+	limitedState := dip.NewNodeState()
+	reg := dip.NewRouterRegistry(limitedState.OpsConfig())
+	// Operator policy: path-authentication FNs demand every AS, so signal.
+	reg.SetPolicy(dip.KeyParm, dip.PolicySignal)
+
+	// Peek at what the AS advertises via bootstrap.
+	catalog := bootstrap.CatalogOf(reg)
+	fmt.Printf("limited AS advertises %d operations; supports F_MAC: %v\n",
+		len(catalog.Keys()), catalog.Supports(dip.KeyMAC))
+
+	var notification []byte
+	limited := dip.NewRouterWithRegistry(reg, dip.RouterOptions{Name: "limited-AS"})
+	limited.AttachPort(dip.PortFunc(func(pkt []byte) {
+		notification = append([]byte(nil), pkt...)
+	}))
+
+	// An OPT-protected packet with an F_source field (so the reply can be
+	// addressed) arrives.
+	sv, _ := dip.NewSecret("r", bytes.Repeat([]byte{1}, 16))
+	dst, _ := dip.NewSecret("d", bytes.Repeat([]byte{2}, 16))
+	sess, _ := dip.NewSession(dip.MAC2EM, []dip.HopConfig{{Secret: sv}}, dst)
+	h, err := dip.OPTProfile(sess, []byte("x"), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Prepend F_source pointing at 4 extra source bytes.
+	off := uint16(len(h.Locations) * 8)
+	h.Locations = append(h.Locations, 10, 0, 0, 1)
+	h.FNs = append(h.FNs, dip.FN{Loc: off, Len: 32, Key: dip.KeySource})
+	pkt, err := dip.BuildPacket(h, []byte("x"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	limited.HandlePacket(pkt, 0)
+
+	if notification == nil {
+		log.Fatal("no FN-unsupported notification")
+	}
+	hostStack := dip.NewHost()
+	rx := hostStack.HandlePacket(notification)
+	fmt.Printf("source was notified: %s, offending operation: %s\n\n", rx.Kind, rx.Key)
+}
+
+// part3Compat: a whole IPv6 header as an FN location — border routers strip
+// and re-add the DIP framing around a legacy IPv6 domain.
+func part3Compat() {
+	fmt.Println("== 3. backward compatibility: IPv6-in-FN-locations ==")
+	var src, dst [16]byte
+	src[15], dst[15] = 1, 2
+	dst[0] = 0x20
+	native := make([]byte, ip.HeaderLen6+5)
+	if err := ip.Build6(native, src, dst, ip.ProtoUDP, 40, 5); err != nil {
+		log.Fatal(err)
+	}
+	copy(native[ip.HeaderLen6:], "hello")
+
+	wrapped, err := compat.WrapIPv6(native)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("native IPv6 packet: %d bytes; DIP-wrapped: %d bytes\n", len(native), len(wrapped))
+
+	// A DIP router forwards the wrapped form with its ordinary F_128_match
+	// module aimed inside the embedded IPv6 header.
+	state := dip.NewNodeState()
+	pfx := make([]byte, 16)
+	pfx[0] = 0x20
+	state.FIB128.Add(pfx, 8, dip.NextHop{Port: 0})
+	r := dip.NewRouter(state.OpsConfig(), dip.RouterOptions{Name: "dip-core"})
+	var forwarded []byte
+	r.AttachPort(dip.PortFunc(func(pkt []byte) { forwarded = append([]byte(nil), pkt...) }))
+	r.HandlePacket(wrapped, 1)
+	if forwarded == nil {
+		log.Fatal("wrapped packet not forwarded")
+	}
+
+	// At the egress border the DIP framing is stripped for the legacy domain.
+	unwrapped, err := compat.UnwrapIPv6(forwarded)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h6, err := ip.Parse6(unwrapped)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("egress border emitted native IPv6 again: hop limit %d, payload %q\n",
+		h6.HopLimit(), h6.Payload())
+}

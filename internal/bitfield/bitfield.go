@@ -1,0 +1,195 @@
+// Package bitfield provides bit-granular reads and writes over byte slices.
+//
+// DIP field operations address their operands as (location, length) pairs
+// measured in bits within the packet's FN-locations region (paper §2.2), so
+// every operation module ultimately funnels through this package. Offsets use
+// network bit order: bit 0 is the most significant bit of byte 0.
+//
+// The package is allocation-free for operands up to 64 bits and for
+// slice-view extraction of byte-aligned operands, which keeps the forwarding
+// hot path off the garbage collector.
+package bitfield
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Errors returned by range checks.
+var (
+	// ErrOutOfRange reports an operand that extends past the backing slice.
+	ErrOutOfRange = errors.New("bitfield: operand out of range")
+	// ErrTooWide reports a word operation on an operand wider than 64 bits.
+	ErrTooWide = errors.New("bitfield: operand wider than 64 bits")
+)
+
+// Check reports whether the bit range [off, off+n) lies within a buffer of
+// size bytes. n may be zero, which is always in range when off is.
+func Check(sizeBytes int, off, n uint) error {
+	total := uint(sizeBytes) * 8
+	if off > total || n > total-off {
+		return fmt.Errorf("%w: [%d,+%d) in %d bits", ErrOutOfRange, off, n, total)
+	}
+	return nil
+}
+
+// Uint64 reads the n-bit big-endian unsigned integer at bit offset off.
+// n must be ≤ 64 and the range must lie within b.
+func Uint64(b []byte, off, n uint) (uint64, error) {
+	if n > 64 {
+		return 0, ErrTooWide
+	}
+	if err := Check(len(b), off, n); err != nil {
+		return 0, err
+	}
+	var v uint64
+	// Consume leading partial byte, then whole bytes, then trailing bits.
+	for n > 0 {
+		byteIdx := off >> 3
+		bitInByte := off & 7
+		take := 8 - bitInByte
+		if take > n {
+			take = n
+		}
+		cur := b[byteIdx]
+		// Bits of interest start at bitInByte (from MSB) and run `take` long.
+		cur <<= bitInByte
+		cur >>= 8 - take
+		v = v<<take | uint64(cur)
+		off += take
+		n -= take
+	}
+	return v, nil
+}
+
+// PutUint64 writes v as an n-bit big-endian unsigned integer at bit offset
+// off. Bits of v above n are discarded. n must be ≤ 64 and the range must lie
+// within b.
+func PutUint64(b []byte, off, n uint, v uint64) error {
+	if n > 64 {
+		return ErrTooWide
+	}
+	if err := Check(len(b), off, n); err != nil {
+		return err
+	}
+	// Write from the least-significant end backwards.
+	end := off + n
+	for n > 0 {
+		byteIdx := (end - 1) >> 3
+		bitInByte := (end-1)&7 + 1 // number of bits of this byte used, from MSB
+		take := bitInByte
+		if uint(take) > n {
+			take = uint(n)
+		}
+		shift := uint(8) - bitInByte
+		mask := byte((1<<take)-1) << shift
+		b[byteIdx] = b[byteIdx]&^mask | byte(v<<shift)&mask
+		v >>= take
+		end -= take
+		n -= take
+	}
+	return nil
+}
+
+// Bytes extracts the n-bit range at off into dst, MSB-aligned: the first bit
+// of the range becomes the MSB of dst[0]. dst must hold at least (n+7)/8
+// bytes; trailing pad bits in the final byte are zeroed. It returns the
+// number of bytes written.
+//
+// For byte-aligned ranges this is a straight copy.
+func Bytes(dst, b []byte, off, n uint) (int, error) {
+	if err := Check(len(b), off, n); err != nil {
+		return 0, err
+	}
+	outLen := int((n + 7) / 8)
+	if len(dst) < outLen {
+		return 0, fmt.Errorf("%w: dst %d bytes, need %d", ErrOutOfRange, len(dst), outLen)
+	}
+	if off&7 == 0 {
+		copy(dst[:outLen], b[off>>3:])
+		clearTail(dst, n, outLen)
+		return outLen, nil
+	}
+	shift := off & 7
+	src := b[off>>3:]
+	for i := 0; i < outLen; i++ {
+		v := src[i] << shift
+		if i+1 < len(src) {
+			v |= src[i+1] >> (8 - shift)
+		}
+		dst[i] = v
+	}
+	clearTail(dst, n, outLen)
+	return outLen, nil
+}
+
+// PutBytes writes the n-bit MSB-aligned value in src into b at bit offset
+// off. src must hold at least (n+7)/8 bytes; pad bits in its final byte are
+// ignored.
+func PutBytes(b, src []byte, off, n uint) error {
+	if err := Check(len(b), off, n); err != nil {
+		return err
+	}
+	need := int((n + 7) / 8)
+	if len(src) < need {
+		return fmt.Errorf("%w: src %d bytes, need %d", ErrOutOfRange, len(src), need)
+	}
+	// Whole-byte fast path.
+	if off&7 == 0 && n&7 == 0 {
+		copy(b[off>>3:(off>>3)+n>>3], src)
+		return nil
+	}
+	for i := uint(0); i < n; i += 8 {
+		take := n - i
+		if take > 8 {
+			take = 8
+		}
+		v := uint64(src[i>>3] >> (8 - take))
+		if err := PutUint64(b, off+i, take, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// View returns the byte-aligned sub-slice covering [off, off+n) when both
+// endpoints are byte-aligned, letting callers operate in place with zero
+// copies. ok is false for unaligned ranges.
+func View(b []byte, off, n uint) (view []byte, ok bool) {
+	if off&7 != 0 || n&7 != 0 {
+		return nil, false
+	}
+	if Check(len(b), off, n) != nil {
+		return nil, false
+	}
+	return b[off>>3 : (off+n)>>3], true
+}
+
+// XOR xors the n-bit ranges at dstOff and srcOff (which may overlap exactly
+// but must not partially overlap) writing the result over the dst range.
+func XOR(b []byte, dstOff, srcOff, n uint) error {
+	if err := Check(len(b), dstOff, n); err != nil {
+		return err
+	}
+	if err := Check(len(b), srcOff, n); err != nil {
+		return err
+	}
+	for i := uint(0); i < n; i += 64 {
+		take := n - i
+		if take > 64 {
+			take = 64
+		}
+		d, _ := Uint64(b, dstOff+i, take)
+		s, _ := Uint64(b, srcOff+i, take)
+		if err := PutUint64(b, dstOff+i, take, d^s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func clearTail(dst []byte, n uint, outLen int) {
+	if rem := n & 7; rem != 0 && outLen > 0 {
+		dst[outLen-1] &= ^byte(0) << (8 - rem)
+	}
+}

@@ -1,0 +1,215 @@
+// Package bootstrap implements how hosts and ASes learn which field
+// operations are available (paper §2.3): a DHCP-like discovery exchange
+// between a host and its access router, and a BGP-community-like gossip
+// that propagates each AS's supported FN set so sources can tell whether a
+// path supports the operations a packet needs.
+package bootstrap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"dip/internal/core"
+)
+
+// Message types of the discovery protocol.
+const (
+	// TypeDiscover is the host's "which FNs do you support" probe.
+	TypeDiscover = 1
+	// TypeOffer is the router's catalog reply.
+	TypeOffer = 2
+)
+
+// ErrBadMessage reports a malformed bootstrap message.
+var ErrBadMessage = errors.New("bootstrap: malformed message")
+
+// CatalogEntry describes one supported operation.
+type CatalogEntry struct {
+	Key core.Key
+	// Policy is what the router does when it receives the key unsupported
+	// elsewhere — advertised so hosts can predict path behaviour.
+	Policy core.UnknownPolicy
+}
+
+// Catalog is an FN availability set.
+type Catalog []CatalogEntry
+
+// CatalogOf reads a registry's advertisement.
+func CatalogOf(reg *core.Registry) Catalog {
+	keys := reg.Keys()
+	out := make(Catalog, len(keys))
+	for i, k := range keys {
+		out[i] = CatalogEntry{Key: k, Policy: reg.Policy(k)}
+	}
+	return out
+}
+
+// Supports reports whether every key in need is present.
+func (c Catalog) Supports(need ...core.Key) bool {
+	for _, k := range need {
+		found := false
+		for _, e := range c {
+			if e.Key == k {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// Keys returns the catalog's keys in ascending order.
+func (c Catalog) Keys() []core.Key {
+	out := make([]core.Key, len(c))
+	for i, e := range c {
+		out[i] = e.Key
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// EncodeDiscover builds a discovery probe.
+func EncodeDiscover() []byte { return []byte{TypeDiscover} }
+
+// EncodeOffer builds a catalog reply: [type][count u16][key u16, policy u8]*.
+func EncodeOffer(c Catalog) []byte {
+	out := make([]byte, 0, 3+3*len(c))
+	out = append(out, TypeOffer)
+	out = binary.BigEndian.AppendUint16(out, uint16(len(c)))
+	for _, e := range c {
+		out = binary.BigEndian.AppendUint16(out, uint16(e.Key))
+		out = append(out, byte(e.Policy))
+	}
+	return out
+}
+
+// Decode parses a bootstrap message, returning its type and, for offers,
+// the catalog.
+func Decode(b []byte) (msgType byte, c Catalog, err error) {
+	if len(b) < 1 {
+		return 0, nil, ErrBadMessage
+	}
+	switch b[0] {
+	case TypeDiscover:
+		return TypeDiscover, nil, nil
+	case TypeOffer:
+		if len(b) < 3 {
+			return 0, nil, ErrBadMessage
+		}
+		n := int(binary.BigEndian.Uint16(b[1:3]))
+		if len(b) < 3+3*n {
+			return 0, nil, fmt.Errorf("%w: %d entries, %d bytes", ErrBadMessage, n, len(b))
+		}
+		c = make(Catalog, n)
+		for i := 0; i < n; i++ {
+			off := 3 + 3*i
+			c[i] = CatalogEntry{
+				Key:    core.Key(binary.BigEndian.Uint16(b[off:])),
+				Policy: core.UnknownPolicy(b[off+2]),
+			}
+		}
+		return TypeOffer, c, nil
+	default:
+		return 0, nil, fmt.Errorf("%w: type %d", ErrBadMessage, b[0])
+	}
+}
+
+// Responder answers discovery probes from a registry: the access router's
+// side of the DHCP-like exchange.
+type Responder struct {
+	reg *core.Registry
+}
+
+// NewResponder builds a responder over the router's registry.
+func NewResponder(reg *core.Registry) *Responder { return &Responder{reg: reg} }
+
+// Handle answers a probe; nil for anything that is not a discover.
+func (r *Responder) Handle(msg []byte) []byte {
+	t, _, err := Decode(msg)
+	if err != nil || t != TypeDiscover {
+		return nil
+	}
+	return EncodeOffer(CatalogOf(r.reg))
+}
+
+// ASGraph is the AS-level FN propagation map (the BGP-community mechanism
+// the paper defers to future work): which ASes peer and what each supports.
+type ASGraph struct {
+	catalogs map[string]Catalog
+	peers    map[string][]string
+}
+
+// NewASGraph returns an empty graph.
+func NewASGraph() *ASGraph {
+	return &ASGraph{catalogs: map[string]Catalog{}, peers: map[string][]string{}}
+}
+
+// AddAS registers an AS with its supported catalog.
+func (g *ASGraph) AddAS(as string, c Catalog) {
+	g.catalogs[as] = c
+}
+
+// Peer links two ASes bidirectionally.
+func (g *ASGraph) Peer(a, b string) {
+	g.peers[a] = append(g.peers[a], b)
+	g.peers[b] = append(g.peers[b], a)
+}
+
+// Catalog returns an AS's advertised FN set.
+func (g *ASGraph) Catalog(as string) (Catalog, bool) {
+	c, ok := g.catalogs[as]
+	return c, ok
+}
+
+// Path returns some shortest AS path from a to b (BFS), or nil.
+func (g *ASGraph) Path(a, b string) []string {
+	if _, ok := g.catalogs[a]; !ok {
+		return nil
+	}
+	if a == b {
+		return []string{a}
+	}
+	prev := map[string]string{a: a}
+	queue := []string{a}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range g.peers[cur] {
+			if _, seen := prev[nb]; seen {
+				continue
+			}
+			prev[nb] = cur
+			if nb == b {
+				var path []string
+				for n := b; n != a; n = prev[n] {
+					path = append([]string{n}, path...)
+				}
+				return append([]string{a}, path...)
+			}
+			queue = append(queue, nb)
+		}
+	}
+	return nil
+}
+
+// PathSupports reports whether every AS on some shortest path from a to b
+// supports all of the needed keys, returning the path it checked. This is
+// what a source consults before composing FNs that require on-path
+// participation (e.g. OPT's authentication chain).
+func (g *ASGraph) PathSupports(a, b string, need ...core.Key) (path []string, ok bool) {
+	path = g.Path(a, b)
+	if path == nil {
+		return nil, false
+	}
+	for _, as := range path {
+		if !g.catalogs[as].Supports(need...) {
+			return path, false
+		}
+	}
+	return path, true
+}

@@ -1,0 +1,137 @@
+package bootstrap
+
+import (
+	"errors"
+	"testing"
+
+	"dip/internal/core"
+	"dip/internal/fib"
+	"dip/internal/ops"
+)
+
+func testCatalog(t *testing.T) (Catalog, *core.Registry) {
+	t.Helper()
+	reg := ops.NewRouterRegistry(ops.Config{FIB32: fib.New(), FIB128: fib.New()})
+	return CatalogOf(reg), reg
+}
+
+func TestCatalogOf(t *testing.T) {
+	c, reg := testCatalog(t)
+	if len(c) != reg.Len() {
+		t.Errorf("catalog %d entries, registry %d", len(c), reg.Len())
+	}
+	if !c.Supports(core.KeyMatch32, core.KeyMatch128, core.KeySource, core.KeyPass) {
+		t.Errorf("missing expected keys: %v", c.Keys())
+	}
+	if c.Supports(core.KeyMAC) {
+		t.Error("claims unsupported key")
+	}
+}
+
+func TestOfferRoundTrip(t *testing.T) {
+	c, _ := testCatalog(t)
+	msg := EncodeOffer(c)
+	typ, got, err := Decode(msg)
+	if err != nil || typ != TypeOffer {
+		t.Fatalf("type %d err %v", typ, err)
+	}
+	if len(got) != len(c) {
+		t.Fatalf("got %d entries", len(got))
+	}
+	for i := range c {
+		if got[i] != c[i] {
+			t.Errorf("entry %d: %v vs %v", i, got[i], c[i])
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := Decode(nil); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("empty: %v", err)
+	}
+	if _, _, err := Decode([]byte{9}); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("unknown type: %v", err)
+	}
+	if _, _, err := Decode([]byte{TypeOffer, 0}); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("short offer: %v", err)
+	}
+	if _, _, err := Decode([]byte{TypeOffer, 0, 5, 1}); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("truncated entries: %v", err)
+	}
+}
+
+func TestResponder(t *testing.T) {
+	c, reg := testCatalog(t)
+	r := NewResponder(reg)
+	reply := r.Handle(EncodeDiscover())
+	if reply == nil {
+		t.Fatal("no reply to discover")
+	}
+	typ, got, err := Decode(reply)
+	if err != nil || typ != TypeOffer || len(got) != len(c) {
+		t.Errorf("reply: type %d, %d entries, err %v", typ, len(got), err)
+	}
+	if r.Handle([]byte{99}) != nil {
+		t.Error("replied to junk")
+	}
+	if r.Handle(reply) != nil {
+		t.Error("replied to an offer")
+	}
+}
+
+func asGraph() *ASGraph {
+	g := NewASGraph()
+	full := Catalog{{Key: core.KeyFIB}, {Key: core.KeyPIT}, {Key: core.KeyParm}, {Key: core.KeyMAC}, {Key: core.KeyMark}}
+	legacy := Catalog{{Key: core.KeyFIB}, {Key: core.KeyPIT}}
+	g.AddAS("A", full)
+	g.AddAS("B", legacy)
+	g.AddAS("C", full)
+	g.AddAS("D", full)
+	g.Peer("A", "B")
+	g.Peer("B", "C")
+	g.Peer("A", "D")
+	g.Peer("D", "C")
+	return g
+}
+
+func TestASGraphPath(t *testing.T) {
+	g := asGraph()
+	p := g.Path("A", "C")
+	if len(p) != 3 || p[0] != "A" || p[2] != "C" {
+		t.Errorf("path %v", p)
+	}
+	if g.Path("A", "Z") != nil {
+		t.Error("path to unknown AS")
+	}
+	if p := g.Path("A", "A"); len(p) != 1 {
+		t.Errorf("self path %v", p)
+	}
+	if g.Path("Z", "A") != nil {
+		t.Error("path from unknown AS")
+	}
+}
+
+func TestPathSupports(t *testing.T) {
+	g := asGraph()
+	// NDN keys are everywhere: any path works.
+	if _, ok := g.PathSupports("A", "C", core.KeyFIB, core.KeyPIT); !ok {
+		t.Error("NDN path should be supported")
+	}
+	// OPT keys: depends on whether BFS routes via B (legacy) or D (full).
+	path, ok := g.PathSupports("A", "C", core.KeyParm, core.KeyMAC, core.KeyMark)
+	via := path[1]
+	if via == "B" && ok {
+		t.Error("path via legacy B cannot support OPT")
+	}
+	if via == "D" && !ok {
+		t.Error("path via D supports OPT")
+	}
+	// Direct check of the legacy AS.
+	c, _ := g.Catalog("B")
+	if c.Supports(core.KeyMAC) {
+		t.Error("legacy B claims MAC")
+	}
+	if _, ok := g.PathSupports("A", "Z"); ok {
+		t.Error("unreachable destination supported")
+	}
+}

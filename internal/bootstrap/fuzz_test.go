@@ -1,0 +1,30 @@
+package bootstrap
+
+import "testing"
+
+// FuzzDecode: arbitrary bootstrap messages must never panic, and accepted
+// offers must re-encode to an equivalent catalog.
+func FuzzDecode(f *testing.F) {
+	f.Add(EncodeDiscover())
+	f.Add(EncodeOffer(Catalog{{Key: 4}, {Key: 7, Policy: 1}}))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, c, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if typ != TypeOffer {
+			return
+		}
+		re := EncodeOffer(c)
+		typ2, c2, err := Decode(re)
+		if err != nil || typ2 != TypeOffer || len(c2) != len(c) {
+			t.Fatalf("round trip: %v", err)
+		}
+		for i := range c {
+			if c[i] != c2[i] {
+				t.Fatalf("entry %d differs", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,95 @@
+// Package compat implements the backward-compatibility translation of
+// paper §2.4: "the existing network protocol header can be viewed as an FN
+// location in the DIP … the border router can remove the basic header and
+// FN definitions, so that the packet is routed only based on the FN
+// operations that are recognized by the legacy devices. Similarly, to
+// process packets from a legacy domain, the inbound border router needs to
+// add back the DIP basic header and FN definitions."
+//
+// Concretely: a DIP host talking to an IPv6 destination composes a DIP
+// header whose FN-locations region is a literal IPv6 header. The outbound
+// border router strips the DIP framing, leaving a native IPv6 packet that
+// legacy routers forward; the inbound border router re-wraps native IPv6
+// into the canonical DIP-over-IPv6 composition.
+package compat
+
+import (
+	"errors"
+	"fmt"
+
+	"dip/internal/core"
+	"dip/internal/ip"
+)
+
+// ErrNotCompat reports a packet that is not a DIP-over-IPv6 composition.
+var ErrNotCompat = errors.New("compat: not a DIP-over-IPv6 packet")
+
+// IPv6 field offsets within the embedded header, in bits: the FN triples
+// below address the destination and source fields of the raw IPv6 header
+// sitting at locations offset 0.
+const (
+	dstFieldLoc = 24 * 8 // IPv6 destination at byte 24
+	srcFieldLoc = 8 * 8  // IPv6 source at byte 8
+)
+
+// WrapIPv6 builds the DIP composition for a native IPv6 packet: the whole
+// 40-byte IPv6 header becomes the FN-locations region, with F_128_match
+// aimed at its destination field and F_source at its source field. This is
+// what a DIP host (or an inbound border router) emits.
+func WrapIPv6(ipv6Pkt []byte) ([]byte, error) {
+	h6, err := ip.Parse6(ipv6Pkt)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNotCompat, err)
+	}
+	h := &core.Header{
+		NextHeader: h6.Next(),
+		HopLimit:   h6.HopLimit(),
+		FNs: []core.FN{
+			core.RouterFN(dstFieldLoc, 128, core.KeyMatch128),
+			core.RouterFN(srcFieldLoc, 128, core.KeySource),
+		},
+		Locations: ipv6Pkt[:ip.HeaderLen6],
+	}
+	buf, err := h.AppendTo(make([]byte, 0, h.WireSize()+len(ipv6Pkt)-ip.HeaderLen6))
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, ipv6Pkt[ip.HeaderLen6:]...), nil
+}
+
+// UnwrapIPv6 strips the DIP basic header and FN definitions from a
+// DIP-over-IPv6 composition, returning the native IPv6 packet a legacy
+// domain can route. The embedded header's hop limit is synchronized with
+// the DIP hop limit so the legacy domain sees remaining budget.
+func UnwrapIPv6(dipPkt []byte) ([]byte, error) {
+	v, err := core.ParseView(dipPkt)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNotCompat, err)
+	}
+	if !IsIPv6Composition(v) {
+		return nil, ErrNotCompat
+	}
+	locs := v.Locations()
+	out := make([]byte, 0, len(locs)+len(v.Payload()))
+	out = append(out, locs...)
+	out = append(out, v.Payload()...)
+	// Synchronize the legacy hop limit with the DIP hop budget.
+	out[7] = v.HopLimit()
+	if _, err := ip.Parse6(out); err != nil {
+		return nil, fmt.Errorf("%w: embedded header invalid: %v", ErrNotCompat, err)
+	}
+	return out, nil
+}
+
+// IsIPv6Composition reports whether a parsed DIP packet carries a whole
+// IPv6 header as its FN-locations region with the canonical match/source
+// triples.
+func IsIPv6Composition(v core.View) bool {
+	if len(v.Locations()) < ip.HeaderLen6 || v.FNNum() < 2 {
+		return false
+	}
+	m, s := v.FN(0), v.FN(1)
+	return m.Key == core.KeyMatch128 && m.Loc == dstFieldLoc && m.Len == 128 &&
+		s.Key == core.KeySource && s.Loc == srcFieldLoc && s.Len == 128 &&
+		v.Locations()[0]>>4 == 6
+}

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Limits are the per-packet security limits of paper §2.4: "enforcing a
+// hard limit for packet processing time and per-packet state consumption is
+// enough to prevent such attacks". Zero values mean "wire maximum" for
+// MaxFNs and "unlimited" for the others.
+type Limits struct {
+	// MaxFNs caps router-executed operations per packet.
+	MaxFNs int
+	// Deadline caps wall-clock processing time per packet.
+	Deadline time.Duration
+	// MaxStateBytes caps router state (PIT entries, cache insertions, …)
+	// one packet may create.
+	MaxStateBytes int
+}
+
+// Recorder receives execution telemetry. Implementations must be safe for
+// concurrent use. A nil Recorder disables recording with no timing overhead.
+type Recorder interface {
+	RecordOp(k Key, d time.Duration)
+	RecordDrop(r DropReason)
+}
+
+// Engine executes Algorithm 1 of the paper: iterate the packet's FNs,
+// skip host-tagged ones, and dispatch the rest to the operation modules in
+// the registry. The engine is stateless across packets and safe for
+// concurrent use by multiple forwarding goroutines.
+type Engine struct {
+	reg    atomic.Pointer[Registry]
+	limits Limits
+	rec    Recorder
+	host   bool
+}
+
+// NewEngine builds a router-side engine over reg with the given limits: it
+// executes FNs whose host tag is clear and skips host-tagged ones.
+func NewEngine(reg *Registry, limits Limits) *Engine {
+	if limits.MaxFNs <= 0 || limits.MaxFNs > MaxFNs {
+		limits.MaxFNs = MaxFNs
+	}
+	e := &Engine{limits: limits}
+	e.reg.Store(reg)
+	return e
+}
+
+// NewHostEngine builds the dual of NewEngine for host stacks: it executes
+// exactly the FNs tagged as host operations (F_ver and friends) and skips
+// router operations.
+func NewHostEngine(reg *Registry, limits Limits) *Engine {
+	e := NewEngine(reg, limits)
+	e.host = true
+	return e
+}
+
+// SetRecorder installs a telemetry sink. Must be called before packets flow.
+func (e *Engine) SetRecorder(r Recorder) { e.rec = r }
+
+// Registry returns the engine's current dispatch table.
+func (e *Engine) Registry() *Registry { return e.reg.Load() }
+
+// SwapRegistry atomically replaces the dispatch table and returns the
+// previous one. This is how operators "dynamically adjust security
+// policies based on network conditions" (paper §2.4) — e.g. enabling
+// F_pass on the fly upon detecting a content-poisoning attack — without
+// pausing the data plane: in-flight packets finish on the registry they
+// started with; subsequent packets see the new one.
+func (e *Engine) SwapRegistry(reg *Registry) *Registry {
+	return e.reg.Swap(reg)
+}
+
+// Process runs the packet in ctx through Algorithm 1. On return ctx.Verdict
+// and ctx.EgressPorts() describe the packet's fate. Process never allocates
+// on the sequential path.
+func (e *Engine) Process(ctx *ExecContext) {
+	if e.limits.MaxStateBytes > 0 {
+		ctx.stateBudget = e.limits.MaxStateBytes
+	}
+	if e.limits.Deadline > 0 {
+		ctx.Deadline = time.Now().Add(e.limits.Deadline)
+	}
+	n := ctx.View.FNNum()
+	if e.routerFNCount(ctx.View) > e.limits.MaxFNs {
+		ctx.Drop(DropOpBudget)
+		e.recordDrop(ctx)
+		return
+	}
+	reg := e.reg.Load()
+	if ctx.View.Parallel() && n > 1 {
+		e.processParallel(reg, ctx)
+		e.recordDrop(ctx)
+		return
+	}
+	for i := 0; i < n; i++ {
+		fn := ctx.View.FN(i)
+		if fn.Host != e.host {
+			continue // Algorithm 1 line 5–7: skip the other side's operations
+		}
+		if !e.execute(reg, ctx, fn) {
+			break
+		}
+	}
+	e.recordDrop(ctx)
+}
+
+// execute dispatches one FN and reports whether processing should continue.
+func (e *Engine) execute(reg *Registry, ctx *ExecContext, fn FN) bool {
+	if !ctx.Deadline.IsZero() && time.Now().After(ctx.Deadline) {
+		ctx.Drop(DropDeadline)
+		return false
+	}
+	op := reg.Get(fn.Key)
+	if op == nil {
+		if reg.Policy(fn.Key) == PolicySignal {
+			ctx.Drop(DropUnsupportedFN)
+			ctx.SignalUnsupported = true
+			ctx.UnsupportedKey = fn.Key
+			return false
+		}
+		return true // PolicyIgnore, §2.4: "the router can simply ignore this FN"
+	}
+	if e.rec != nil {
+		start := time.Now()
+		err := op.Execute(ctx, uint(fn.Loc), uint(fn.Len))
+		e.rec.RecordOp(fn.Key, time.Since(start))
+		if err != nil {
+			ctx.Drop(DropOpError)
+		}
+	} else if err := op.Execute(ctx, uint(fn.Loc), uint(fn.Len)); err != nil {
+		ctx.Drop(DropOpError)
+	}
+	return ctx.Verdict != VerdictDrop
+}
+
+// processParallel honours the packet-parameter parallel flag: operations
+// are grouped into stages (see Stager), stages run in order, and the
+// operations inside one stage run concurrently on private context copies
+// that are merged afterwards. The host asserts, by setting the flag, that
+// same-stage operations touch disjoint operand bytes.
+func (e *Engine) processParallel(reg *Registry, ctx *ExecContext) {
+	n := ctx.View.FNNum()
+	// Collect router FNs with their stages. MaxFNs ≤ 255 so a fixed array
+	// keeps this allocation-free apart from goroutine spawning.
+	var fns [MaxFNs]staged
+	cnt := 0
+	minStage, maxStage := 1<<30, -(1 << 30)
+	for i := 0; i < n; i++ {
+		fn := ctx.View.FN(i)
+		if fn.Host != e.host {
+			continue
+		}
+		st := 1
+		if op := reg.Get(fn.Key); op != nil {
+			if s, ok := op.(Stager); ok {
+				st = s.Stage()
+			}
+		}
+		fns[cnt] = staged{fn, st}
+		cnt++
+		if st < minStage {
+			minStage = st
+		}
+		if st > maxStage {
+			maxStage = st
+		}
+	}
+	for stage := minStage; stage <= maxStage && ctx.Verdict != VerdictDrop; stage++ {
+		var wave []staged
+		for i := 0; i < cnt; i++ {
+			if fns[i].stage == stage {
+				wave = append(wave, fns[i])
+			}
+		}
+		switch len(wave) {
+		case 0:
+			continue
+		case 1:
+			e.execute(reg, ctx, wave[0].fn)
+		default:
+			e.runWave(reg, ctx, wave)
+		}
+	}
+}
+
+// staged pairs an FN with its parallel-execution stage.
+type staged struct {
+	fn    FN
+	stage int
+}
+
+// runWave executes the wave's FNs concurrently on context copies, then
+// merges verdicts (by precedence), egress sets, crypto state and state-
+// budget consumption back into ctx.
+func (e *Engine) runWave(reg *Registry, ctx *ExecContext, wave []staged) {
+	copies := make([]ExecContext, len(wave))
+	var wg sync.WaitGroup
+	for i := range wave {
+		copies[i] = *ctx
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e.execute(reg, &copies[i], wave[i].fn)
+		}(i)
+	}
+	wg.Wait()
+	consumed := 0
+	for i := range copies {
+		c := &copies[i]
+		if c.Verdict == VerdictDrop && ctx.Verdict != VerdictDrop {
+			ctx.Verdict = VerdictDrop
+			ctx.Reason = c.Reason
+			ctx.SignalUnsupported = c.SignalUnsupported
+			ctx.UnsupportedKey = c.UnsupportedKey
+		}
+		if c.Verdict == VerdictDeliver {
+			ctx.Deliver()
+		}
+		if c.Verdict == VerdictAbsorb {
+			ctx.Absorb()
+		}
+		for j := 0; j < c.NEgr; j++ {
+			ctx.AddEgress(c.Egress[j])
+		}
+		if c.Crypto.HaveKey && !ctx.Crypto.HaveKey {
+			ctx.Crypto = c.Crypto
+		}
+		if c.Passed {
+			ctx.Passed = true
+		}
+		if c.Cached != nil && ctx.Cached == nil {
+			ctx.Cached = c.Cached
+		}
+		if c.HasSource && !ctx.HasSource {
+			ctx.SourceLoc, ctx.SourceLen, ctx.HasSource = c.SourceLoc, c.SourceLen, true
+		}
+		if ctx.stateBudget >= 0 {
+			consumed += ctx.stateBudget - c.stateBudget
+		}
+	}
+	if ctx.stateBudget >= 0 {
+		ctx.stateBudget -= consumed
+		if ctx.stateBudget < 0 {
+			ctx.Drop(DropStateBudget)
+		}
+	}
+}
+
+func (e *Engine) routerFNCount(v View) int {
+	n := 0
+	for i := 0; i < v.FNNum(); i++ {
+		if v.FN(i).Host == e.host {
+			n++
+		}
+	}
+	return n
+}
+
+func (e *Engine) recordDrop(ctx *ExecContext) {
+	if e.rec != nil && ctx.Verdict == VerdictDrop {
+		e.rec.RecordDrop(ctx.Reason)
+	}
+}

@@ -1,0 +1,86 @@
+// Package core implements the DIP protocol core: the Field Operation (FN)
+// primitive, the DIP packet header wire format, and the per-hop execution
+// engine of Algorithm 1 in the paper.
+//
+// An FN is a triple (field location, field length, operation key). The
+// location and length, measured in bits, name an operand inside the packet's
+// shared FN-locations region; the key names the operation module a router
+// applies to that operand. A single packet carries an ordered list of FNs,
+// and that list — not a fixed protocol definition — determines how every
+// hop processes the packet. Protocols such as IP, NDN, OPT and XIA are
+// realized purely as FN compositions (see internal/profiles).
+//
+// Everything on the forwarding path is allocation-free: headers are parsed
+// as in-place views over the received buffer, operation dispatch goes
+// through a dense array, and execution contexts are caller-owned and
+// reusable.
+package core
+
+import "fmt"
+
+// Key identifies an operation module. Keys are 15 bits on the wire; the
+// 16th (most significant) bit of the operation-key field is the host/router
+// tag and is not part of the Key.
+type Key uint16
+
+// Operation keys from Table 1 of the paper, plus F_pass from §2.4.
+const (
+	// KeyInvalid is the zero Key; no operation may register under it.
+	KeyInvalid Key = 0
+	// KeyMatch32 — F_32_match: 32-bit address longest-prefix match.
+	KeyMatch32 Key = 1
+	// KeyMatch128 — F_128_match: 128-bit address longest-prefix match.
+	KeyMatch128 Key = 2
+	// KeySource — F_source: marks the operand as the packet's source address.
+	KeySource Key = 3
+	// KeyFIB — F_FIB: forwarding-information-base match on a content name.
+	KeyFIB Key = 4
+	// KeyPIT — F_PIT: pending-interest-table match on a content name.
+	KeyPIT Key = 5
+	// KeyParm — F_parm: derive the hop key and load authentication parameters.
+	KeyParm Key = 6
+	// KeyMAC — F_MAC: compute the hop's MAC over the operand region.
+	KeyMAC Key = 7
+	// KeyMark — F_mark: update the path-verification mark (OPT's PVF).
+	KeyMark Key = 8
+	// KeyVer — F_ver: destination verification of source and path.
+	KeyVer Key = 9
+	// KeyDAG — F_DAG: parse and traverse an XIA directed-acyclic-graph address.
+	KeyDAG Key = 10
+	// KeyIntent — F_intent: handle an XIA intent node.
+	KeyIntent Key = 11
+	// KeyPass — F_pass: source-label verification (content-poisoning defense,
+	// paper §2.4).
+	KeyPass Key = 12
+)
+
+// MaxKey is the largest key the dense dispatch table supports. Wire keys
+// above MaxKey are valid to carry but are treated as unsupported operations
+// by every router in this implementation (the heterogeneous-configuration
+// path of §2.4 then applies).
+const MaxKey Key = 255
+
+// keyNames maps well-known keys to the paper's notation.
+var keyNames = map[Key]string{
+	KeyMatch32:  "F_32_match",
+	KeyMatch128: "F_128_match",
+	KeySource:   "F_source",
+	KeyFIB:      "F_FIB",
+	KeyPIT:      "F_PIT",
+	KeyParm:     "F_parm",
+	KeyMAC:      "F_MAC",
+	KeyMark:     "F_mark",
+	KeyVer:      "F_ver",
+	KeyDAG:      "F_DAG",
+	KeyIntent:   "F_intent",
+	KeyPass:     "F_pass",
+}
+
+// String returns the paper's notation for well-known keys and "key(n)"
+// otherwise.
+func (k Key) String() string {
+	if n, ok := keyNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("key(%d)", uint16(k))
+}

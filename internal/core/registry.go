@@ -1,0 +1,141 @@
+package core
+
+import "fmt"
+
+// Operation is one FN operation module. Implementations are constructed
+// with whatever router state they need (a FIB, a PIT, a key store) and
+// registered under their key; Execute is then called once per matching FN
+// with the packet context and the FN's operand coordinates.
+//
+// Execute must be safe for concurrent use when the module is registered in
+// a router that honours the parallel-execution flag or runs multiple
+// forwarding goroutines. Operand bounds are pre-validated by ParseView, so
+// implementations may index Locations()[loc/8 : (loc+bits)/8] directly for
+// byte-aligned operands.
+type Operation interface {
+	// Key returns the operation key the module serves.
+	Key() Key
+	// Name returns the paper-style notation (e.g. "F_FIB") for diagnostics.
+	Name() string
+	// Execute applies the operation to the operand at bit offset loc, length
+	// bits, within ctx.View.Locations(). A non-nil error drops the packet
+	// with DropOpError.
+	Execute(ctx *ExecContext, loc, bits uint) error
+}
+
+// Stager is optionally implemented by Operations to declare their wave for
+// parallel execution (packet-parameter parallel flag). Operations in lower
+// stages complete before higher stages start; operations sharing a stage
+// may run concurrently. The default stage is 1; F_parm implements Stage 0
+// because the authentication operations consume its output.
+type Stager interface {
+	Stage() int
+}
+
+// UnknownPolicy says what a router does with a router-tagged FN whose key it
+// has no module for (heterogeneous configuration, paper §2.4).
+type UnknownPolicy uint8
+
+const (
+	// PolicyIgnore skips the FN — correct for operations that do not
+	// require every on-path AS to participate.
+	PolicyIgnore UnknownPolicy = iota
+	// PolicySignal drops the packet and asks the router to return an
+	// FN-unsupported message to the source — required for operations like
+	// path authentication where partial execution is meaningless.
+	PolicySignal
+)
+
+// Registry is the dense dispatch table from operation keys to modules,
+// mirroring the prototype's "pre-write the operation modules and match them
+// by operation key" realization (paper §4.1). Lookup is a bounds check and
+// an array index: no hashing, no allocation.
+//
+// A Registry is built at configuration time and must not be mutated while
+// packets are in flight; routers that reconfigure swap whole registries.
+type Registry struct {
+	ops    [MaxKey + 1]Operation
+	policy [MaxKey + 1]UnknownPolicy
+	n      int
+}
+
+// NewRegistry returns an empty registry where every unknown key is ignored.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Register installs op under its key. Registering key 0, a key above
+// MaxKey, or a key already taken is a configuration error.
+func (r *Registry) Register(op Operation) error {
+	k := op.Key()
+	if k == KeyInvalid || k > MaxKey {
+		return fmt.Errorf("core: cannot register %s under key %d", op.Name(), k)
+	}
+	if r.ops[k] != nil {
+		return fmt.Errorf("core: key %d already registered to %s", k, r.ops[k].Name())
+	}
+	r.ops[k] = op
+	r.n++
+	return nil
+}
+
+// MustRegister is Register that panics on error, for static configuration.
+func (r *Registry) MustRegister(ops ...Operation) {
+	for _, op := range ops {
+		if err := r.Register(op); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// Deregister removes the module under k, if any.
+func (r *Registry) Deregister(k Key) {
+	if k <= MaxKey && r.ops[k] != nil {
+		r.ops[k] = nil
+		r.n--
+	}
+}
+
+// Get returns the module registered under k, or nil.
+func (r *Registry) Get(k Key) Operation {
+	if k > MaxKey {
+		return nil
+	}
+	return r.ops[k]
+}
+
+// Len returns the number of registered modules.
+func (r *Registry) Len() int { return r.n }
+
+// SetPolicy declares how packets carrying an unsupported k are handled.
+// Keys above MaxKey share the PolicyIgnore default and cannot be changed.
+func (r *Registry) SetPolicy(k Key, p UnknownPolicy) {
+	if k <= MaxKey {
+		r.policy[k] = p
+	}
+}
+
+// Policy returns the unknown-key policy for k.
+func (r *Registry) Policy(k Key) UnknownPolicy {
+	if k > MaxKey {
+		return PolicyIgnore
+	}
+	return r.policy[k]
+}
+
+// Keys lists the registered keys in ascending order (diagnostics and FN
+// catalog advertisement).
+func (r *Registry) Keys() []Key {
+	out := make([]Key, 0, r.n)
+	for k := Key(1); k <= MaxKey; k++ {
+		if r.ops[k] != nil {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Clone returns a copy of the registry sharing the same operation modules;
+// useful for building per-router variations of a base catalog.
+func (r *Registry) Clone() *Registry {
+	c := *r
+	return &c
+}

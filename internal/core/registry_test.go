@@ -1,0 +1,86 @@
+package core
+
+import "testing"
+
+func TestRegistryRegisterGet(t *testing.T) {
+	r := NewRegistry()
+	op := &testOp{key: KeyFIB}
+	if err := r.Register(op); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Get(KeyFIB); got != op {
+		t.Error("Get returned wrong op")
+	}
+	if r.Get(KeyPIT) != nil {
+		t.Error("unregistered key returned op")
+	}
+	if r.Get(MaxKey+1) != nil {
+		t.Error("key above MaxKey returned op")
+	}
+	if r.Len() != 1 {
+		t.Errorf("Len = %d", r.Len())
+	}
+}
+
+func TestRegistryRejects(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(&testOp{key: KeyInvalid}); err == nil {
+		t.Error("key 0 accepted")
+	}
+	if err := r.Register(&testOp{key: MaxKey + 1}); err == nil {
+		t.Error("key above MaxKey accepted")
+	}
+	r.MustRegister(&testOp{key: KeyFIB})
+	if err := r.Register(&testOp{key: KeyFIB}); err == nil {
+		t.Error("duplicate key accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustRegister did not panic on duplicate")
+		}
+	}()
+	r.MustRegister(&testOp{key: KeyFIB})
+}
+
+func TestRegistryDeregister(t *testing.T) {
+	r := NewRegistry()
+	r.MustRegister(&testOp{key: KeyFIB})
+	r.Deregister(KeyFIB)
+	if r.Get(KeyFIB) != nil || r.Len() != 0 {
+		t.Error("Deregister did not remove")
+	}
+	r.Deregister(KeyFIB)     // idempotent
+	r.Deregister(MaxKey + 5) // out of range is a no-op
+}
+
+func TestRegistryPolicy(t *testing.T) {
+	r := NewRegistry()
+	if r.Policy(42) != PolicyIgnore {
+		t.Error("default policy must be ignore")
+	}
+	r.SetPolicy(42, PolicySignal)
+	if r.Policy(42) != PolicySignal {
+		t.Error("SetPolicy lost")
+	}
+	r.SetPolicy(MaxKey+1, PolicySignal) // silently out of range
+	if r.Policy(MaxKey+1) != PolicyIgnore {
+		t.Error("out-of-range key policy must be ignore")
+	}
+}
+
+func TestRegistryKeysAndClone(t *testing.T) {
+	r := NewRegistry()
+	r.MustRegister(&testOp{key: KeyPIT}, &testOp{key: KeyFIB})
+	keys := r.Keys()
+	if len(keys) != 2 || keys[0] != KeyFIB || keys[1] != KeyPIT {
+		t.Errorf("Keys = %v", keys)
+	}
+	c := r.Clone()
+	c.Deregister(KeyFIB)
+	if r.Get(KeyFIB) == nil {
+		t.Error("Clone shares mutation with original")
+	}
+	if c.Get(KeyPIT) == nil {
+		t.Error("Clone lost registration")
+	}
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// View is a zero-copy parse of a DIP packet. It aliases the buffer it was
+// parsed from: reads see the packet as received and writes (hop-limit
+// updates, operation modules mutating their operands) modify the packet in
+// place, which is the entire point of FN locations. A View is cheap to copy
+// and contains no pointers beyond the buffer itself.
+type View struct {
+	b      []byte // whole packet: basic header ‖ FN defs ‖ locations ‖ payload
+	fnNum  int
+	locLen int
+}
+
+// ParseView validates the framing of b as a DIP packet and returns a view
+// over it. Only structure is validated (version, lengths, operand bounds);
+// semantic checks belong to the operations themselves.
+func ParseView(b []byte) (View, error) {
+	if len(b) < BasicHeaderSize {
+		return View{}, fmt.Errorf("%w: %d bytes", ErrTruncated, len(b))
+	}
+	if b[0] != Version {
+		return View{}, fmt.Errorf("%w: %d", ErrVersion, b[0])
+	}
+	fnNum := int(b[2])
+	param := binary.BigEndian.Uint16(b[4:6])
+	locLen := int(param >> paramLocShift & paramLocMask)
+	hdrLen := BasicHeaderSize + FNSize*fnNum + locLen
+	if len(b) < hdrLen {
+		return View{}, fmt.Errorf("%w: header needs %d bytes, have %d", ErrTruncated, hdrLen, len(b))
+	}
+	v := View{b: b, fnNum: fnNum, locLen: locLen}
+	// Validate every triple once, so operations can trust bounds and the
+	// engine can trust keys.
+	locBits := uint(locLen) * 8
+	for i := 0; i < fnNum; i++ {
+		off := BasicHeaderSize + FNSize*i
+		loc := uint(binary.BigEndian.Uint16(b[off:]))
+		n := uint(binary.BigEndian.Uint16(b[off+2:]))
+		if loc > locBits || n > locBits-loc {
+			return View{}, fmt.Errorf("%w: FN %d operand [%d,+%d) outside %d location bits",
+				ErrHeaderShape, i, loc, n, locBits)
+		}
+		if binary.BigEndian.Uint16(b[off+4:])&^tagBit == 0 {
+			return View{}, fmt.Errorf("%w: FN %d has the invalid key 0", ErrHeaderShape, i)
+		}
+	}
+	return v, nil
+}
+
+// Valid reports whether the view was produced by a successful ParseView.
+func (v View) Valid() bool { return v.b != nil }
+
+// NextHeader returns the payload protocol number.
+func (v View) NextHeader() uint8 { return v.b[1] }
+
+// FNNum returns the number of FN definitions carried.
+func (v View) FNNum() int { return v.fnNum }
+
+// HopLimit returns the remaining hop budget.
+func (v View) HopLimit() uint8 { return v.b[3] }
+
+// SetHopLimit overwrites the hop limit in place.
+func (v View) SetHopLimit(h uint8) { v.b[3] = h }
+
+// DecHopLimit decrements the hop limit in place and reports whether the
+// packet may still be forwarded (false when the limit was already zero).
+func (v View) DecHopLimit() bool {
+	if v.b[3] == 0 {
+		return false
+	}
+	v.b[3]--
+	return true
+}
+
+// Parallel reports the packet-parameter parallel-execution flag.
+func (v View) Parallel() bool {
+	return binary.BigEndian.Uint16(v.b[4:6])>>paramParallelBit&1 == 1
+}
+
+// Reserved returns the packet parameter's five reserved bits.
+func (v View) Reserved() uint8 {
+	return uint8(binary.BigEndian.Uint16(v.b[4:6]) & 0x1F)
+}
+
+// FN decodes the i-th FN definition. i must be in [0, FNNum()).
+func (v View) FN(i int) FN {
+	off := BasicHeaderSize + FNSize*i
+	key := binary.BigEndian.Uint16(v.b[off+4:])
+	return FN{
+		Loc:  binary.BigEndian.Uint16(v.b[off:]),
+		Len:  binary.BigEndian.Uint16(v.b[off+2:]),
+		Key:  Key(key &^ tagBit),
+		Host: key&tagBit != 0,
+	}
+}
+
+// Locations returns the FN-locations region, aliasing the packet buffer so
+// operations mutate the packet directly.
+func (v View) Locations() []byte {
+	off := BasicHeaderSize + FNSize*v.fnNum
+	return v.b[off : off+v.locLen : off+v.locLen]
+}
+
+// HeaderLen returns the total encoded header length.
+func (v View) HeaderLen() int {
+	return BasicHeaderSize + FNSize*v.fnNum + v.locLen
+}
+
+// Payload returns the bytes after the DIP header.
+func (v View) Payload() []byte { return v.b[v.HeaderLen():] }
+
+// Packet returns the entire underlying buffer.
+func (v View) Packet() []byte { return v.b }
+
+// String summarizes the header for diagnostics (not on the hot path).
+func (v View) String() string {
+	s := fmt.Sprintf("DIP{next: %d, hop: %d, parallel: %v, locLen: %d, FNs:",
+		v.NextHeader(), v.HopLimit(), v.Parallel(), v.locLen)
+	for i := 0; i < v.fnNum; i++ {
+		s += " " + v.FN(i).String()
+	}
+	return s + "}"
+}

@@ -1,0 +1,116 @@
+// Package cs implements an LRU content store, the caching extension the
+// paper sketches in footnote 2: "for the forwarding devices that support
+// caching, the FIB matching module can be slightly modified to first match
+// the local content store and then match the FIB".
+package cs
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Store is a bounded LRU cache from content keys to payloads. It is safe
+// for concurrent use.
+type Store[K comparable] struct {
+	mu    sync.Mutex
+	cap   int
+	bytes int
+	size  int
+	ll    *list.List
+	index map[K]*list.Element
+}
+
+type item[K comparable] struct {
+	key  K
+	data []byte
+}
+
+// New returns a store holding at most capacity entries. capacity ≤ 0 is
+// treated as a disabled cache that stores nothing.
+func New[K comparable](capacity int) *Store[K] {
+	return &Store[K]{
+		cap:   capacity,
+		ll:    list.New(),
+		index: make(map[K]*list.Element),
+	}
+}
+
+// Put caches data under k, copying it so the caller's buffer stays free for
+// reuse. Existing entries are refreshed and moved to the front.
+func (s *Store[K]) Put(k K, data []byte) {
+	if s.cap <= 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.index[k]; ok {
+		it := el.Value.(*item[K])
+		s.bytes += len(data) - len(it.data)
+		it.data = append(it.data[:0], data...)
+		s.ll.MoveToFront(el)
+		return
+	}
+	cp := append([]byte(nil), data...)
+	el := s.ll.PushFront(&item[K]{key: k, data: cp})
+	s.index[k] = el
+	s.size++
+	s.bytes += len(cp)
+	for s.size > s.cap {
+		s.evictOldest()
+	}
+}
+
+// Get returns the cached payload for k and refreshes its recency. The
+// returned slice is owned by the store; callers must copy before modifying.
+func (s *Store[K]) Get(k K) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.index[k]
+	if !ok {
+		return nil, false
+	}
+	s.ll.MoveToFront(el)
+	return el.Value.(*item[K]).data, true
+}
+
+// Remove drops the entry for k, reporting whether it existed. Used by the
+// content-poisoning response path: once F_pass flags a source, its cached
+// objects are purged.
+func (s *Store[K]) Remove(k K) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.index[k]
+	if !ok {
+		return false
+	}
+	s.remove(el)
+	return true
+}
+
+// Len returns the number of cached entries.
+func (s *Store[K]) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.size
+}
+
+// Bytes returns the total cached payload bytes.
+func (s *Store[K]) Bytes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+func (s *Store[K]) evictOldest() {
+	if el := s.ll.Back(); el != nil {
+		s.remove(el)
+	}
+}
+
+func (s *Store[K]) remove(el *list.Element) {
+	it := el.Value.(*item[K])
+	s.ll.Remove(el)
+	delete(s.index, it.key)
+	s.size--
+	s.bytes -= len(it.data)
+}

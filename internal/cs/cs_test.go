@@ -1,0 +1,126 @@
+package cs
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+func TestPutGet(t *testing.T) {
+	s := New[string](4)
+	s.Put("a", []byte("alpha"))
+	got, ok := s.Get("a")
+	if !ok || !bytes.Equal(got, []byte("alpha")) {
+		t.Errorf("Get = %q %v", got, ok)
+	}
+	if _, ok := s.Get("b"); ok {
+		t.Error("hit on absent key")
+	}
+	if s.Len() != 1 || s.Bytes() != 5 {
+		t.Errorf("Len=%d Bytes=%d", s.Len(), s.Bytes())
+	}
+}
+
+func TestPutCopies(t *testing.T) {
+	s := New[string](4)
+	buf := []byte("data")
+	s.Put("k", buf)
+	buf[0] = 'X'
+	got, _ := s.Get("k")
+	if !bytes.Equal(got, []byte("data")) {
+		t.Error("store aliased caller buffer")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	s := New[int](2)
+	s.Put(1, []byte("one"))
+	s.Put(2, []byte("two"))
+	s.Get(1) // make 1 most recent
+	s.Put(3, []byte("three"))
+	if _, ok := s.Get(2); ok {
+		t.Error("LRU entry 2 not evicted")
+	}
+	if _, ok := s.Get(1); !ok {
+		t.Error("recently used entry 1 evicted")
+	}
+	if _, ok := s.Get(3); !ok {
+		t.Error("new entry 3 missing")
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestUpdateRefreshes(t *testing.T) {
+	s := New[int](2)
+	s.Put(1, []byte("one"))
+	s.Put(2, []byte("two"))
+	s.Put(1, []byte("ONE!")) // refresh + resize
+	s.Put(3, []byte("three"))
+	if _, ok := s.Get(2); ok {
+		t.Error("entry 2 should have been evicted")
+	}
+	got, ok := s.Get(1)
+	if !ok || !bytes.Equal(got, []byte("ONE!")) {
+		t.Errorf("Get(1) = %q %v", got, ok)
+	}
+	if s.Bytes() != 4+5 {
+		t.Errorf("Bytes = %d", s.Bytes())
+	}
+}
+
+func TestRemove(t *testing.T) {
+	s := New[int](4)
+	s.Put(1, []byte("one"))
+	if !s.Remove(1) {
+		t.Error("Remove failed")
+	}
+	if s.Remove(1) {
+		t.Error("double Remove")
+	}
+	if s.Len() != 0 || s.Bytes() != 0 {
+		t.Errorf("Len=%d Bytes=%d", s.Len(), s.Bytes())
+	}
+}
+
+func TestDisabledCache(t *testing.T) {
+	s := New[int](0)
+	s.Put(1, []byte("x"))
+	if _, ok := s.Get(1); ok {
+		t.Error("disabled cache stored data")
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	s := New[int](128)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				s.Put(i%200, []byte{byte(w)})
+				s.Get(i % 200)
+				if i%50 == 0 {
+					s.Remove(i % 200)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() > 128 {
+		t.Errorf("capacity exceeded: %d", s.Len())
+	}
+}
+
+func BenchmarkPutGet(b *testing.B) {
+	s := New[uint32](4096)
+	payload := make([]byte, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := uint32(i) % 8192
+		s.Put(k, payload)
+		s.Get(k)
+	}
+}

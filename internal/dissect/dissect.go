@@ -1,0 +1,154 @@
+// Package dissect renders DIP packets for humans: the basic header, every
+// FN triple in the paper's notation, recognizable §3 profile shapes, and
+// hex dumps of the operand region and payload. cmd/dipdump is a thin shell
+// around it.
+package dissect
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"dip/internal/core"
+	"dip/internal/opt"
+	"dip/internal/profiles"
+	"dip/internal/xia"
+)
+
+// Packet writes a full dissection of pkt to w. Unparseable packets are
+// reported, not errors — dissectors see garbage for a living.
+func Packet(w io.Writer, pkt []byte) {
+	v, err := core.ParseView(pkt)
+	if err != nil {
+		fmt.Fprintf(w, "not a DIP packet (%v); %d raw bytes\n", err, len(pkt))
+		hexDump(w, pkt, "  ")
+		return
+	}
+	fmt.Fprintf(w, "DIP packet, %d bytes (header %d, payload %d) — %s\n",
+		len(pkt), v.HeaderLen(), len(v.Payload()), Profile(v))
+	fmt.Fprintf(w, "  next header: %d", v.NextHeader())
+	if v.NextHeader() == profiles.NHFNUnsupported {
+		fmt.Fprint(w, " (FN-unsupported notification)")
+	}
+	fmt.Fprintf(w, "\n  hop limit:   %d\n", v.HopLimit())
+	fmt.Fprintf(w, "  parallel:    %v\n", v.Parallel())
+	if r := v.Reserved(); r != 0 {
+		fmt.Fprintf(w, "  reserved:    %#x\n", r)
+	}
+	fmt.Fprintf(w, "  FN number:   %d\n", v.FNNum())
+	for i := 0; i < v.FNNum(); i++ {
+		fn := v.FN(i)
+		who := "router"
+		if fn.Host {
+			who = "host"
+		}
+		fmt.Fprintf(w, "  FN[%d]: %-40s %s\n", i, fn, who)
+	}
+	describeOperands(w, v)
+	fmt.Fprintf(w, "  FN locations (%d bytes):\n", len(v.Locations()))
+	hexDump(w, v.Locations(), "    ")
+	if key, ok := profiles.ParseFNUnsupported(v); ok {
+		fmt.Fprintf(w, "  unsupported operation: %s\n", key)
+	} else if len(v.Payload()) > 0 {
+		fmt.Fprintf(w, "  payload (%d bytes):\n", len(v.Payload()))
+		hexDump(w, v.Payload(), "    ")
+	}
+}
+
+// Profile names the §3 composition the FN list matches, or "custom".
+func Profile(v core.View) string {
+	keys := make([]core.Key, v.FNNum())
+	hosts := 0
+	for i := range keys {
+		fn := v.FN(i)
+		keys[i] = fn.Key
+		if fn.Host {
+			hosts++
+		}
+	}
+	has := func(k core.Key) bool {
+		for _, x := range keys {
+			if x == k {
+				return true
+			}
+		}
+		return false
+	}
+	optish := has(core.KeyParm) && has(core.KeyMAC) && has(core.KeyMark)
+	switch {
+	case optish && has(core.KeyFIB):
+		return "NDN+OPT interest (derived protocol)"
+	case optish && has(core.KeyPIT):
+		return "NDN+OPT data (derived protocol)"
+	case optish && has(core.KeyDAG):
+		return "XIA+OPT (derived protocol)"
+	case optish:
+		return "OPT"
+	case has(core.KeyDAG):
+		return "XIA"
+	case has(core.KeyFIB):
+		return "NDN interest"
+	case has(core.KeyPIT):
+		return "NDN data"
+	case has(core.KeyMatch32) && has(core.KeySource) && v.FNNum() == 2:
+		return "DIP-32 (IPv4-style)"
+	case has(core.KeyMatch128) && has(core.KeySource) && v.FNNum() == 2:
+		return "DIP-128 (IPv6-style)"
+	case v.FNNum() == 0:
+		return "bare DIP"
+	}
+	return "custom composition"
+}
+
+// describeOperands decodes well-known operand structures.
+func describeOperands(w io.Writer, v core.View) {
+	locs := v.Locations()
+	for i := 0; i < v.FNNum(); i++ {
+		fn := v.FN(i)
+		if fn.Loc%8 != 0 {
+			continue
+		}
+		off := int(fn.Loc) / 8
+		switch fn.Key {
+		case core.KeyFIB, core.KeyPIT:
+			if fn.Len == 32 && off+4 <= len(locs) {
+				fmt.Fprintf(w, "  content name: %#08x\n", binary.BigEndian.Uint32(locs[off:]))
+			}
+		case core.KeyMatch32:
+			if fn.Len == 32 && off+4 <= len(locs) {
+				b := locs[off:]
+				fmt.Fprintf(w, "  destination:  %d.%d.%d.%d\n", b[0], b[1], b[2], b[3])
+			}
+		case core.KeyParm:
+			if fn.Len == 128 && off+16 <= len(locs) {
+				fmt.Fprintf(w, "  session ID:   %x…\n", locs[off:off+4])
+			}
+		case core.KeyVer:
+			if int(fn.Len)%8 == 0 && off+int(fn.Len)/8 <= len(locs) {
+				region := locs[off : off+int(fn.Len)/8]
+				if r, err := opt.AsRegion(region); err == nil {
+					fmt.Fprintf(w, "  OPT region:   %d validating hop(s), timestamp %d\n",
+						r.Hops(), binary.BigEndian.Uint32(r.Timestamp()))
+				}
+			}
+		case core.KeyDAG:
+			if int(fn.Len)%8 == 0 && off+int(fn.Len)/8 <= len(locs) {
+				if dag, last, _, err := xia.Decode(locs[off : off+int(fn.Len)/8]); err == nil {
+					fmt.Fprintf(w, "  XIA address:  %d nodes, intent %v, lastVisited %d\n",
+						len(dag.Nodes), dag.Intent(), last)
+				}
+			}
+		}
+	}
+}
+
+func hexDump(w io.Writer, b []byte, indent string) {
+	const width = 16
+	for off := 0; off < len(b); off += width {
+		end := off + width
+		if end > len(b) {
+			end = len(b)
+		}
+		fmt.Fprintf(w, "%s%04x  % x\n", indent, off, b[off:end])
+	}
+}

@@ -1,0 +1,275 @@
+package extops
+
+import (
+	"testing"
+	"time"
+
+	"dip/internal/core"
+)
+
+// ccPacket builds a DIP packet carrying an F_cc FN over a fresh tag.
+func ccPacket(t *testing.T, flow uint32) []byte {
+	t.Helper()
+	h := &core.Header{
+		HopLimit:  4,
+		FNs:       []core.FN{core.RouterFN(0, CCOperandBits, KeyCC)},
+		Locations: NewCCTag(flow),
+	}
+	b, err := h.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(b, make([]byte, 1000)...) // 1 KB payload drives the rate
+}
+
+func ccEngine(t *testing.T, cc *CC) *core.Engine {
+	t.Helper()
+	reg := core.NewRegistry()
+	reg.MustRegister(cc)
+	return core.NewEngine(reg, core.Limits{})
+}
+
+func processCC(t *testing.T, e *core.Engine, pkt []byte) core.View {
+	t.Helper()
+	v, err := core.ParseView(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ctx core.ExecContext
+	ctx.Reset(v, 0)
+	e.Process(&ctx)
+	if ctx.Verdict == core.VerdictDrop {
+		t.Fatalf("dropped: %v", ctx.Reason)
+	}
+	return v
+}
+
+func TestCCIncreaseWhenUncongested(t *testing.T) {
+	clock := time.Unix(0, 0)
+	cc := NewCC(CCConfig{
+		CapacityBps: 1e9, // far above what one packet per 10ms produces
+		Key:         [16]byte{1},
+		Now:         func() time.Time { return clock },
+	})
+	e := ccEngine(t, cc)
+	pkt := ccPacket(t, 7)
+	for i := 0; i < 5; i++ {
+		clock = clock.Add(10 * time.Millisecond)
+		pkt[3] = 4
+		v := processCC(t, e, pkt)
+		flow, action, _, ok := VerifyCC(&[16]byte{1}, v.Locations())
+		if !ok {
+			t.Fatal("tag MAC invalid")
+		}
+		if flow != 7 || action != ActionIncrease {
+			t.Fatalf("flow=%d action=%d", flow, action)
+		}
+	}
+	if cc.Flows() != 1 {
+		t.Errorf("flows = %d", cc.Flows())
+	}
+}
+
+func TestCCDecreaseWhenCongested(t *testing.T) {
+	clock := time.Unix(0, 0)
+	cc := NewCC(CCConfig{
+		CapacityBps: 1_000, // 1 KB/s: a 1 KB packet per ms is way over
+		Key:         [16]byte{2},
+		Now:         func() time.Time { return clock },
+	})
+	e := ccEngine(t, cc)
+	pkt := ccPacket(t, 9)
+	var lastAction byte
+	for i := 0; i < 20; i++ {
+		clock = clock.Add(time.Millisecond)
+		pkt[3] = 4
+		v := processCC(t, e, pkt)
+		_, lastAction, _, _ = VerifyCC(&[16]byte{2}, v.Locations())
+		// Reset the tag action so each hop decision is observed fresh.
+		v.Locations()[ccActionOff] = ActionIncrease
+		StampCC(&[16]byte{2}, v.Locations())
+	}
+	if lastAction != ActionDecrease {
+		t.Error("sustained overload did not trigger decrease")
+	}
+}
+
+func TestCCDecreaseSticksAcrossHops(t *testing.T) {
+	// An upstream Decrease must survive a downstream uncongested hop.
+	clock := time.Unix(0, 0)
+	uncongested := NewCC(CCConfig{
+		CapacityBps: 1e12,
+		Key:         [16]byte{3},
+		Now:         func() time.Time { clock = clock.Add(time.Millisecond); return clock },
+	})
+	e := ccEngine(t, uncongested)
+	pkt := ccPacket(t, 1)
+	v, _ := core.ParseView(pkt)
+	v.Locations()[ccActionOff] = ActionDecrease // upstream verdict
+	v = processCC(t, e, pkt)
+	if v.Locations()[ccActionOff] != ActionDecrease {
+		t.Error("downstream hop erased upstream congestion feedback")
+	}
+}
+
+func TestCCTagForgeryDetected(t *testing.T) {
+	key := [16]byte{5}
+	tag := NewCCTag(3)
+	tag[ccActionOff] = ActionDecrease // the router observed congestion
+	StampCC(&key, tag)
+	if _, action, _, ok := VerifyCC(&key, tag); !ok || action != ActionDecrease {
+		t.Fatal("valid tag rejected")
+	}
+	tag[ccActionOff] = ActionIncrease // a cheater clears congestion feedback
+	if _, _, _, ok := VerifyCC(&key, tag); ok {
+		t.Error("forged tag accepted")
+	}
+	if _, _, _, ok := VerifyCC(&key, tag[:8]); ok {
+		t.Error("short tag accepted")
+	}
+}
+
+func TestCCOperandValidation(t *testing.T) {
+	cc := NewCC(CCConfig{CapacityBps: 1})
+	reg := core.NewRegistry()
+	reg.MustRegister(cc)
+	e := core.NewEngine(reg, core.Limits{})
+	h := &core.Header{
+		HopLimit:  4,
+		FNs:       []core.FN{core.RouterFN(0, 64, KeyCC)},
+		Locations: make([]byte, 8),
+	}
+	b, _ := h.MarshalBinary()
+	v, _ := core.ParseView(b)
+	var ctx core.ExecContext
+	ctx.Reset(v, 0)
+	e.Process(&ctx)
+	if ctx.Verdict != core.VerdictDrop || ctx.Reason != core.DropOpError {
+		t.Errorf("got %v/%v", ctx.Verdict, ctx.Reason)
+	}
+}
+
+func TestAIMD(t *testing.T) {
+	a := &AIMD{RateBps: 1000, Step: 100, Floor: 10}
+	a.Apply(ActionIncrease)
+	if a.RateBps != 1100 {
+		t.Errorf("rate %f", a.RateBps)
+	}
+	a.Apply(ActionDecrease)
+	if a.RateBps != 550 {
+		t.Errorf("rate %f", a.RateBps)
+	}
+	for i := 0; i < 20; i++ {
+		a.Apply(ActionDecrease)
+	}
+	if a.RateBps != 10 {
+		t.Errorf("floor not enforced: %f", a.RateBps)
+	}
+}
+
+func telPacket(t *testing.T, slots int) []byte {
+	t.Helper()
+	h := &core.Header{
+		HopLimit:  8,
+		FNs:       []core.FN{core.RouterFN(0, TelOperandBits(slots), KeyTel)},
+		Locations: NewTelRegion(slots),
+	}
+	b, err := h.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestTelemetryCollectsHops(t *testing.T) {
+	base := time.UnixMicro(1_000_000)
+	mkEngine := func(hop uint32, at time.Duration) *core.Engine {
+		reg := core.NewRegistry()
+		reg.MustRegister(NewTel(hop, func() time.Time { return base.Add(at) }))
+		return core.NewEngine(reg, core.Limits{})
+	}
+	pkt := telPacket(t, 4)
+	hops := []struct {
+		id uint32
+		at time.Duration
+	}{{101, 0}, {202, 3 * time.Millisecond}, {303, 9 * time.Millisecond}}
+	for _, h := range hops {
+		v, _ := core.ParseView(pkt)
+		var ctx core.ExecContext
+		ctx.Reset(v, 0)
+		mkEngine(h.id, h.at).Process(&ctx)
+		if ctx.Verdict == core.VerdictDrop {
+			t.Fatalf("dropped at hop %d: %v", h.id, ctx.Reason)
+		}
+	}
+	v, _ := core.ParseView(pkt)
+	records, overflow, err := DecodeTel(v.Locations())
+	if err != nil || overflow {
+		t.Fatalf("decode: %v overflow=%v", err, overflow)
+	}
+	if len(records) != 3 {
+		t.Fatalf("records: %v", records)
+	}
+	for i, h := range hops {
+		if records[i].HopID != h.id {
+			t.Errorf("record %d hop %d", i, records[i].HopID)
+		}
+	}
+	// Latency between hop 0 and hop 2 is recoverable.
+	if d := records[2].TimestampUs - records[0].TimestampUs; d != 9000 {
+		t.Errorf("path latency %d µs, want 9000", d)
+	}
+}
+
+func TestTelemetryOverflow(t *testing.T) {
+	pkt := telPacket(t, 2)
+	for hop := uint32(1); hop <= 4; hop++ {
+		reg := core.NewRegistry()
+		reg.MustRegister(NewTel(hop, nil))
+		e := core.NewEngine(reg, core.Limits{})
+		v, _ := core.ParseView(pkt)
+		var ctx core.ExecContext
+		ctx.Reset(v, 0)
+		e.Process(&ctx)
+	}
+	v, _ := core.ParseView(pkt)
+	records, overflow, err := DecodeTel(v.Locations())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 2 || !overflow {
+		t.Errorf("records=%d overflow=%v", len(records), overflow)
+	}
+	// The recorded hops are the first two, untouched by the overflowing ones.
+	if records[0].HopID != 1 || records[1].HopID != 2 {
+		t.Errorf("records: %v", records)
+	}
+}
+
+func TestDecodeTelValidation(t *testing.T) {
+	if _, _, err := DecodeTel([]byte{1}); err == nil {
+		t.Error("tiny region accepted")
+	}
+	bad := NewTelRegion(1)
+	bad[0] = 5 // count beyond capacity
+	if _, _, err := DecodeTel(bad); err == nil {
+		t.Error("inconsistent count accepted")
+	}
+}
+
+func TestTelZeroAlloc(t *testing.T) {
+	reg := core.NewRegistry()
+	reg.MustRegister(NewTel(7, func() time.Time { return time.UnixMicro(1) }))
+	e := core.NewEngine(reg, core.Limits{})
+	pkt := telPacket(t, 4)
+	var ctx core.ExecContext
+	allocs := testing.AllocsPerRun(500, func() {
+		pkt[core.BasicHeaderSize+core.FNSize] = 0 // reset the slot counter byte
+		v, _ := core.ParseView(pkt)
+		ctx.Reset(v, 0)
+		e.Process(&ctx)
+	})
+	if allocs != 0 {
+		t.Errorf("F_tel allocates %.1f", allocs)
+	}
+}

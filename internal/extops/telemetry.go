@@ -1,0 +1,103 @@
+package extops
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"dip/internal/bitfield"
+	"dip/internal/core"
+)
+
+// F_tel operand layout: a one-byte slot counter followed by fixed-size
+// slots, each [hop ID 4B][timestamp-µs 4B]. The host allocates as many
+// slots as the expected path length; hops beyond capacity set the overflow
+// bit instead of corrupting neighbours — standard INT behaviour.
+const (
+	telCountOff = 0
+	telSlotsOff = 4
+	// TelSlotSize is one hop record.
+	TelSlotSize = 8
+	// telOverflowBit marks a path longer than the slot capacity.
+	telOverflowBit = 0x80
+)
+
+// TelOperandBits returns the F_tel operand width for a given slot capacity.
+func TelOperandBits(slots int) uint16 {
+	return uint16((telSlotsOff + slots*TelSlotSize) * 8)
+}
+
+// Tel is the F_tel router module: append this hop's record in place.
+type Tel struct {
+	hopID uint32
+	now   func() time.Time
+}
+
+// NewTel builds the module for a hop identifier. now may be nil (time.Now).
+func NewTel(hopID uint32, now func() time.Time) *Tel {
+	if now == nil {
+		now = time.Now
+	}
+	return &Tel{hopID: hopID, now: now}
+}
+
+// Key implements core.Operation.
+func (o *Tel) Key() core.Key { return KeyTel }
+
+// Name implements core.Operation.
+func (o *Tel) Name() string { return "F_tel" }
+
+// Execute implements core.Operation.
+func (o *Tel) Execute(ctx *core.ExecContext, loc, bits uint) error {
+	if bits < (telSlotsOff+TelSlotSize)*8 || bits%8 != 0 {
+		return fmt.Errorf("extops: F_tel operand %d bits too small", bits)
+	}
+	region, ok := bitfield.View(ctx.View.Locations(), loc, bits)
+	if !ok {
+		return fmt.Errorf("extops: F_tel operand not byte-aligned")
+	}
+	count := int(region[telCountOff] &^ telOverflowBit)
+	capacity := (len(region) - telSlotsOff) / TelSlotSize
+	if count >= capacity {
+		region[telCountOff] |= telOverflowBit
+		return nil
+	}
+	slot := region[telSlotsOff+count*TelSlotSize:]
+	binary.BigEndian.PutUint32(slot, o.hopID)
+	binary.BigEndian.PutUint32(slot[4:], uint32(o.now().UnixMicro()))
+	region[telCountOff] = region[telCountOff]&telOverflowBit | byte(count+1)
+	return nil
+}
+
+// HopRecord is one decoded telemetry slot.
+type HopRecord struct {
+	HopID       uint32
+	TimestampUs uint32
+}
+
+// DecodeTel reads the telemetry region at the receiver.
+func DecodeTel(region []byte) (records []HopRecord, overflowed bool, err error) {
+	if len(region) < telSlotsOff {
+		return nil, false, fmt.Errorf("extops: telemetry region %d bytes too small", len(region))
+	}
+	count := int(region[telCountOff] &^ telOverflowBit)
+	overflowed = region[telCountOff]&telOverflowBit != 0
+	capacity := (len(region) - telSlotsOff) / TelSlotSize
+	if count > capacity {
+		return nil, false, fmt.Errorf("extops: telemetry count %d exceeds capacity %d", count, capacity)
+	}
+	for i := 0; i < count; i++ {
+		slot := region[telSlotsOff+i*TelSlotSize:]
+		records = append(records, HopRecord{
+			HopID:       binary.BigEndian.Uint32(slot),
+			TimestampUs: binary.BigEndian.Uint32(slot[4:]),
+		})
+	}
+	return records, overflowed, nil
+}
+
+// NewTelRegion allocates a zeroed telemetry region with the given slot
+// capacity, ready to embed in FN locations.
+func NewTelRegion(slots int) []byte {
+	return make([]byte, telSlotsOff+slots*TelSlotSize)
+}

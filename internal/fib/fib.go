@@ -1,0 +1,138 @@
+// Package fib implements forwarding information bases for DIP routers: an
+// address table (longest-prefix match over 32- or 128-bit keys, backing
+// F_32_match, F_128_match and F_FIB on 32-bit content-name IDs) and a name
+// table (component-wise LPM, backing the native NDN forwarder).
+//
+// Tables follow the read-mostly discipline: lookups take a reader lock and
+// never allocate; route churn takes the writer lock. This keeps the
+// forwarding hot path GC-free while still allowing live updates.
+package fib
+
+import (
+	"fmt"
+	"sync"
+
+	"dip/internal/lpm"
+	"dip/internal/names"
+)
+
+// NextHop describes where a matched packet leaves the router.
+type NextHop struct {
+	// Port is the egress port index. PortLocal (negative) means the
+	// destination is this node and the packet should be delivered locally.
+	Port int
+}
+
+// PortLocal marks local delivery in a NextHop.
+const PortLocal = -2
+
+// Local is the next hop meaning "deliver to this node".
+var Local = NextHop{Port: PortLocal}
+
+// Table is an LPM forwarding table over bit-string keys.
+type Table struct {
+	mu   sync.RWMutex
+	trie *lpm.BitTrie[NextHop]
+}
+
+// New returns an empty table.
+func New() *Table {
+	return &Table{trie: lpm.NewBitTrie[NextHop]()}
+}
+
+// Add installs (or replaces) a route for the first plen bits of prefix.
+func (t *Table) Add(prefix []byte, plen int, nh NextHop) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, err := t.trie.Insert(prefix, plen, nh)
+	return err
+}
+
+// AddUint32 installs a route keyed by the first plen bits of a 32-bit value,
+// the form F_FIB uses for content-name IDs.
+func (t *Table) AddUint32(key uint32, plen int, nh NextHop) error {
+	if plen < 0 || plen > 32 {
+		return fmt.Errorf("fib: prefix length %d out of [0,32]", plen)
+	}
+	var k [4]byte
+	k[0], k[1], k[2], k[3] = byte(key>>24), byte(key>>16), byte(key>>8), byte(key)
+	return t.Add(k[:], plen, nh)
+}
+
+// Remove withdraws the exact route (prefix, plen).
+func (t *Table) Remove(prefix []byte, plen int) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.trie.Delete(prefix, plen)
+}
+
+// Lookup returns the longest-prefix match for the first bits of key.
+// It never allocates.
+func (t *Table) Lookup(key []byte, bits int) (NextHop, bool) {
+	t.mu.RLock()
+	nh, _, ok := t.trie.Lookup(key, bits)
+	t.mu.RUnlock()
+	return nh, ok
+}
+
+// LookupUint32 is Lookup for 32-bit keys without forcing the caller to
+// build a slice (a stack array suffices and does not escape).
+func (t *Table) LookupUint32(key uint32) (NextHop, bool) {
+	var k [4]byte
+	k[0], k[1], k[2], k[3] = byte(key>>24), byte(key>>16), byte(key>>8), byte(key)
+	return t.Lookup(k[:], 32)
+}
+
+// Len returns the number of installed routes.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.trie.Len()
+}
+
+// Walk visits every route (under the reader lock; fn must not mutate).
+func (t *Table) Walk(fn func(prefix []byte, plen int, nh NextHop) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.trie.Walk(fn)
+}
+
+// NameTable is an LPM forwarding table over hierarchical content names.
+type NameTable struct {
+	mu   sync.RWMutex
+	trie *lpm.NameTrie[NextHop]
+}
+
+// NewNameTable returns an empty name table.
+func NewNameTable() *NameTable {
+	return &NameTable{trie: lpm.NewNameTrie[NextHop]()}
+}
+
+// Add installs (or replaces) a route for the name prefix.
+func (t *NameTable) Add(prefix names.Name, nh NextHop) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.trie.Insert(prefix.Components(), nh)
+}
+
+// Remove withdraws the exact name prefix.
+func (t *NameTable) Remove(prefix names.Name) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.trie.Delete(prefix.Components())
+}
+
+// Lookup returns the longest-prefix match for name.
+func (t *NameTable) Lookup(name names.Name) (NextHop, bool) {
+	t.mu.RLock()
+	nh, _, ok := t.trie.Lookup(name.Components())
+	t.mu.RUnlock()
+	return nh, ok
+}
+
+// Len returns the number of installed name prefixes.
+func (t *NameTable) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.trie.Len()
+}

@@ -1,0 +1,128 @@
+package fib
+
+import (
+	"sync"
+	"testing"
+
+	"dip/internal/names"
+)
+
+func TestTableAddLookup(t *testing.T) {
+	tb := New()
+	if err := tb.Add([]byte{10, 0, 0, 0}, 8, NextHop{Port: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Add([]byte{10, 1, 0, 0}, 16, NextHop{Port: 2}); err != nil {
+		t.Fatal(err)
+	}
+	nh, ok := tb.Lookup([]byte{10, 1, 2, 3}, 32)
+	if !ok || nh.Port != 2 {
+		t.Errorf("got %+v %v", nh, ok)
+	}
+	nh, ok = tb.Lookup([]byte{10, 200, 0, 1}, 32)
+	if !ok || nh.Port != 1 {
+		t.Errorf("got %+v %v", nh, ok)
+	}
+	if _, ok := tb.Lookup([]byte{11, 0, 0, 1}, 32); ok {
+		t.Error("spurious match")
+	}
+	if tb.Len() != 2 {
+		t.Errorf("Len = %d", tb.Len())
+	}
+}
+
+func TestTableUint32Helpers(t *testing.T) {
+	tb := New()
+	if err := tb.AddUint32(0xCAFE0000, 16, NextHop{Port: 3}); err != nil {
+		t.Fatal(err)
+	}
+	nh, ok := tb.LookupUint32(0xCAFE1234)
+	if !ok || nh.Port != 3 {
+		t.Errorf("got %+v %v", nh, ok)
+	}
+	if _, ok := tb.LookupUint32(0xBEEF0000); ok {
+		t.Error("spurious match")
+	}
+	if err := tb.AddUint32(0, 40, Local); err == nil {
+		t.Error("plen > 32 accepted")
+	}
+}
+
+func TestTableRemoveWalk(t *testing.T) {
+	tb := New()
+	tb.Add([]byte{10, 0, 0, 0}, 8, NextHop{Port: 1})
+	tb.Add([]byte{20, 0, 0, 0}, 8, Local)
+	if !tb.Remove([]byte{10, 0, 0, 0}, 8) {
+		t.Error("remove failed")
+	}
+	if tb.Remove([]byte{10, 0, 0, 0}, 8) {
+		t.Error("double remove")
+	}
+	count := 0
+	tb.Walk(func(prefix []byte, plen int, nh NextHop) bool {
+		count++
+		if nh.Port != PortLocal {
+			t.Errorf("unexpected route %+v", nh)
+		}
+		return true
+	})
+	if count != 1 {
+		t.Errorf("walked %d routes", count)
+	}
+}
+
+func TestTableLookupNoAlloc(t *testing.T) {
+	tb := New()
+	tb.AddUint32(0xAA000000, 8, NextHop{Port: 1})
+	allocs := testing.AllocsPerRun(1000, func() {
+		tb.LookupUint32(0xAA123456)
+	})
+	if allocs != 0 {
+		t.Errorf("LookupUint32 allocates %.1f", allocs)
+	}
+}
+
+func TestTableConcurrent(t *testing.T) {
+	tb := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tb.AddUint32(uint32(w)<<24|uint32(i), 32, NextHop{Port: w})
+				tb.LookupUint32(uint32(w) << 24)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tb.Len() != 800 {
+		t.Errorf("Len = %d", tb.Len())
+	}
+}
+
+func TestNameTable(t *testing.T) {
+	nt := NewNameTable()
+	nt.Add(names.MustParse("/org/hotnets"), NextHop{Port: 1})
+	nt.Add(names.MustParse("/org"), NextHop{Port: 2})
+	nh, ok := nt.Lookup(names.MustParse("/org/hotnets/papers"))
+	if !ok || nh.Port != 1 {
+		t.Errorf("got %+v %v", nh, ok)
+	}
+	nh, ok = nt.Lookup(names.MustParse("/org/other"))
+	if !ok || nh.Port != 2 {
+		t.Errorf("got %+v %v", nh, ok)
+	}
+	if _, ok := nt.Lookup(names.MustParse("/com")); ok {
+		t.Error("spurious match")
+	}
+	if !nt.Remove(names.MustParse("/org")) {
+		t.Error("remove failed")
+	}
+	if _, ok := nt.Lookup(names.MustParse("/org/other")); ok {
+		t.Error("match after remove")
+	}
+	if nt.Len() != 1 {
+		t.Errorf("Len = %d", nt.Len())
+	}
+}

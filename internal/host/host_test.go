@@ -1,0 +1,284 @@
+package host
+
+import (
+	"bytes"
+	"testing"
+
+	"dip/internal/core"
+	"dip/internal/drkey"
+	"dip/internal/fib"
+	"dip/internal/netsim"
+	"dip/internal/ops"
+	"dip/internal/opt"
+	"dip/internal/pit"
+	"dip/internal/profiles"
+	"dip/internal/router"
+)
+
+func TestSessionMap(t *testing.T) {
+	sm := NewSessionMap()
+	dst, _ := drkey.NewSecretValue("d", bytes.Repeat([]byte{1}, 16))
+	sv, _ := drkey.NewSecretValue("r", bytes.Repeat([]byte{2}, 16))
+	sess, err := opt.NewSession(opt.Kind2EM, []opt.HopConfig{{Secret: sv}}, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm.Add(sess)
+	got, ok := sm.LookupSession(sess.ID[:])
+	if !ok || got != sess {
+		t.Error("lookup failed")
+	}
+	if _, ok := sm.LookupSession(make([]byte, 16)); ok {
+		t.Error("phantom session")
+	}
+}
+
+func TestHandlePacketPlainDelivery(t *testing.T) {
+	s := NewStack()
+	b, err := BuildPacket(profiles.IPv4([4]byte{1, 1, 1, 1}, [4]byte{2, 2, 2, 2}), []byte("data"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx := s.HandlePacket(b)
+	if rx.Kind != RxDelivered || !bytes.Equal(rx.Payload, []byte("data")) {
+		t.Errorf("rx %v payload %q", rx.Kind, rx.Payload)
+	}
+}
+
+func TestHandlePacketMalformed(t *testing.T) {
+	s := NewStack()
+	if rx := s.HandlePacket([]byte{1}); rx.Kind != RxMalformed {
+		t.Errorf("rx %v", rx.Kind)
+	}
+}
+
+func TestHandlePacketFNUnsupported(t *testing.T) {
+	s := NewStack()
+	msg, err := profiles.BuildFNUnsupported([]byte{10, 0, 0, 1}, core.KeyMAC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx := s.HandlePacket(msg)
+	if rx.Kind != RxFNUnsupported || rx.Key != core.KeyMAC {
+		t.Errorf("rx %v key %v", rx.Kind, rx.Key)
+	}
+}
+
+func TestHandlePacketVerification(t *testing.T) {
+	s := NewStack()
+	sv, _ := drkey.NewSecretValue("r", bytes.Repeat([]byte{2}, 16))
+	dst, _ := drkey.NewSecretValue("d", bytes.Repeat([]byte{1}, 16))
+	sess, err := opt.NewSession(opt.Kind2EM, []opt.HopConfig{{Secret: sv}}, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Sessions.Add(sess)
+
+	payload := []byte("verified payload")
+	h, err := profiles.OPT(sess, payload, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildPacket(h, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the single hop's processing directly on the locations.
+	v, _ := core.ParseView(b)
+	if err := opt.ProcessHop(opt.HopConfig{Secret: sv}, opt.Kind2EM, v.Locations()); err != nil {
+		t.Fatal(err)
+	}
+	rx := s.HandlePacket(b)
+	if rx.Kind != RxDelivered {
+		t.Fatalf("rx %v reason %v", rx.Kind, rx.Reason)
+	}
+
+	// A packet that skipped the hop is rejected.
+	h2, _ := profiles.OPT(sess, payload, 1)
+	b2, _ := BuildPacket(h2, payload)
+	rx = s.HandlePacket(b2)
+	if rx.Kind != RxRejected || rx.Reason != core.DropVerifyFailed {
+		t.Errorf("unprocessed packet: %v/%v", rx.Kind, rx.Reason)
+	}
+}
+
+// End-to-end: consumer ↔ R1 ↔ R2 ↔ producer over the simulator, running the
+// DIP-realized NDN exchange with PIT state at both routers.
+func TestEndToEndNDNOverSimulator(t *testing.T) {
+	sim := netsim.New()
+	const name = uint32(0xAA000001)
+
+	newNDNRouter := func(upstreamPort int) (*router.Router, ops.Config) {
+		cfg := ops.Config{NameFIB: fib.New(), PIT: pit.New[uint32]()}
+		cfg.NameFIB.AddUint32(0xAA000000, 8, fib.NextHop{Port: upstreamPort})
+		r := router.New(ops.NewRouterRegistry(cfg), router.Config{})
+		return r, cfg
+	}
+
+	// Topology: consumer -(p0)- R1 -(p1)- R2 -(p1)- producer
+	r1, _ := newNDNRouter(1)
+	r2, _ := newNDNRouter(1)
+
+	var consumerGot []byte
+	consumer := netsim.ReceiverFunc(func(pkt []byte, _ int) {
+		v, err := core.ParseView(pkt)
+		if err != nil {
+			t.Errorf("consumer parse: %v", err)
+			return
+		}
+		consumerGot = append([]byte(nil), v.Payload()...)
+	})
+
+	var producerRouter *router.Router
+	producer := netsim.ReceiverFunc(func(pkt []byte, _ int) {
+		// The producer answers any interest with a data packet.
+		v, err := core.ParseView(pkt)
+		if err != nil || v.FNNum() == 0 || v.FN(0).Key != core.KeyFIB {
+			t.Errorf("producer got unexpected packet: %v", err)
+			return
+		}
+		reply, err := BuildPacket(profiles.NDNData(name), []byte("the movie bits"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Send back into R2 on its producer-facing port.
+		sim.Schedule(0, func() { producerRouter.HandlePacket(reply, 1) })
+	})
+
+	// Wire: R1 port0 → consumer, R1 port1 → R2 port0; R2 port1 → producer.
+	r1.AttachPort(sim.Pipe(consumer, 0, 1, 0))
+	r1.AttachPort(sim.Pipe(netsim.ReceiverFunc(r2.HandlePacket), 0, 1, 0))
+	r2.AttachPort(sim.Pipe(netsim.ReceiverFunc(r1.HandlePacket), 1, 1, 0))
+	r2.AttachPort(sim.Pipe(producer, 0, 1, 0))
+	producerRouter = r2
+
+	interest, err := BuildPacket(profiles.NDNInterest(name), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Schedule(0, func() { r1.HandlePacket(interest, 0) })
+	sim.Run()
+
+	if !bytes.Equal(consumerGot, []byte("the movie bits")) {
+		t.Fatalf("consumer got %q", consumerGot)
+	}
+}
+
+// End-to-end NDN+OPT: the derived protocol over a 2-router path. The data
+// packet's tags are updated by both routers and the consumer's F_ver
+// accepts the authentic delivery but rejects a tampered one.
+func TestEndToEndNDNOPTSecureDelivery(t *testing.T) {
+	sim := netsim.New()
+	const name = uint32(0xBB000001)
+
+	sv1, _ := drkey.NewSecretValue("r1", bytes.Repeat([]byte{0x11}, 16))
+	sv2, _ := drkey.NewSecretValue("r2", bytes.Repeat([]byte{0x22}, 16))
+	dstSecret, _ := drkey.NewSecretValue("consumer", bytes.Repeat([]byte{0xCC}, 16))
+
+	// Key negotiation: the consumer learns both hop keys. Note the path
+	// order of the DATA packet: producer → R2 → R1 → consumer.
+	sess, err := opt.NewSession(opt.Kind2EM, []opt.HopConfig{
+		{Secret: sv2, HopIndex: 0},
+		{Secret: sv1, HopIndex: 1},
+	}, dstSecret)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	consumerStack := NewStack()
+	consumerStack.Sessions.Add(sess)
+
+	mkRouter := func(sv *drkey.SecretValue, hopIndex uint8, upstreamPort int) *router.Router {
+		cfg := ops.Config{
+			NameFIB:  fib.New(),
+			PIT:      pit.New[uint32](),
+			Secret:   sv,
+			MACKind:  opt.Kind2EM,
+			HopIndex: hopIndex,
+		}
+		cfg.NameFIB.AddUint32(0xBB000000, 8, fib.NextHop{Port: upstreamPort})
+		return router.New(ops.NewRouterRegistry(cfg), router.Config{})
+	}
+	r1 := mkRouter(sv1, 1, 1)
+	r2 := mkRouter(sv2, 0, 1)
+
+	var rx *Rx
+	consumer := netsim.ReceiverFunc(func(pkt []byte, _ int) {
+		got := consumerStack.HandlePacket(pkt)
+		rx = &got
+	})
+
+	payload := []byte("secure content")
+	producer := netsim.ReceiverFunc(func(pkt []byte, _ int) {
+		h, err := profiles.NDNOPTData(sess, name, payload, 1234)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reply, err := BuildPacket(h, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim.Schedule(0, func() { r2.HandlePacket(reply, 1) })
+	})
+
+	r1.AttachPort(sim.Pipe(consumer, 0, 1, 0))
+	r1.AttachPort(sim.Pipe(netsim.ReceiverFunc(r2.HandlePacket), 0, 1, 0))
+	r2.AttachPort(sim.Pipe(netsim.ReceiverFunc(r1.HandlePacket), 1, 1, 0))
+	r2.AttachPort(sim.Pipe(producer, 0, 1, 0))
+
+	interest, _ := BuildPacket(profiles.NDNInterest(name), nil)
+	sim.Schedule(0, func() { r1.HandlePacket(interest, 0) })
+	sim.Run()
+
+	if rx == nil {
+		t.Fatal("consumer received nothing")
+	}
+	if rx.Kind != RxDelivered {
+		t.Fatalf("verification failed: %v/%v", rx.Kind, rx.Reason)
+	}
+	if !bytes.Equal(rx.Payload, payload) {
+		t.Errorf("payload %q", rx.Payload)
+	}
+
+	// Now a man-in-the-middle flips a payload bit between R2 and R1: the
+	// consumer must reject. Rebuild with a tampering pipe.
+	simT := netsim.New()
+	r1t := mkRouter(sv1, 1, 1)
+	r2t := mkRouter(sv2, 0, 1)
+	var rxT *Rx
+	consumerT := netsim.ReceiverFunc(func(pkt []byte, _ int) {
+		got := consumerStack.HandlePacket(pkt)
+		rxT = &got
+	})
+	producerT := netsim.ReceiverFunc(func(pkt []byte, _ int) {
+		h, _ := profiles.NDNOPTData(sess, name, payload, 1234)
+		reply, _ := BuildPacket(h, payload)
+		simT.Schedule(0, func() { r2t.HandlePacket(reply, 1) })
+	})
+	tamper := netsim.ReceiverFunc(func(pkt []byte, port int) {
+		cp := append([]byte(nil), pkt...)
+		cp[len(cp)-1] ^= 0x01 // flip a payload bit mid-path
+		r1t.HandlePacket(cp, port)
+	})
+	r1t.AttachPort(simT.Pipe(consumerT, 0, 1, 0))
+	r1t.AttachPort(simT.Pipe(netsim.ReceiverFunc(r2t.HandlePacket), 0, 1, 0))
+	r2t.AttachPort(simT.Pipe(tamper, 1, 1, 0))
+	r2t.AttachPort(simT.Pipe(producerT, 0, 1, 0))
+
+	interest2, _ := BuildPacket(profiles.NDNInterest(name), nil)
+	simT.Schedule(0, func() { r1t.HandlePacket(interest2, 0) })
+	simT.Run()
+
+	if rxT == nil {
+		t.Fatal("consumer received nothing (tamper run)")
+	}
+	if rxT.Kind != RxRejected || rxT.Reason != core.DropVerifyFailed {
+		t.Errorf("tampered delivery accepted: %v/%v", rxT.Kind, rxT.Reason)
+	}
+}
+
+func TestRxKindString(t *testing.T) {
+	if RxDelivered.String() != "delivered" || RxKind(99).String() != "rx(?)" {
+		t.Error("RxKind strings")
+	}
+}

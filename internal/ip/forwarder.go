@@ -1,0 +1,65 @@
+package ip
+
+import "dip/internal/fib"
+
+// Verdict is the outcome of native IP forwarding.
+type Verdict uint8
+
+// Native forwarding verdicts.
+const (
+	Forward Verdict = iota
+	Deliver
+	DropTTL
+	DropNoRoute
+	DropMalformed
+)
+
+// Forwarder4 is a plain IPv4 LPM forwarder: the Figure 2 IPv4 baseline.
+type Forwarder4 struct {
+	FIB *fib.Table
+}
+
+// Process parses pkt, applies TTL and LPM, and returns the verdict plus the
+// egress port for Forward. It never allocates.
+func (f *Forwarder4) Process(pkt []byte) (Verdict, int) {
+	h, err := Parse4(pkt)
+	if err != nil {
+		return DropMalformed, 0
+	}
+	nh, ok := f.FIB.Lookup(h.Dst(), 32)
+	if !ok {
+		return DropNoRoute, 0
+	}
+	if nh.Port == fib.PortLocal {
+		return Deliver, 0
+	}
+	if !h.DecTTL() {
+		return DropTTL, 0
+	}
+	return Forward, nh.Port
+}
+
+// Forwarder6 is a plain IPv6 LPM forwarder: the Figure 2 IPv6 baseline.
+type Forwarder6 struct {
+	FIB *fib.Table
+}
+
+// Process parses pkt, applies hop limit and LPM, and returns the verdict
+// plus the egress port for Forward. It never allocates.
+func (f *Forwarder6) Process(pkt []byte) (Verdict, int) {
+	h, err := Parse6(pkt)
+	if err != nil {
+		return DropMalformed, 0
+	}
+	nh, ok := f.FIB.Lookup(h.Dst(), 128)
+	if !ok {
+		return DropNoRoute, 0
+	}
+	if nh.Port == fib.PortLocal {
+		return Deliver, 0
+	}
+	if !h.DecHopLimit() {
+		return DropTTL, 0
+	}
+	return Forward, nh.Port
+}

@@ -1,0 +1,285 @@
+// Package lpm implements the longest-prefix-match structures that back DIP's
+// forwarding operations: a path-compressed binary (patricia) trie over
+// fixed-width bit strings for address lookup (F_32_match, F_128_match, and
+// the FIB behind F_FIB when it holds numeric name IDs), and a component trie
+// over hierarchical names for NDN-style content routing.
+//
+// Both tries are deliberately not goroutine-safe; forwarding tables in this
+// codebase follow the read-mostly pattern where the control plane swaps whole
+// tables and the data plane reads without locks (see internal/fib).
+package lpm
+
+import "fmt"
+
+// MaxKeyBits is the widest supported key (IPv6 / 128-bit name IDs).
+const MaxKeyBits = 128
+
+// BitTrie is a path-compressed binary trie mapping bit-string prefixes to
+// values of type V. The zero value is not usable; call NewBitTrie.
+type BitTrie[V any] struct {
+	root *bnode[V]
+	size int
+}
+
+type bnode[V any] struct {
+	// frag holds this node's path fragment, MSB-aligned.
+	frag  [MaxKeyBits / 8]byte
+	flen  uint16 // fragment length in bits
+	has   bool
+	val   V
+	child [2]*bnode[V]
+}
+
+// NewBitTrie returns an empty trie.
+func NewBitTrie[V any]() *BitTrie[V] {
+	return &BitTrie[V]{root: &bnode[V]{}}
+}
+
+// Len returns the number of stored prefixes.
+func (t *BitTrie[V]) Len() int { return t.size }
+
+func bitAt(key []byte, i int) int {
+	return int(key[i>>3]>>(7-uint(i&7))) & 1
+}
+
+func fragBitAt(n *[MaxKeyBits / 8]byte, i int) int {
+	return int(n[i>>3]>>(7-uint(i&7))) & 1
+}
+
+func setFragBit(n *[MaxKeyBits / 8]byte, i, v int) {
+	mask := byte(1) << (7 - uint(i&7))
+	if v != 0 {
+		n[i>>3] |= mask
+	} else {
+		n[i>>3] &^= mask
+	}
+}
+
+// Insert stores v under the prefix formed by the first plen bits of key.
+// It replaces any existing value for that exact prefix and reports whether
+// the prefix was newly created.
+func (t *BitTrie[V]) Insert(key []byte, plen int, v V) (created bool, err error) {
+	if err := checkKey(key, plen); err != nil {
+		return false, err
+	}
+	n := t.root
+	depth := 0
+	for {
+		// Match this node's fragment against key[depth:plen].
+		common := 0
+		for common < int(n.flen) && depth+common < plen &&
+			fragBitAt(&n.frag, common) == bitAt(key, depth+common) {
+			common++
+		}
+		if common < int(n.flen) {
+			// Split the node at `common`.
+			t.splitNode(n, common)
+			// After split, n holds the common fragment and one child.
+			if depth+common == plen {
+				n.has = true
+				n.val = v
+				t.size++
+				return true, nil
+			}
+			leaf := newLeaf[V](key, depth+common, plen, v)
+			n.child[bitAt(key, depth+common)] = leaf
+			t.size++
+			return true, nil
+		}
+		depth += int(n.flen)
+		if depth == plen {
+			if !n.has {
+				t.size++
+				created = true
+			}
+			n.has = true
+			n.val = v
+			return created, nil
+		}
+		b := bitAt(key, depth)
+		if n.child[b] == nil {
+			n.child[b] = newLeaf[V](key, depth, plen, v)
+			t.size++
+			return true, nil
+		}
+		n = n.child[b]
+	}
+}
+
+// splitNode turns n (fragment F, length L) into a node with fragment F[:at]
+// whose single child carries F[at:] along with n's previous value/children.
+func (t *BitTrie[V]) splitNode(n *bnode[V], at int) {
+	rest := &bnode[V]{flen: n.flen - uint16(at), has: n.has, val: n.val, child: n.child}
+	for i := 0; i < int(rest.flen); i++ {
+		setFragBit(&rest.frag, i, fragBitAt(&n.frag, at+i))
+	}
+	firstBit := fragBitAt(&n.frag, at)
+	var zero V
+	n.flen = uint16(at)
+	for i := at; i < MaxKeyBits; i++ {
+		setFragBit(&n.frag, i, 0)
+	}
+	n.has = false
+	n.val = zero
+	n.child = [2]*bnode[V]{}
+	n.child[firstBit] = rest
+}
+
+func newLeaf[V any](key []byte, from, plen int, v V) *bnode[V] {
+	leaf := &bnode[V]{flen: uint16(plen - from), has: true, val: v}
+	for i := 0; i < plen-from; i++ {
+		setFragBit(&leaf.frag, i, bitAt(key, from+i))
+	}
+	return leaf
+}
+
+// Lookup returns the value of the longest stored prefix matching the first
+// keylen bits of key, along with that prefix's length.
+func (t *BitTrie[V]) Lookup(key []byte, keylen int) (v V, plen int, ok bool) {
+	if checkKey(key, keylen) != nil {
+		return v, 0, false
+	}
+	n := t.root
+	depth := 0
+	for {
+		for i := 0; i < int(n.flen); i++ {
+			if depth+i >= keylen || fragBitAt(&n.frag, i) != bitAt(key, depth+i) {
+				return v, plen, ok
+			}
+		}
+		depth += int(n.flen)
+		if n.has {
+			v, plen, ok = n.val, depth, true
+		}
+		if depth >= keylen {
+			return v, plen, ok
+		}
+		next := n.child[bitAt(key, depth)]
+		if next == nil {
+			return v, plen, ok
+		}
+		n = next
+	}
+}
+
+// Get returns the value stored at exactly (key, plen).
+func (t *BitTrie[V]) Get(key []byte, plen int) (v V, ok bool) {
+	got, gotLen, ok := t.Lookup(key, plen)
+	if !ok || gotLen != plen {
+		var zero V
+		return zero, false
+	}
+	return got, true
+}
+
+// Delete removes the exact prefix (key, plen) and reports whether it existed.
+func (t *BitTrie[V]) Delete(key []byte, plen int) bool {
+	if checkKey(key, plen) != nil {
+		return false
+	}
+	var parent *bnode[V]
+	parentBit := 0
+	n := t.root
+	depth := 0
+	for {
+		for i := 0; i < int(n.flen); i++ {
+			if depth+i >= plen || fragBitAt(&n.frag, i) != bitAt(key, depth+i) {
+				return false
+			}
+		}
+		depth += int(n.flen)
+		if depth == plen {
+			if !n.has {
+				return false
+			}
+			var zero V
+			n.has = false
+			n.val = zero
+			t.size--
+			t.compact(parent, parentBit, n)
+			return true
+		}
+		b := bitAt(key, depth)
+		if n.child[b] == nil {
+			return false
+		}
+		parent, parentBit = n, b
+		n = n.child[b]
+	}
+}
+
+// compact merges n into its single child (or removes it) after deletion.
+func (t *BitTrie[V]) compact(parent *bnode[V], parentBit int, n *bnode[V]) {
+	if n.has || parent == nil {
+		return
+	}
+	c0, c1 := n.child[0], n.child[1]
+	switch {
+	case c0 == nil && c1 == nil:
+		parent.child[parentBit] = nil
+		// The parent may itself now be a pass-through; one level of cleanup
+		// is enough to keep the trie correct (not minimal), and repeated
+		// deletes keep it bounded.
+	case c0 != nil && c1 == nil:
+		mergeInto(n, c0)
+		parent.child[parentBit] = n
+	case c0 == nil && c1 != nil:
+		mergeInto(n, c1)
+		parent.child[parentBit] = n
+	}
+}
+
+// mergeInto appends child's fragment (and state) onto n.
+func mergeInto[V any](n, child *bnode[V]) {
+	for i := 0; i < int(child.flen); i++ {
+		setFragBit(&n.frag, int(n.flen)+i, fragBitAt(&child.frag, i))
+	}
+	n.flen += child.flen
+	n.has = child.has
+	n.val = child.val
+	n.child = child.child
+}
+
+// Walk calls fn for every stored prefix in unspecified order. Returning
+// false from fn stops the walk.
+func (t *BitTrie[V]) Walk(fn func(key []byte, plen int, v V) bool) {
+	var key [MaxKeyBits / 8]byte
+	t.walk(t.root, key, 0, fn)
+}
+
+func (t *BitTrie[V]) walk(n *bnode[V], key [MaxKeyBits / 8]byte, depth int, fn func([]byte, int, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	for i := 0; i < int(n.flen); i++ {
+		setKeyBit(&key, depth+i, fragBitAt(&n.frag, i))
+	}
+	depth += int(n.flen)
+	if n.has {
+		kb := make([]byte, (depth+7)/8)
+		copy(kb, key[:])
+		if !fn(kb, depth, n.val) {
+			return false
+		}
+	}
+	return t.walk(n.child[0], key, depth, fn) && t.walk(n.child[1], key, depth, fn)
+}
+
+func setKeyBit(k *[MaxKeyBits / 8]byte, i, v int) {
+	mask := byte(1) << (7 - uint(i&7))
+	if v != 0 {
+		k[i>>3] |= mask
+	} else {
+		k[i>>3] &^= mask
+	}
+}
+
+func checkKey(key []byte, plen int) error {
+	if plen < 0 || plen > MaxKeyBits {
+		return fmt.Errorf("lpm: prefix length %d out of [0,%d]", plen, MaxKeyBits)
+	}
+	if len(key)*8 < plen {
+		return fmt.Errorf("lpm: key %d bytes too short for /%d", len(key), plen)
+	}
+	return nil
+}

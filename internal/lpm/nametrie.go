@@ -1,0 +1,137 @@
+package lpm
+
+// NameTrie is a longest-prefix-match trie over hierarchical names
+// ("/com/example/video/1" → components ["com","example","video","1"]),
+// the structure NDN FIBs use. Values attach to whole component prefixes;
+// Lookup returns the value of the longest stored component prefix.
+type NameTrie[V any] struct {
+	root nameNode[V]
+	size int
+}
+
+type nameNode[V any] struct {
+	children map[string]*nameNode[V]
+	has      bool
+	val      V
+}
+
+// NewNameTrie returns an empty name trie.
+func NewNameTrie[V any]() *NameTrie[V] {
+	return &NameTrie[V]{}
+}
+
+// Len returns the number of stored name prefixes.
+func (t *NameTrie[V]) Len() int { return t.size }
+
+// Insert stores v under the component prefix and reports whether the prefix
+// was newly created. The empty prefix (root) is allowed and acts as a
+// default route.
+func (t *NameTrie[V]) Insert(components []string, v V) (created bool) {
+	n := &t.root
+	for _, c := range components {
+		if n.children == nil {
+			n.children = make(map[string]*nameNode[V])
+		}
+		next, ok := n.children[c]
+		if !ok {
+			next = &nameNode[V]{}
+			n.children[c] = next
+		}
+		n = next
+	}
+	if !n.has {
+		t.size++
+		created = true
+	}
+	n.has = true
+	n.val = v
+	return created
+}
+
+// Lookup returns the value of the longest stored prefix of components and
+// the number of components it matched.
+func (t *NameTrie[V]) Lookup(components []string) (v V, matched int, ok bool) {
+	n := &t.root
+	if n.has {
+		v, matched, ok = n.val, 0, true
+	}
+	for i, c := range components {
+		next, found := n.children[c]
+		if !found {
+			return v, matched, ok
+		}
+		n = next
+		if n.has {
+			v, matched, ok = n.val, i+1, true
+		}
+	}
+	return v, matched, ok
+}
+
+// Get returns the value stored at exactly the given component prefix.
+func (t *NameTrie[V]) Get(components []string) (v V, ok bool) {
+	n := &t.root
+	for _, c := range components {
+		next, found := n.children[c]
+		if !found {
+			var zero V
+			return zero, false
+		}
+		n = next
+	}
+	if !n.has {
+		var zero V
+		return zero, false
+	}
+	return n.val, true
+}
+
+// Delete removes the exact component prefix and reports whether it existed.
+// Empty interior nodes are pruned.
+func (t *NameTrie[V]) Delete(components []string) bool {
+	return t.delete(&t.root, components)
+}
+
+func (t *NameTrie[V]) delete(n *nameNode[V], rest []string) bool {
+	if len(rest) == 0 {
+		if !n.has {
+			return false
+		}
+		var zero V
+		n.has = false
+		n.val = zero
+		t.size--
+		return true
+	}
+	child, ok := n.children[rest[0]]
+	if !ok {
+		return false
+	}
+	deleted := t.delete(child, rest[1:])
+	if deleted && !child.has && len(child.children) == 0 {
+		delete(n.children, rest[0])
+	}
+	return deleted
+}
+
+// Walk visits every stored prefix in unspecified order; returning false
+// stops the walk.
+func (t *NameTrie[V]) Walk(fn func(components []string, v V) bool) {
+	t.walk(&t.root, nil, fn)
+}
+
+func (t *NameTrie[V]) walk(n *nameNode[V], prefix []string, fn func([]string, V) bool) bool {
+	if n.has {
+		cp := make([]string, len(prefix))
+		copy(cp, prefix)
+		if !fn(cp, n.val) {
+			return false
+		}
+	}
+	for c, child := range n.children {
+		if !t.walk(child, append(prefix, c), fn) {
+			return false
+		}
+	}
+	return true
+}

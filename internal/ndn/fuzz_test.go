@@ -1,0 +1,20 @@
+package ndn
+
+import "testing"
+
+// FuzzForwarder: arbitrary bytes through the native forwarder must never
+// panic, and parseable packets always yield a classified action.
+func FuzzForwarder(f *testing.F) {
+	f.Add(BuildInterest(0xAA000001, 1, 64))
+	f.Add(BuildData(0xAA000001, 64, []byte("x")))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fw := NewForwarder(4)
+		fw.FIB.AddUint32(0xAA000000, 8, struct{ Port int }{Port: 1})
+		var buf [8]int
+		res := fw.Process(data, 0, buf[:0])
+		if res.Action > ActDropDuplicate {
+			t.Fatalf("unclassified action %d", res.Action)
+		}
+	})
+}

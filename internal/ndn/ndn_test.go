@@ -1,0 +1,214 @@
+package ndn
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"dip/internal/fib"
+)
+
+func TestHeaderSizeIsTable2Row(t *testing.T) {
+	if got := len(BuildInterest(1, 2, 3)); got != 16 {
+		t.Errorf("interest header = %d bytes, want 16 (Table 2 NDN row)", got)
+	}
+}
+
+func TestParseAndAccessors(t *testing.T) {
+	b := BuildInterest(0xCAFEBABE, 0x1234, 9)
+	p, err := Parse(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Type() != TypeInterest || p.HopLimit() != 9 || p.Nonce() != 0x1234 || p.NameID() != 0xCAFEBABE {
+		t.Errorf("accessors: %d %d %x %x", p.Type(), p.HopLimit(), p.Nonce(), p.NameID())
+	}
+	d := BuildData(7, 3, []byte("payload"))
+	pd, err := Parse(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pd.Type() != TypeData || !bytes.Equal(pd.Payload(), []byte("payload")) {
+		t.Errorf("data: %d %q", pd.Type(), pd.Payload())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse(make([]byte, 8)); err == nil {
+		t.Error("short accepted")
+	}
+	bad := BuildInterest(1, 1, 1)
+	bad[0] = 9
+	if _, err := Parse(bad); err == nil {
+		t.Error("bad type accepted")
+	}
+}
+
+func TestInterestDataExchange(t *testing.T) {
+	f := NewForwarder(0)
+	f.FIB.AddUint32(0xAA000000, 8, fib.NextHop{Port: 2})
+
+	interest := BuildInterest(0xAA000001, 1, 64)
+	res := f.Process(interest, 5, nil)
+	if res.Action != ActForward || len(res.Ports) != 1 || res.Ports[0] != 2 {
+		t.Fatalf("interest: %+v", res)
+	}
+
+	data := BuildData(0xAA000001, 64, []byte("content"))
+	res = f.Process(data, 2, nil)
+	if res.Action != ActForward || len(res.Ports) != 1 || res.Ports[0] != 5 {
+		t.Fatalf("data: %+v", res)
+	}
+
+	// The PIT entry is consumed: a duplicate data packet is discarded.
+	res = f.Process(BuildData(0xAA000001, 64, []byte("content")), 2, nil)
+	if res.Action != ActDropPITMiss {
+		t.Errorf("duplicate data: %v", res.Action)
+	}
+}
+
+func TestInterestAggregation(t *testing.T) {
+	f := NewForwarder(0)
+	f.FIB.AddUint32(0xAA000000, 8, fib.NextHop{Port: 2})
+	f.Process(BuildInterest(0xAA000001, 1, 64), 5, nil)
+	res := f.Process(BuildInterest(0xAA000001, 2, 64), 6, nil)
+	if res.Action != ActAggregated {
+		t.Fatalf("second interest: %v", res.Action)
+	}
+	// Data fans out to both requesters.
+	res = f.Process(BuildData(0xAA000001, 64, nil), 2, nil)
+	if res.Action != ActForward || len(res.Ports) != 2 {
+		t.Fatalf("fan-out: %+v", res)
+	}
+}
+
+func TestInterestNoRoute(t *testing.T) {
+	f := NewForwarder(0)
+	res := f.Process(BuildInterest(1, 1, 64), 0, nil)
+	if res.Action != ActDropNoRoute {
+		t.Errorf("got %v", res.Action)
+	}
+}
+
+func TestInterestLocalDelivery(t *testing.T) {
+	f := NewForwarder(0)
+	f.FIB.AddUint32(0xBB000000, 8, fib.Local)
+	res := f.Process(BuildInterest(0xBB000001, 1, 64), 3, nil)
+	if res.Action != ActDeliver {
+		t.Errorf("got %v", res.Action)
+	}
+}
+
+func TestHopLimitExhaustion(t *testing.T) {
+	f := NewForwarder(0)
+	f.FIB.AddUint32(0, 0, fib.NextHop{Port: 1})
+	res := f.Process(BuildInterest(5, 1, 0), 0, nil)
+	if res.Action != ActDropHopLimit {
+		t.Errorf("got %v", res.Action)
+	}
+}
+
+func TestContentStoreServesRepeat(t *testing.T) {
+	f := NewForwarder(16)
+	f.FIB.AddUint32(0xAA000000, 8, fib.NextHop{Port: 2})
+
+	f.Process(BuildInterest(0xAA000001, 1, 64), 5, nil)
+	f.Process(BuildData(0xAA000001, 64, []byte("cached!")), 2, nil)
+
+	// A later interest for the same name hits the cache.
+	res := f.Process(BuildInterest(0xAA000001, 9, 64), 7, nil)
+	if res.Action != ActCacheHit {
+		t.Fatalf("got %v", res.Action)
+	}
+	if !bytes.Equal(res.Cached, []byte("cached!")) {
+		t.Errorf("cached payload %q", res.Cached)
+	}
+	if len(res.Ports) != 1 || res.Ports[0] != 7 {
+		t.Errorf("cache hit must answer on the ingress port: %v", res.Ports)
+	}
+}
+
+func TestMalformed(t *testing.T) {
+	f := NewForwarder(0)
+	if res := f.Process([]byte{1, 2}, 0, nil); res.Action != ActDropMalformed {
+		t.Errorf("got %v", res.Action)
+	}
+}
+
+func TestForwardZeroAllocWithoutCache(t *testing.T) {
+	f := NewForwarder(0)
+	f.FIB.AddUint32(0xAA000000, 8, fib.NextHop{Port: 2})
+	ports := make([]int, 0, 8)
+	interest := BuildInterest(0xAA000001, 1, 255)
+	data := BuildData(0xAA000001, 255, nil)
+	nonce := uint32(1)
+	allocs := testing.AllocsPerRun(200, func() {
+		interest[1] = 255 // restore hop limit
+		nonce++           // fresh nonce so the dead-nonce list admits it
+		binary.BigEndian.PutUint32(interest[4:], nonce)
+		res := f.Process(interest, 5, ports[:0])
+		if res.Action != ActForward {
+			t.Fatalf("interest: %v", res.Action)
+		}
+		data[1] = 255
+		if res := f.Process(data, 2, ports[:0]); res.Action != ActForward {
+			t.Fatalf("data: %v", res.Action)
+		}
+	})
+	// One allocation per run is tolerated for the PIT entry itself (real
+	// router state, not garbage); the forwarding path must add nothing.
+	if allocs > 1 {
+		t.Errorf("interest+data cycle allocates %.1f, want ≤ 1", allocs)
+	}
+}
+
+func TestActionString(t *testing.T) {
+	if ActForward.String() != "forward" || ActDropPITMiss.String() != "drop-pit-miss" {
+		t.Error("Action strings")
+	}
+	if Action(99).String() != "action(?)" {
+		t.Error("unknown action")
+	}
+}
+
+func TestDeadNonceListSuppressesLoops(t *testing.T) {
+	f := NewForwarder(0)
+	f.FIB.AddUint32(0xAA000000, 8, fib.NextHop{Port: 2})
+
+	// The same interest looping back (same name AND nonce) is dropped...
+	res := f.Process(BuildInterest(0xAA000001, 777, 64), 0, nil)
+	if res.Action != ActForward {
+		t.Fatalf("first: %v", res.Action)
+	}
+	res = f.Process(BuildInterest(0xAA000001, 777, 64), 3, nil)
+	if res.Action != ActDropDuplicate {
+		t.Fatalf("loop: %v", res.Action)
+	}
+	// ...but a retransmission with a fresh nonce aggregates normally.
+	res = f.Process(BuildInterest(0xAA000001, 778, 64), 3, nil)
+	if res.Action != ActAggregated {
+		t.Fatalf("retx: %v", res.Action)
+	}
+	if ActDropDuplicate.String() != "drop-duplicate" {
+		t.Error("action string")
+	}
+}
+
+func TestNonceFilterBounded(t *testing.T) {
+	nf := newNonceFilter(4)
+	for i := uint32(1); i <= 4; i++ {
+		if nf.seen(i, i) {
+			t.Fatalf("fresh pair %d reported seen", i)
+		}
+	}
+	if !nf.seen(1, 1) {
+		t.Fatal("recent pair forgotten")
+	}
+	// Overflow evicts the oldest entries.
+	for i := uint32(5); i <= 9; i++ {
+		nf.seen(i, i)
+	}
+	if nf.seen(2, 2) {
+		t.Error("evicted pair still remembered (ring not bounding)")
+	}
+}

@@ -1,0 +1,179 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	s := New()
+	var got []int
+	s.Schedule(30*time.Millisecond, func() { got = append(got, 3) })
+	s.Schedule(10*time.Millisecond, func() { got = append(got, 1) })
+	s.Schedule(20*time.Millisecond, func() { got = append(got, 2) })
+	if n := s.Run(); n != 3 {
+		t.Fatalf("ran %d events", n)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("order %v", got)
+	}
+	if s.Now() != 30*time.Millisecond {
+		t.Errorf("Now = %v", s.Now())
+	}
+}
+
+func TestTieBreakFIFO(t *testing.T) {
+	s := New()
+	var got []int
+	for i := 0; i < 5; i++ {
+		i := i
+		s.Schedule(time.Millisecond, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events reordered: %v", got)
+		}
+	}
+}
+
+func TestNestedSchedule(t *testing.T) {
+	s := New()
+	fired := false
+	s.Schedule(time.Millisecond, func() {
+		s.Schedule(time.Millisecond, func() { fired = true })
+	})
+	s.Run()
+	if !fired {
+		t.Error("nested event did not run")
+	}
+	if s.Now() != 2*time.Millisecond {
+		t.Errorf("Now = %v", s.Now())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	ran := 0
+	s.Schedule(time.Millisecond, func() { ran++ })
+	s.Schedule(time.Hour, func() { ran++ })
+	s.RunUntil(time.Second)
+	if ran != 1 || s.Pending() != 1 {
+		t.Errorf("ran=%d pending=%d", ran, s.Pending())
+	}
+	if s.Now() != time.Second {
+		t.Errorf("Now = %v", s.Now())
+	}
+	s.Run()
+	if ran != 2 {
+		t.Errorf("ran=%d", ran)
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	s := New()
+	ran := false
+	s.Schedule(-time.Second, func() { ran = true })
+	s.Run()
+	if !ran || s.Now() != 0 {
+		t.Errorf("ran=%v now=%v", ran, s.Now())
+	}
+}
+
+func TestPipeDeliversCopy(t *testing.T) {
+	s := New()
+	var gotPkt []byte
+	var gotPort int
+	rx := ReceiverFunc(func(pkt []byte, port int) { gotPkt, gotPort = pkt, port })
+	e := s.Pipe(rx, 7, 5*time.Millisecond, 0)
+
+	buf := []byte{1, 2, 3}
+	e.Send(buf)
+	buf[0] = 99 // sender reuses its buffer immediately
+	s.Run()
+	if gotPort != 7 || len(gotPkt) != 3 || gotPkt[0] != 1 {
+		t.Errorf("got %v on port %d", gotPkt, gotPort)
+	}
+	if s.Now() != 5*time.Millisecond {
+		t.Errorf("propagation delay: %v", s.Now())
+	}
+	if e.Sent != 1 || e.Bytes != 3 || s.Delivered != 1 {
+		t.Errorf("counters: sent=%d bytes=%d delivered=%d", e.Sent, e.Bytes, s.Delivered)
+	}
+}
+
+func TestPipeSerializationDelay(t *testing.T) {
+	s := New()
+	var at time.Duration
+	rx := ReceiverFunc(func([]byte, int) { at = s.Now() })
+	// 1000 bits/s, 125-byte packet → 1s serialization + 1ms propagation.
+	e := s.Pipe(rx, 0, time.Millisecond, 1000)
+	e.Send(make([]byte, 125))
+	s.Run()
+	want := time.Second + time.Millisecond
+	if at != want {
+		t.Errorf("arrival at %v, want %v", at, want)
+	}
+}
+
+func TestPipeDrop(t *testing.T) {
+	s := New()
+	delivered := false
+	e := s.Pipe(ReceiverFunc(func([]byte, int) { delivered = true }), 0, 0, 0)
+	e.Dropped = true
+	e.Send([]byte{1})
+	s.Run()
+	if delivered {
+		t.Error("dropped link delivered")
+	}
+	if e.Sent != 1 {
+		t.Error("Sent not counted on drop")
+	}
+}
+
+func TestPipeSerializationQueueing(t *testing.T) {
+	s := New()
+	var arrivals []time.Duration
+	rx := ReceiverFunc(func([]byte, int) { arrivals = append(arrivals, s.Now()) })
+	// 8000 bits/s: a 125-byte packet takes 125ms to serialize.
+	e := s.Pipe(rx, 0, 0, 8000)
+	pkt := make([]byte, 125)
+	e.Send(pkt) // starts at 0, done at 125ms
+	e.Send(pkt) // queues: starts at 125ms, done at 250ms
+	s.Run()
+	if len(arrivals) != 2 {
+		t.Fatalf("arrivals %v", arrivals)
+	}
+	if arrivals[0] != 125*time.Millisecond || arrivals[1] != 250*time.Millisecond {
+		t.Errorf("arrivals %v, want 125ms and 250ms", arrivals)
+	}
+}
+
+func TestPipeQueueLimitSheds(t *testing.T) {
+	s := New()
+	delivered := 0
+	e := s.Pipe(ReceiverFunc(func([]byte, int) { delivered++ }), 0, 0, 8000)
+	e.QueueLimit = 130 * time.Millisecond
+	pkt := make([]byte, 125) // 125ms serialization each
+	for i := 0; i < 5; i++ {
+		e.Send(pkt)
+	}
+	s.Run()
+	// Packet 0 starts at 0, packet 1 queues 125ms (≤130ms), packet 2 would
+	// queue 250ms: shed, as are the rest.
+	if delivered != 2 || e.TailDrops != 3 {
+		t.Errorf("delivered=%d taildrops=%d", delivered, e.TailDrops)
+	}
+}
+
+func TestPipeInfiniteBandwidthNoQueue(t *testing.T) {
+	s := New()
+	var arrivals []time.Duration
+	e := s.Pipe(ReceiverFunc(func([]byte, int) { arrivals = append(arrivals, s.Now()) }), 0, time.Millisecond, 0)
+	e.Send(make([]byte, 1500))
+	e.Send(make([]byte, 1500))
+	s.Run()
+	if len(arrivals) != 2 || arrivals[0] != arrivals[1] {
+		t.Errorf("infinite-bandwidth sends must not queue: %v", arrivals)
+	}
+}

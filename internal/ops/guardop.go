@@ -1,0 +1,69 @@
+package ops
+
+import (
+	"crypto/subtle"
+	"fmt"
+
+	"dip/internal/bitfield"
+	"dip/internal/core"
+	"dip/internal/crypto2em"
+)
+
+// Pass is F_pass (key 12), the source-label verification of paper §2.4: a
+// defense against adversaries who combine F_FIB and F_PIT in one packet to
+// poison content caches. The operand is a 32-bit content name followed by a
+// 128-bit source label; legitimate producers hold the domain's guard key
+// and stamp labels as MAC_guard(name), so the router can verify content
+// provenance before any caching operation runs.
+//
+// Enabling F_pass permanently is expensive, so DESIGN.md's router config
+// lets operators register or deregister it at runtime — "F_pass can be
+// enabled on the fly upon detecting content poisoning attacks".
+type Pass struct {
+	guard [16]byte
+}
+
+// OperandBits is the F_pass operand width: 32-bit name + 128-bit label.
+const PassOperandBits = 160
+
+// NewPass builds the module over the domain guard key.
+func NewPass(guardKey *[16]byte) *Pass {
+	return &Pass{guard: *guardKey}
+}
+
+// Key implements core.Operation.
+func (o *Pass) Key() core.Key { return core.KeyPass }
+
+// Name implements core.Operation.
+func (o *Pass) Name() string { return core.KeyPass.String() }
+
+// Stage implements core.Stager: guards run before state-creating modules.
+func (o *Pass) Stage() int { return 0 }
+
+// Execute implements core.Operation.
+func (o *Pass) Execute(ctx *core.ExecContext, loc, bits uint) error {
+	if bits != PassOperandBits {
+		return fmt.Errorf("ops: F_pass operand is %d bits, want %d", bits, PassOperandBits)
+	}
+	operand, ok := bitfield.View(ctx.View.Locations(), loc, bits)
+	if !ok {
+		return fmt.Errorf("ops: F_pass operand [%d,+%d) not byte-aligned", loc, bits)
+	}
+	name, label := operand[:4], operand[4:20]
+	var want [16]byte
+	c := crypto2em.FromMaster(&o.guard)
+	c.SumInto(want[:], name)
+	if subtle.ConstantTimeCompare(want[:], label) != 1 {
+		ctx.Drop(core.DropGuard)
+		return nil
+	}
+	ctx.Passed = true
+	return nil
+}
+
+// StampLabel computes the source label a legitimate producer attaches for
+// name under the guard key: MAC_guard(name). out must be 16 bytes.
+func StampLabel(guardKey *[16]byte, out []byte, name []byte) {
+	c := crypto2em.FromMaster(guardKey)
+	c.SumInto(out, name)
+}

@@ -1,0 +1,111 @@
+package ops
+
+import (
+	"fmt"
+
+	"dip/internal/bitfield"
+	"dip/internal/core"
+	"dip/internal/fib"
+)
+
+// Match32 is F_32_match (key 1): longest-prefix match of a 32-bit address
+// operand against the router's address FIB, realizing IPv4-style
+// forwarding (paper §3, triple (loc: 0, len: 32, key: 1)).
+type Match32 struct {
+	fib *fib.Table
+}
+
+// NewMatch32 builds the module over the given table.
+func NewMatch32(t *fib.Table) *Match32 { return &Match32{fib: t} }
+
+// Key implements core.Operation.
+func (o *Match32) Key() core.Key { return core.KeyMatch32 }
+
+// Name implements core.Operation.
+func (o *Match32) Name() string { return core.KeyMatch32.String() }
+
+// Execute implements core.Operation.
+func (o *Match32) Execute(ctx *core.ExecContext, loc, bits uint) error {
+	if bits != 32 {
+		return fmt.Errorf("ops: F_32_match operand is %d bits, want 32", bits)
+	}
+	v, err := bitfield.Uint64(ctx.View.Locations(), loc, bits)
+	if err != nil {
+		return err
+	}
+	nh, ok := o.fib.LookupUint32(uint32(v))
+	if !ok {
+		ctx.Drop(core.DropNoRoute)
+		return nil
+	}
+	if nh.Port == fib.PortLocal {
+		ctx.Deliver()
+		return nil
+	}
+	ctx.AddEgress(nh.Port)
+	return nil
+}
+
+// Match128 is F_128_match (key 2): longest-prefix match of a 128-bit
+// address operand, realizing IPv6-style forwarding.
+type Match128 struct {
+	fib *fib.Table
+}
+
+// NewMatch128 builds the module over the given table.
+func NewMatch128(t *fib.Table) *Match128 { return &Match128{fib: t} }
+
+// Key implements core.Operation.
+func (o *Match128) Key() core.Key { return core.KeyMatch128 }
+
+// Name implements core.Operation.
+func (o *Match128) Name() string { return core.KeyMatch128.String() }
+
+// Execute implements core.Operation.
+func (o *Match128) Execute(ctx *core.ExecContext, loc, bits uint) error {
+	if bits != 128 {
+		return fmt.Errorf("ops: F_128_match operand is %d bits, want 128", bits)
+	}
+	locs := ctx.View.Locations()
+	key, ok := bitfield.View(locs, loc, bits)
+	if !ok {
+		var buf [16]byte
+		if _, err := bitfield.Bytes(buf[:], locs, loc, bits); err != nil {
+			return err
+		}
+		key = buf[:]
+	}
+	nh, found := o.fib.Lookup(key, 128)
+	if !found {
+		ctx.Drop(core.DropNoRoute)
+		return nil
+	}
+	if nh.Port == fib.PortLocal {
+		ctx.Deliver()
+		return nil
+	}
+	ctx.AddEgress(nh.Port)
+	return nil
+}
+
+// Source is F_source (key 3): it declares that the operand holds the
+// packet's source address. Routers record the coordinates so reverse-path
+// messages (FN-unsupported signalling, §2.4) know where to aim.
+type Source struct{}
+
+// NewSource builds the module.
+func NewSource() *Source { return &Source{} }
+
+// Key implements core.Operation.
+func (o *Source) Key() core.Key { return core.KeySource }
+
+// Name implements core.Operation.
+func (o *Source) Name() string { return core.KeySource.String() }
+
+// Execute implements core.Operation.
+func (o *Source) Execute(ctx *core.ExecContext, loc, bits uint) error {
+	ctx.SourceLoc = uint16(loc)
+	ctx.SourceLen = uint16(bits)
+	ctx.HasSource = true
+	return nil
+}

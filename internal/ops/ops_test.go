@@ -1,0 +1,534 @@
+package ops
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"dip/internal/core"
+	"dip/internal/cs"
+	"dip/internal/drkey"
+	"dip/internal/fib"
+	"dip/internal/opt"
+	"dip/internal/pit"
+	"dip/internal/xia"
+)
+
+// run builds the packet, parses it, and processes it through an engine over
+// the registry, returning the context for inspection.
+func run(t *testing.T, reg *core.Registry, h *core.Header, inPort int) *core.ExecContext {
+	t.Helper()
+	return runPayload(t, reg, h, inPort, nil)
+}
+
+func runPayload(t *testing.T, reg *core.Registry, h *core.Header, inPort int, payload []byte) *core.ExecContext {
+	t.Helper()
+	b, err := h.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b = append(b, payload...)
+	v, err := core.ParseView(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := core.NewEngine(reg, core.Limits{})
+	ctx := &core.ExecContext{}
+	ctx.Reset(v, inPort)
+	e.Process(ctx)
+	return ctx
+}
+
+func routerCfg(t *testing.T) Config {
+	t.Helper()
+	sv, err := drkey.NewSecretValue("r1", bytes.Repeat([]byte{7}, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		FIB32:   fib.New(),
+		FIB128:  fib.New(),
+		NameFIB: fib.New(),
+		PIT:     pit.New[uint32](),
+		Secret:  sv,
+		MACKind: opt.Kind2EM,
+	}
+	cfg.GuardKey[0] = 0x55
+	return cfg
+}
+
+func TestMatch32ForwardDeliverDrop(t *testing.T) {
+	cfg := routerCfg(t)
+	cfg.FIB32.AddUint32(0x0A000000, 8, fib.NextHop{Port: 3})
+	cfg.FIB32.AddUint32(0x0A000001, 32, fib.Local)
+	reg := NewRouterRegistry(cfg)
+
+	locs := make([]byte, 8)
+	binary.BigEndian.PutUint32(locs, 0x0A010203)
+	h := &core.Header{
+		FNs: []core.FN{
+			core.RouterFN(0, 32, core.KeyMatch32),
+			core.RouterFN(32, 32, core.KeySource),
+		},
+		Locations: locs,
+	}
+	ctx := run(t, reg, h, 0)
+	if ctx.Verdict != core.VerdictForward || ctx.EgressPorts()[0] != 3 {
+		t.Errorf("forward: %v %v", ctx.Verdict, ctx.EgressPorts())
+	}
+	if !ctx.HasSource || ctx.SourceLoc != 32 || ctx.SourceLen != 32 {
+		t.Errorf("source not recorded: %+v", ctx)
+	}
+
+	binary.BigEndian.PutUint32(locs, 0x0A000001)
+	ctx = run(t, reg, h, 0)
+	if ctx.Verdict != core.VerdictDeliver {
+		t.Errorf("deliver: %v", ctx.Verdict)
+	}
+
+	binary.BigEndian.PutUint32(locs, 0xC0A80001)
+	ctx = run(t, reg, h, 0)
+	if ctx.Verdict != core.VerdictDrop || ctx.Reason != core.DropNoRoute {
+		t.Errorf("no route: %v/%v", ctx.Verdict, ctx.Reason)
+	}
+}
+
+func TestMatch32RejectsWrongWidth(t *testing.T) {
+	cfg := routerCfg(t)
+	reg := NewRouterRegistry(cfg)
+	h := &core.Header{
+		FNs:       []core.FN{core.RouterFN(0, 16, core.KeyMatch32)},
+		Locations: make([]byte, 4),
+	}
+	ctx := run(t, reg, h, 0)
+	if ctx.Verdict != core.VerdictDrop || ctx.Reason != core.DropOpError {
+		t.Errorf("got %v/%v", ctx.Verdict, ctx.Reason)
+	}
+}
+
+func TestMatch128(t *testing.T) {
+	cfg := routerCfg(t)
+	pfx := make([]byte, 16)
+	pfx[0] = 0x20
+	cfg.FIB128.Add(pfx, 8, fib.NextHop{Port: 9})
+	reg := NewRouterRegistry(cfg)
+
+	locs := make([]byte, 32)
+	locs[0] = 0x20
+	locs[5] = 0xAB
+	h := &core.Header{
+		FNs: []core.FN{
+			core.RouterFN(0, 128, core.KeyMatch128),
+			core.RouterFN(128, 128, core.KeySource),
+		},
+		Locations: locs,
+	}
+	ctx := run(t, reg, h, 0)
+	if ctx.Verdict != core.VerdictForward || ctx.EgressPorts()[0] != 9 {
+		t.Errorf("got %v %v", ctx.Verdict, ctx.EgressPorts())
+	}
+	locs[0] = 0x30
+	ctx = run(t, reg, h, 0)
+	if ctx.Reason != core.DropNoRoute {
+		t.Errorf("got %v", ctx.Reason)
+	}
+}
+
+func ndnInterestHeader(name uint32) *core.Header {
+	locs := make([]byte, 4)
+	binary.BigEndian.PutUint32(locs, name)
+	return &core.Header{
+		FNs:       []core.FN{core.RouterFN(0, 32, core.KeyFIB)},
+		Locations: locs,
+	}
+}
+
+func ndnDataHeader(name uint32) *core.Header {
+	locs := make([]byte, 4)
+	binary.BigEndian.PutUint32(locs, name)
+	return &core.Header{
+		FNs:       []core.FN{core.RouterFN(0, 32, core.KeyPIT)},
+		Locations: locs,
+	}
+}
+
+func TestNDNInterestDataCycle(t *testing.T) {
+	cfg := routerCfg(t)
+	cfg.NameFIB.AddUint32(0xAA000000, 8, fib.NextHop{Port: 2})
+	reg := NewRouterRegistry(cfg)
+
+	// Interest from port 5 forwards upstream on port 2 and records state.
+	ctx := run(t, reg, ndnInterestHeader(0xAA000001), 5)
+	if ctx.Verdict != core.VerdictForward || ctx.EgressPorts()[0] != 2 {
+		t.Fatalf("interest: %v %v", ctx.Verdict, ctx.EgressPorts())
+	}
+
+	// A second interest from port 6 aggregates (absorbed, not forwarded).
+	ctx = run(t, reg, ndnInterestHeader(0xAA000001), 6)
+	if ctx.Verdict != core.VerdictAbsorb {
+		t.Fatalf("aggregation: %v", ctx.Verdict)
+	}
+
+	// Data consumes the PIT entry and fans out to both request ports.
+	ctx = run(t, reg, ndnDataHeader(0xAA000001), 2)
+	if ctx.Verdict != core.VerdictForward || len(ctx.EgressPorts()) != 2 {
+		t.Fatalf("data: %v %v", ctx.Verdict, ctx.EgressPorts())
+	}
+
+	// A duplicate data packet has no pending interest: discarded.
+	ctx = run(t, reg, ndnDataHeader(0xAA000001), 2)
+	if ctx.Reason != core.DropPITMiss {
+		t.Errorf("dup data: %v", ctx.Reason)
+	}
+}
+
+func TestNDNInterestNoRoute(t *testing.T) {
+	reg := NewRouterRegistry(routerCfg(t))
+	ctx := run(t, reg, ndnInterestHeader(0xBB000001), 1)
+	if ctx.Reason != core.DropNoRoute {
+		t.Errorf("got %v", ctx.Reason)
+	}
+}
+
+func TestNDNLocalProducer(t *testing.T) {
+	cfg := routerCfg(t)
+	cfg.NameFIB.AddUint32(0xAA000000, 8, fib.Local)
+	reg := NewRouterRegistry(cfg)
+	ctx := run(t, reg, ndnInterestHeader(0xAA000001), 1)
+	if ctx.Verdict != core.VerdictDeliver {
+		t.Errorf("got %v", ctx.Verdict)
+	}
+}
+
+func TestNDNContentStoreHit(t *testing.T) {
+	cfg := routerCfg(t)
+	cfg.NameFIB.AddUint32(0xAA000000, 8, fib.NextHop{Port: 2})
+	cfg.ContentStore = cs.New[uint32](16)
+	reg := NewRouterRegistry(cfg)
+
+	// Interest, then data (cached on the way back).
+	run(t, reg, ndnInterestHeader(0xAA000001), 5)
+	ctx := runPayload(t, reg, ndnDataHeader(0xAA000001), 2, []byte("cached content"))
+	if ctx.Verdict != core.VerdictForward {
+		t.Fatalf("data: %v", ctx.Verdict)
+	}
+
+	// A repeat interest is served from the store: absorbed with the payload.
+	ctx = run(t, reg, ndnInterestHeader(0xAA000001), 7)
+	if ctx.Verdict != core.VerdictAbsorb {
+		t.Fatalf("cache hit: %v", ctx.Verdict)
+	}
+	if !bytes.Equal(ctx.Cached, []byte("cached content")) {
+		t.Errorf("cached payload %q", ctx.Cached)
+	}
+}
+
+// The DIP-decomposed OPT hop must produce byte-identical results to the
+// native opt.ProcessHop — decomposition changes structure, not semantics.
+func TestOPTHopMatchesNative(t *testing.T) {
+	for _, kind := range []opt.Kind{opt.Kind2EM, opt.KindAESCMAC} {
+		t.Run(kind.String(), func(t *testing.T) {
+			cfg := routerCfg(t)
+			cfg.MACKind = kind
+			cfg.PrevLabel[3] = 0xAB
+			reg := NewRouterRegistry(cfg)
+
+			sess, err := opt.NewSession(kind,
+				[]opt.HopConfig{{Secret: cfg.Secret, PrevLabel: cfg.PrevLabel}},
+				mustSecret(t, "dst"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			payload := []byte("content under protection")
+			region := make([]byte, opt.RegionSize(1))
+			if err := sess.InitRegion(region, payload, 42); err != nil {
+				t.Fatal(err)
+			}
+			nativeRegion := append([]byte(nil), region...)
+
+			// DIP path: the paper's standalone-OPT FN triples.
+			h := &core.Header{
+				FNs: []core.FN{
+					core.RouterFN(128, 128, core.KeyParm),
+					core.RouterFN(0, 416, core.KeyMAC),
+					core.RouterFN(288, 128, core.KeyMark),
+					core.HostFN(0, 544, core.KeyVer),
+				},
+				Locations: region,
+			}
+			b, err := h.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			b = append(b, payload...)
+			v, err := core.ParseView(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e := core.NewEngine(reg, core.Limits{})
+			ctx := &core.ExecContext{}
+			ctx.Reset(v, 0)
+			e.Process(ctx)
+			if ctx.Verdict != core.VerdictContinue {
+				t.Fatalf("verdict %v/%v", ctx.Verdict, ctx.Reason)
+			}
+
+			// Native path on a copy.
+			if err := opt.ProcessHop(opt.HopConfig{Secret: cfg.Secret, PrevLabel: cfg.PrevLabel},
+				kind, nativeRegion); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(v.Locations(), nativeRegion) {
+				t.Error("DIP-decomposed OPT hop diverges from native OPT")
+			}
+			// And the destination accepts the DIP-processed packet.
+			if err := sess.Verify(v.Locations(), payload); err != nil {
+				t.Errorf("destination rejects DIP-processed packet: %v", err)
+			}
+		})
+	}
+}
+
+func TestMACWithoutParmFails(t *testing.T) {
+	reg := NewRouterRegistry(routerCfg(t))
+	h := &core.Header{
+		FNs:       []core.FN{core.RouterFN(0, 416, core.KeyMAC)},
+		Locations: make([]byte, 68),
+	}
+	ctx := run(t, reg, h, 0)
+	if ctx.Reason != core.DropOpError {
+		t.Errorf("got %v", ctx.Reason)
+	}
+	h.FNs[0].Key = core.KeyMark
+	h.FNs[0].Len = 128
+	ctx = run(t, reg, h, 0)
+	if ctx.Reason != core.DropOpError {
+		t.Errorf("mark: got %v", ctx.Reason)
+	}
+}
+
+func TestMACSlotBeyondLocationsFails(t *testing.T) {
+	cfg := routerCfg(t)
+	reg := NewRouterRegistry(cfg)
+	// Operand fills the whole region: no room for the tag slot.
+	h := &core.Header{
+		FNs: []core.FN{
+			core.RouterFN(128, 128, core.KeyParm),
+			core.RouterFN(0, 544, core.KeyMAC),
+		},
+		Locations: make([]byte, 68),
+	}
+	ctx := run(t, reg, h, 0)
+	if ctx.Reason != core.DropOpError {
+		t.Errorf("got %v", ctx.Reason)
+	}
+}
+
+type sessions map[[16]byte]*opt.Session
+
+func (s sessions) LookupSession(id []byte) (*opt.Session, bool) {
+	var k [16]byte
+	copy(k[:], id)
+	sess, ok := s[k]
+	return sess, ok
+}
+
+func TestVerHostOp(t *testing.T) {
+	rcfg := routerCfg(t)
+	sess, err := opt.NewSession(opt.Kind2EM,
+		[]opt.HopConfig{{Secret: rcfg.Secret}}, mustSecret(t, "dst"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := sessions{sess.ID: sess}
+	hostReg := NewHostRegistry(Config{Sessions: store})
+
+	payload := []byte("verified content")
+	region := make([]byte, opt.RegionSize(1))
+	sess.InitRegion(region, payload, 7)
+	opt.ProcessHop(opt.HopConfig{Secret: rcfg.Secret}, opt.Kind2EM, region)
+
+	// The host executes host-tagged FNs, so F_ver carries Host=false here
+	// from the host engine's perspective: we re-tag it router-style for the
+	// host registry (internal/host flips tags; this test drives ops directly).
+	h := &core.Header{
+		FNs:       []core.FN{core.RouterFN(0, 544, core.KeyVer)},
+		Locations: region,
+	}
+	ctx := runPayload(t, hostReg, h, 0, payload)
+	if ctx.Verdict != core.VerdictDeliver {
+		t.Fatalf("valid packet: %v/%v", ctx.Verdict, ctx.Reason)
+	}
+
+	// Tampered payload fails.
+	ctx = runPayload(t, hostReg, h, 0, []byte("tampered content"))
+	if ctx.Reason != core.DropVerifyFailed {
+		t.Errorf("tamper: %v", ctx.Reason)
+	}
+
+	// Unknown session fails.
+	region[opt.SessionIDOff] ^= 0xFF
+	ctx = runPayload(t, hostReg, h, 0, payload)
+	if ctx.Reason != core.DropVerifyFailed {
+		t.Errorf("unknown session: %v", ctx.Reason)
+	}
+}
+
+func xiaHeader(t *testing.T, d *xia.DAG, last int) *core.Header {
+	t.Helper()
+	locs := make([]byte, d.WireSize())
+	if _, err := d.Encode(locs, last); err != nil {
+		t.Fatal(err)
+	}
+	bits := uint16(len(locs) * 8)
+	return &core.Header{
+		FNs: []core.FN{
+			core.RouterFN(0, bits, core.KeyDAG),
+			core.RouterFN(0, bits, core.KeyIntent),
+		},
+		Locations: locs,
+	}
+}
+
+func testDAG() *xia.DAG {
+	return &xia.DAG{
+		SrcEdges: []int{2, 0},
+		Nodes: []xia.Node{
+			{XID: xia.NewXID(xia.TypeAD, []byte("ad1")), Edges: []int{2, 1}},
+			{XID: xia.NewXID(xia.TypeHID, []byte("h1")), Edges: []int{2}},
+			{XID: xia.NewXID(xia.TypeCID, []byte("c1"))},
+		},
+	}
+}
+
+func TestXIAForwardAndProgress(t *testing.T) {
+	d := testDAG()
+	rt := xia.NewRouteTable()
+	rt.AddRoute(d.Nodes[0].XID, 4) // only the AD fallback is routable
+	cfg := routerCfg(t)
+	cfg.XIARoutes = rt
+	reg := NewRouterRegistry(cfg)
+
+	h := xiaHeader(t, d, xia.SourceIndex)
+	ctx := run(t, reg, h, 0)
+	if ctx.Verdict != core.VerdictForward || ctx.EgressPorts()[0] != 4 {
+		t.Fatalf("got %v %v", ctx.Verdict, ctx.EgressPorts())
+	}
+	// Traversal progress is written back into the packet.
+	_, last, _, err := xia.Decode(ctx.View.Locations())
+	if err != nil || last != 0 {
+		t.Errorf("lastVisited = %d, err %v", last, err)
+	}
+}
+
+func TestXIAIntentDelivery(t *testing.T) {
+	d := testDAG()
+	rt := xia.NewRouteTable()
+	rt.AddLocal(d.Nodes[2].XID) // the CID intent is local
+	cfg := routerCfg(t)
+	cfg.XIARoutes = rt
+	reg := NewRouterRegistry(cfg)
+
+	ctx := run(t, reg, xiaHeader(t, d, xia.SourceIndex), 0)
+	if ctx.Verdict != core.VerdictDeliver {
+		t.Fatalf("got %v/%v", ctx.Verdict, ctx.Reason)
+	}
+}
+
+type recordingHandler struct {
+	got  xia.XID
+	hits int
+}
+
+func (r *recordingHandler) HandleIntent(ctx *core.ExecContext, intent xia.XID) bool {
+	r.got = intent
+	r.hits++
+	ctx.Absorb()
+	return true
+}
+
+func TestXIAIntentHandler(t *testing.T) {
+	d := testDAG()
+	rt := xia.NewRouteTable()
+	rt.AddLocal(d.Nodes[2].XID)
+	handler := &recordingHandler{}
+	cfg := routerCfg(t)
+	cfg.XIARoutes = rt
+	cfg.Intent = handler
+	reg := NewRouterRegistry(cfg)
+
+	ctx := run(t, reg, xiaHeader(t, d, xia.SourceIndex), 0)
+	if handler.hits != 1 || handler.got.Type != xia.TypeCID {
+		t.Errorf("handler: %+v", handler)
+	}
+	// Deliver still wins over Absorb because F_DAG already marked delivery;
+	// what matters is the handler ran and saw the intent.
+	if ctx.Verdict != core.VerdictDeliver {
+		t.Errorf("verdict %v", ctx.Verdict)
+	}
+}
+
+func TestXIADeadEnd(t *testing.T) {
+	cfg := routerCfg(t)
+	cfg.XIARoutes = xia.NewRouteTable()
+	reg := NewRouterRegistry(cfg)
+	ctx := run(t, reg, xiaHeader(t, testDAG(), xia.SourceIndex), 0)
+	if ctx.Reason != core.DropNoRoute {
+		t.Errorf("got %v", ctx.Reason)
+	}
+}
+
+func TestPassGuard(t *testing.T) {
+	cfg := routerCfg(t)
+	reg := NewRouterRegistry(cfg)
+
+	locs := make([]byte, 20)
+	binary.BigEndian.PutUint32(locs[:4], 0xAA000001)
+	StampLabel(&cfg.GuardKey, locs[4:20], locs[:4])
+	h := &core.Header{
+		FNs:       []core.FN{core.RouterFN(0, PassOperandBits, core.KeyPass)},
+		Locations: locs,
+	}
+	ctx := run(t, reg, h, 0)
+	if ctx.Verdict != core.VerdictContinue {
+		t.Fatalf("valid label: %v/%v", ctx.Verdict, ctx.Reason)
+	}
+
+	locs[4] ^= 0x01 // forge the label
+	ctx = run(t, reg, h, 0)
+	if ctx.Reason != core.DropGuard {
+		t.Errorf("forged label: %v", ctx.Reason)
+	}
+
+	h.FNs[0].Len = 128 // wrong operand width
+	h.Locations = locs[:16]
+	ctx = run(t, reg, h, 0)
+	if ctx.Reason != core.DropOpError {
+		t.Errorf("bad width: %v", ctx.Reason)
+	}
+}
+
+func TestHeterogeneousRegistrySkipsUnconfigured(t *testing.T) {
+	// A router with no OPT secret does not register the auth modules...
+	cfg := Config{FIB32: fib.New()}
+	reg := NewRouterRegistry(cfg)
+	if reg.Get(core.KeyParm) != nil || reg.Get(core.KeyMAC) != nil {
+		t.Error("auth modules registered without a secret")
+	}
+	// ...and its policy for them is the default ignore (it never advertised
+	// them), so OPT packets pass through un-authenticated rather than
+	// dropped — the "router can simply ignore this FN" case of §2.4. The
+	// signalling case is covered by router tests with SetPolicy.
+	if reg.Policy(core.KeyParm) != core.PolicyIgnore {
+		t.Error("unexpected policy")
+	}
+}
+
+func mustSecret(t *testing.T, id string) *drkey.SecretValue {
+	t.Helper()
+	sv, err := drkey.NewSecretValue(id, bytes.Repeat([]byte{9}, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sv
+}

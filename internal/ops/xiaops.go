@@ -1,0 +1,107 @@
+package ops
+
+import (
+	"fmt"
+
+	"dip/internal/bitfield"
+	"dip/internal/core"
+	"dip/internal/xia"
+)
+
+// DAG is F_DAG (key 10): "parse the directed acyclic graph" (paper §3).
+// Its operand is an encoded XIA address; the module runs the fallback
+// traversal against the router's XID tables, patches the last-visited
+// pointer in place, and either forwards or leaves the packet for F_intent
+// when the intent node is local.
+type DAG struct {
+	routes xia.Resolver
+}
+
+// NewDAG builds the module over the router's XID resolver.
+func NewDAG(r xia.Resolver) *DAG { return &DAG{routes: r} }
+
+// Key implements core.Operation.
+func (o *DAG) Key() core.Key { return core.KeyDAG }
+
+// Name implements core.Operation.
+func (o *DAG) Name() string { return core.KeyDAG.String() }
+
+// Stage implements core.Stager: traversal precedes intent handling.
+func (o *DAG) Stage() int { return 1 }
+
+// Execute implements core.Operation.
+func (o *DAG) Execute(ctx *core.ExecContext, loc, bits uint) error {
+	enc, ok := bitfield.View(ctx.View.Locations(), loc, bits)
+	if !ok {
+		return fmt.Errorf("ops: F_DAG operand [%d,+%d) not byte-aligned", loc, bits)
+	}
+	dec, err := xia.TraverseEncoded(enc, o.routes)
+	if err != nil {
+		return err
+	}
+	switch dec.Kind {
+	case xia.DecisionForward:
+		if err := xia.SetLastVisited(enc, dec.NewLast); err != nil {
+			return err
+		}
+		ctx.AddEgress(dec.Port)
+	case xia.DecisionIntent:
+		if err := xia.SetLastVisited(enc, dec.NewLast); err != nil {
+			return err
+		}
+		// Leave the verdict to F_intent (or plain delivery if the packet
+		// carries no intent FN).
+		ctx.Deliver()
+	case xia.DecisionDead:
+		ctx.Drop(core.DropNoRoute)
+	}
+	return nil
+}
+
+// Intent is F_intent (key 11): "handle the intent" (paper §3). When the
+// DAG's last-visited pointer has reached the intent node and the intent is
+// local to this node, the configured handler runs (serving content for a
+// CID, binding a service for an SID); without a handler the packet is
+// delivered to the local stack. A pointer that merely aims at the intent
+// (the upstream router forwarding toward it) does not trigger handling.
+type Intent struct {
+	handler IntentHandler // may be nil
+	routes  xia.Resolver  // may be nil (then pointer position alone decides)
+}
+
+// NewIntent builds the module; handler and resolver may be nil.
+func NewIntent(h IntentHandler, r xia.Resolver) *Intent {
+	return &Intent{handler: h, routes: r}
+}
+
+// Key implements core.Operation.
+func (o *Intent) Key() core.Key { return core.KeyIntent }
+
+// Name implements core.Operation.
+func (o *Intent) Name() string { return core.KeyIntent.String() }
+
+// Stage implements core.Stager: runs after F_DAG's traversal.
+func (o *Intent) Stage() int { return 2 }
+
+// Execute implements core.Operation.
+func (o *Intent) Execute(ctx *core.ExecContext, loc, bits uint) error {
+	enc, ok := bitfield.View(ctx.View.Locations(), loc, bits)
+	if !ok {
+		return fmt.Errorf("ops: F_intent operand [%d,+%d) not byte-aligned", loc, bits)
+	}
+	intent, at, err := xia.IntentEncoded(enc)
+	if err != nil {
+		return err
+	}
+	if !at {
+		return nil // still in transit; nothing to handle at this node
+	}
+	if o.routes != nil && !o.routes.IsLocal(intent) {
+		return nil // pointed at the intent, but it lives on a later hop
+	}
+	if o.handler != nil && o.handler.HandleIntent(ctx, intent) {
+		return nil
+	}
+	ctx.Deliver()
+	return nil
+}

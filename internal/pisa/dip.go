@@ -1,0 +1,516 @@
+package pisa
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dip/internal/cmac"
+	"dip/internal/core"
+	"dip/internal/crypto2em"
+	"dip/internal/fib"
+	"dip/internal/ops"
+	"dip/internal/opt"
+	"dip/internal/pit"
+)
+
+// Compile builds the DIP dataplane the way the paper's P4 prototype does
+// (§4.1), inheriting its compromises:
+//
+//   - at most MaxFNSlots FN triples are processed, dispatched by an
+//     unrolled per-slot table pipeline instead of a loop;
+//   - the FN-locations region must be 4-byte aligned and ≤ 128 bytes, and
+//     operand offsets must land on the preset field slices of the standard
+//     §3 profiles (offset 0, or shifted by the 4-byte content name);
+//   - operation modules are pre-installed actions matched by operation key;
+//     unknown keys fall through (the PolicyIgnore case of §2.4);
+//   - PIT state lives in a stateful extern, the software stand-in for
+//     Tofino register arrays.
+//
+// The compiled pipeline forwards the same §3 profiles as the software
+// engine and is cross-checked against it in tests; experiment E7 compares
+// their per-packet costs.
+
+// MaxFNSlots is the unrolled FN budget (the paper's if-else chain depth).
+const MaxFNSlots = 4
+
+// MaxRegionBytes is the largest FN-locations region the parser accepts.
+const MaxRegionBytes = MaxFieldBytes
+
+// PHV container assignment for the DIP program.
+const (
+	fNextHdr FieldID = iota
+	fHopLimit
+	fFNNum
+	fParam
+	fRegion
+	fHopKey
+	fDst32
+	fDst128
+	fName
+	fKey0 // fKey0+i, fLoc0+i, fLen0+i for slot i
+	fLoc0 = fKey0 + MaxFNSlots
+	fLen0 = fLoc0 + MaxFNSlots
+)
+
+// Metadata register assignment.
+const (
+	regNeed32 = iota
+	regNeed128
+	regNeedName
+	regPITInterest
+	regPITData
+	regShift // byte shift of the OPT/name layout (0 or 4)
+	regHaveKey
+)
+
+// dipState bundles the stateful externs the compiled actions close over.
+type dipState struct {
+	cfg ops.Config
+}
+
+// Compile assembles the DIP pipeline over the node state in cfg.
+func Compile(cfg ops.Config) (*Pipeline, error) {
+	st := &dipState{cfg: cfg}
+	pl := &Pipeline{
+		Parser:   buildParser(),
+		Deparser: deparse,
+	}
+	// Stage 0: hop limit.
+	hop := &Table{
+		Name: "hop_limit",
+		Kind: MatchExact,
+		Key:  func(phv *PHV, _ *Metadata) []byte { return phv.Bytes(fHopLimit) },
+		Entries: []Entry{{
+			Key:    []byte{0},
+			Action: func(_ *PHV, md *Metadata) { md.DropWith("hop-limit") },
+		}},
+		Default: func(phv *PHV, _ *Metadata) {
+			phv.Bytes(fHopLimit)[0]--
+		},
+	}
+	pl.Stages = append(pl.Stages, &Stage{Tables: []*Table{hop}})
+
+	// Stages 1..MaxFNSlots: per-slot dispatch, the unrolled if-else chain.
+	for slot := 0; slot < MaxFNSlots; slot++ {
+		pl.Stages = append(pl.Stages, &Stage{Tables: []*Table{st.dispatchTable(slot)}})
+	}
+
+	// LPM stages, applied once whichever slot requested them.
+	pl.Stages = append(pl.Stages,
+		&Stage{Tables: []*Table{st.lpmTable("lpm32", fDst32, regNeed32, cfg.FIB32)}},
+		&Stage{Tables: []*Table{st.lpmTable("lpm128", fDst128, regNeed128, cfg.FIB128)}},
+		&Stage{Tables: []*Table{st.lpmTable("lpm_name", fName, regNeedName, cfg.NameFIB)}},
+		&Stage{Tables: []*Table{st.pitTable()}},
+	)
+	if err := pl.Validate(); err != nil {
+		return nil, err
+	}
+	return pl, nil
+}
+
+// buildParser assembles the DIP parser FSM: basic header → unrolled FN
+// triple states → one state per supported region size (the varbit-by-states
+// idiom real PISA parsers use).
+func buildParser() *Parser {
+	p := &Parser{States: map[StateID]*State{}}
+	const (
+		stBasic StateID = 0
+		stFN0   StateID = 10 // +slot
+		stLocs  StateID = 20 // +size/4
+	)
+	// Basic header: fixed extraction, then fan out on FN_Num.
+	p.States[stBasic] = &State{
+		Extracts: []Extract{
+			{Field: fNextHdr, Offset: 1, Length: 1},
+			{Field: fFNNum, Offset: 2, Length: 1},
+			{Field: fHopLimit, Offset: 3, Length: 1},
+			{Field: fParam, Offset: 4, Length: 2},
+		},
+		Advance: core.BasicHeaderSize,
+		Next: func(phv *PHV) StateID {
+			if phv.Bytes(fFNNum)[0] == 0 {
+				return locState(phv)
+			}
+			return stFN0
+		},
+	}
+	// One state per FN slot (unrolled).
+	for slot := 0; slot < MaxFNSlots; slot++ {
+		slot := slot
+		p.States[stFN0+StateID(slot)] = &State{
+			Extracts: []Extract{
+				{Field: fLoc0 + FieldID(slot), Offset: 0, Length: 2},
+				{Field: fLen0 + FieldID(slot), Offset: 2, Length: 2},
+				{Field: fKey0 + FieldID(slot), Offset: 4, Length: 2},
+			},
+			Advance: core.FNSize,
+			Next: func(phv *PHV) StateID {
+				n := int(phv.Bytes(fFNNum)[0])
+				if slot+1 < n && slot+1 < MaxFNSlots {
+					return stFN0 + StateID(slot+1)
+				}
+				if n > MaxFNSlots {
+					// Skip the triples beyond the unrolled budget in one
+					// computed advance, then parse the region.
+					return stSkipExtra
+				}
+				return locState(phv)
+			},
+		}
+	}
+	p.States[stSkipExtra] = &State{
+		AdvanceFrom: func(phv *PHV) int {
+			n := int(phv.Bytes(fFNNum)[0])
+			return (n - MaxFNSlots) * core.FNSize
+		},
+		Next: locState,
+	}
+	// One state per supported region size (4-byte granularity): the
+	// varbit-by-states idiom.
+	for size := 0; size <= MaxRegionBytes; size += 4 {
+		size := size
+		s := &State{Advance: size}
+		if size > 0 {
+			s.Extracts = []Extract{{Field: fRegion, Offset: 0, Length: size}}
+		}
+		p.States[stLocs+StateID(size/4)] = s
+	}
+	return p
+}
+
+const stSkipExtra StateID = 9
+
+func locState(phv *PHV) StateID {
+	const stLocs StateID = 20
+	param := phv.Uint32(fParam)
+	locLen := int(param >> 5 & 0x3FF)
+	if locLen%4 != 0 || locLen > MaxRegionBytes {
+		return ParserReject
+	}
+	return stLocs + StateID(locLen/4)
+}
+
+// dispatchTable is slot i's operation-key match: the paper's "use the
+// operation key to match these operation modules".
+func (st *dipState) dispatchTable(slot int) *Table {
+	keyF := fKey0 + FieldID(slot)
+	locF := fLoc0 + FieldID(slot)
+	lenF := fLen0 + FieldID(slot)
+	t := &Table{
+		Name: fmt.Sprintf("dispatch_%d", slot),
+		Kind: MatchExact,
+		Key: func(phv *PHV, _ *Metadata) []byte {
+			return phv.Bytes(keyF)
+		},
+		Gate: func(phv *PHV, _ *Metadata) bool {
+			if !phv.Valid(keyF) {
+				return false
+			}
+			return int(phv.Bytes(fFNNum)[0]) > slot
+		},
+		// Unknown (or host-tagged) keys match nothing: ignored, §2.4.
+	}
+	add := func(key core.Key, a Action) {
+		t.AddEntry(Entry{Key: []byte{byte(key >> 8), byte(key)}, Action: a})
+	}
+	loc := func(phv *PHV) int { return int(binary.BigEndian.Uint16(phv.Bytes(locF))) }
+	length := func(phv *PHV) int { return int(binary.BigEndian.Uint16(phv.Bytes(lenF))) }
+
+	if st.cfg.FIB32 != nil {
+		add(core.KeyMatch32, func(phv *PHV, md *Metadata) {
+			if loc(phv) != 0 || length(phv) != 32 || len(phv.Bytes(fRegion)) < 4 {
+				md.DropWith("unsupported-slice")
+				return
+			}
+			phv.Set(fDst32, phv.Bytes(fRegion)[0:4])
+			md.Regs[regNeed32] = 1
+		})
+		add(core.KeySource, func(_ *PHV, _ *Metadata) {})
+	}
+	if st.cfg.FIB128 != nil {
+		add(core.KeyMatch128, func(phv *PHV, md *Metadata) {
+			if loc(phv) != 0 || length(phv) != 128 || len(phv.Bytes(fRegion)) < 16 {
+				md.DropWith("unsupported-slice")
+				return
+			}
+			phv.Set(fDst128, phv.Bytes(fRegion)[0:16])
+			md.Regs[regNeed128] = 1
+		})
+	}
+	if st.cfg.NameFIB != nil && st.cfg.PIT != nil {
+		nameAction := func(reg int) Action {
+			return func(phv *PHV, md *Metadata) {
+				if loc(phv) != 0 || length(phv) != 32 || len(phv.Bytes(fRegion)) < 4 {
+					md.DropWith("unsupported-slice")
+					return
+				}
+				phv.Set(fName, phv.Bytes(fRegion)[0:4])
+				md.Regs[reg] = 1
+			}
+		}
+		add(core.KeyFIB, func(phv *PHV, md *Metadata) {
+			nameAction(regNeedName)(phv, md)
+			md.Regs[regPITInterest] = 1
+		})
+		add(core.KeyPIT, nameAction(regPITData))
+	}
+	if st.cfg.Secret != nil {
+		add(core.KeyParm, func(phv *PHV, md *Metadata) {
+			// Preset slices: session ID at byte 16 (standalone OPT) or 20
+			// (NDN+OPT's 4-byte shift).
+			l := loc(phv)
+			if length(phv) != 128 || (l != opt.SessionIDOff*8 && l != (opt.SessionIDOff+4)*8) {
+				md.DropWith("unsupported-slice")
+				return
+			}
+			shift := 0
+			if l == (opt.SessionIDOff+4)*8 {
+				shift = 4
+			}
+			region := phv.Bytes(fRegion)
+			if len(region) < shift+opt.BaseSize {
+				md.DropWith("unsupported-slice")
+				return
+			}
+			var key [16]byte
+			if err := st.cfg.Secret.SessionKey(key[:], region[shift+opt.SessionIDOff:shift+opt.SessionIDOff+16]); err != nil {
+				md.DropWith("parm")
+				return
+			}
+			phv.Set(fHopKey, key[:])
+			md.Regs[regShift] = uint32(shift)
+			md.Regs[regHaveKey] = 1
+		})
+		add(core.KeyMAC, func(phv *PHV, md *Metadata) {
+			if md.Regs[regHaveKey] == 0 {
+				md.DropWith("mac-no-key")
+				return
+			}
+			shift := int(md.Regs[regShift])
+			if loc(phv) != shift*8 || length(phv) != opt.MACInputSize*8 {
+				md.DropWith("unsupported-slice")
+				return
+			}
+			region := phv.Bytes(fRegion)
+			slotOff := shift + opt.OPVOff + int(st.cfg.HopIndex)*opt.OPVSize
+			if len(region) < slotOff+opt.OPVSize {
+				md.DropWith("unsupported-slice")
+				return
+			}
+			var msg [opt.MACInputSize + 16]byte
+			copy(msg[:], region[shift:shift+opt.MACInputSize])
+			copy(msg[opt.MACInputSize:], st.cfg.PrevLabel[:])
+			st.mac(phv, region[slotOff:slotOff+opt.OPVSize], msg[:], md)
+		})
+		add(core.KeyMark, func(phv *PHV, md *Metadata) {
+			if md.Regs[regHaveKey] == 0 {
+				md.DropWith("mark-no-key")
+				return
+			}
+			shift := int(md.Regs[regShift])
+			if loc(phv) != (shift+opt.PVFOff)*8 || length(phv) != 128 {
+				md.DropWith("unsupported-slice")
+				return
+			}
+			region := phv.Bytes(fRegion)
+			pvf := region[shift+opt.PVFOff : shift+opt.PVFOff+opt.PVFSize]
+			var tmp [16]byte
+			st.mac(phv, tmp[:], pvf, md)
+			copy(pvf, tmp[:])
+		})
+	}
+	return t
+}
+
+// mac runs the configured MAC extern under the PHV's loaded hop key.
+func (st *dipState) mac(phv *PHV, out, msg []byte, md *Metadata) {
+	var key [16]byte
+	copy(key[:], phv.Bytes(fHopKey))
+	switch st.cfg.MACKind {
+	case opt.Kind2EM:
+		c := crypto2em.FromMaster(&key)
+		c.SumInto(out, msg)
+	case opt.KindAESCMAC:
+		m, err := cmac.New(key[:])
+		if err != nil {
+			md.DropWith("mac")
+			return
+		}
+		m.SumInto(out, msg)
+	default:
+		md.DropWith("mac-kind")
+	}
+}
+
+// lpmTable builds a gated LPM stage table mirroring a FIB. Entries are
+// loaded from the FIB at compile time (controller table writes).
+func (st *dipState) lpmTable(name string, field FieldID, gateReg int, table *fib.Table) *Table {
+	t := &Table{
+		Name: name,
+		Kind: MatchLPM,
+		Key:  func(phv *PHV, _ *Metadata) []byte { return phv.Bytes(field) },
+		Gate: func(_ *PHV, md *Metadata) bool { return md.Regs[gateReg] == 1 },
+		Default: func(_ *PHV, md *Metadata) {
+			md.DropWith("no-route")
+		},
+	}
+	if table != nil {
+		table.Walk(func(prefix []byte, plen int, nh fib.NextHop) bool {
+			port := nh.Port
+			t.AddEntry(Entry{
+				Key:       append([]byte(nil), prefix...),
+				PrefixLen: plen,
+				Action: func(_ *PHV, md *Metadata) {
+					if port == fib.PortLocal {
+						md.ToHost = true
+						return
+					}
+					md.AddEgress(port)
+				},
+			})
+			return true
+		})
+	}
+	return t
+}
+
+// pitTable is the stateful PIT extern stage.
+func (st *dipState) pitTable() *Table {
+	return &Table{
+		Name: "pit",
+		Kind: MatchExact,
+		Key:  func(_ *PHV, _ *Metadata) []byte { return nil },
+		Gate: func(_ *PHV, md *Metadata) bool {
+			return md.Regs[regPITInterest] == 1 || md.Regs[regPITData] == 1
+		},
+		Default: func(phv *PHV, md *Metadata) {
+			if st.cfg.PIT == nil {
+				md.DropWith("no-pit")
+				return
+			}
+			name := phv.Uint32(fName)
+			if md.Regs[regPITInterest] == 1 {
+				if md.ToHost || md.Drop {
+					return // local producer or already no-route
+				}
+				created, err := st.cfg.PIT.AddInterest(name, md.InPort)
+				if err != nil {
+					md.DropWith("pit-full")
+					return
+				}
+				if !created {
+					md.NEgress = 0
+					md.Absorbed = true
+				}
+				return
+			}
+			var buf [pit.MaxPortsPerEntry]int
+			ports, ok := st.cfg.PIT.Consume(buf[:0], name)
+			if !ok {
+				md.DropWith("pit-miss")
+				return
+			}
+			for _, p := range ports {
+				md.AddEgress(p)
+			}
+		},
+	}
+}
+
+// deparse writes the PHV's mutated fields (hop limit, locations region)
+// back into the packet buffer in place.
+func deparse(phv *PHV, _ *Metadata, original []byte, headerLen int) []byte {
+	original[3] = phv.Bytes(fHopLimit)[0]
+	region := phv.Bytes(fRegion)
+	copy(original[headerLen-len(region):headerLen], region)
+	return original
+}
+
+// Program is a compiled DIP dataplane with its runtime-programmability
+// surface exposed: the pipeline itself plus handles to the per-slot
+// dispatch tables so new operation modules can be installed while traffic
+// flows — the in-situ programmability ([rP4, FlexCore, IPSA] in the
+// paper's related work) that §5 positions DIP to exploit.
+type Program struct {
+	Pipeline *Pipeline
+	dispatch []*Table // one per FN slot, in slot order
+}
+
+// CompileProgram is Compile returning the runtime handle.
+func CompileProgram(cfg ops.Config) (*Program, error) {
+	pl, err := Compile(cfg)
+	if err != nil {
+		return nil, err
+	}
+	p := &Program{Pipeline: pl}
+	// Stages 1..MaxFNSlots hold the dispatch tables (stage 0 is hop limit).
+	for slot := 0; slot < MaxFNSlots; slot++ {
+		p.dispatch = append(p.dispatch, pl.Stages[1+slot].Tables[0])
+	}
+	return p, nil
+}
+
+// Operand is the slot-relative view an installed operation receives.
+type Operand struct {
+	// LocBits/LenBits are the FN triple's coordinates.
+	LocBits, LenBits int
+	// Region is the packet's FN-locations region (mutable in place).
+	Region []byte
+}
+
+// Bytes returns the operand's byte range when it is byte-aligned and in
+// range, else nil.
+func (o Operand) Bytes() []byte {
+	if o.LocBits%8 != 0 || o.LenBits%8 != 0 {
+		return nil
+	}
+	lo, hi := o.LocBits/8, (o.LocBits+o.LenBits)/8
+	if hi > len(o.Region) {
+		return nil
+	}
+	return o.Region[lo:hi]
+}
+
+// SlotAction is an installable operation module body.
+type SlotAction func(op Operand, phv *PHV, md *Metadata)
+
+// InstallOperation deploys a new operation module under key at runtime:
+// one table write per dispatch slot, no pipeline rebuild, packets keep
+// flowing. This is the "network providers can support new services by only
+// upgrading FNs" (§5) mechanism on the switch model.
+func (p *Program) InstallOperation(key core.Key, action SlotAction) error {
+	if key == core.KeyInvalid || key > 0x7FFF {
+		return fmt.Errorf("%w: cannot install key %d", ErrPipeline, key)
+	}
+	for slot, tbl := range p.dispatch {
+		locF := fLoc0 + FieldID(slot)
+		lenF := fLen0 + FieldID(slot)
+		entry := Entry{
+			Key: []byte{byte(key >> 8), byte(key)},
+			Action: func(phv *PHV, md *Metadata) {
+				action(Operand{
+					LocBits: int(binary.BigEndian.Uint16(phv.Bytes(locF))),
+					LenBits: int(binary.BigEndian.Uint16(phv.Bytes(lenF))),
+					Region:  phv.Bytes(fRegion),
+				}, phv, md)
+			},
+		}
+		if err := tbl.InsertEntry(entry); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RemoveOperation withdraws every dispatch entry for key, returning how
+// many slots were cleared.
+func (p *Program) RemoveOperation(key core.Key) int {
+	removed := 0
+	want := []byte{byte(key >> 8), byte(key)}
+	for _, tbl := range p.dispatch {
+		removed += tbl.DeleteEntries(func(e Entry) bool {
+			return len(e.Key) == 2 && e.Key[0] == want[0] && e.Key[1] == want[1]
+		})
+	}
+	return removed
+}

@@ -1,0 +1,434 @@
+// Package pisa models a Protocol-Independent Switch Architecture pipeline —
+// the hardware substrate the DIP prototype runs on (a Barefoot Tofino
+// switch, paper §4.1) — in software, honouring the structural constraints
+// the authors describe working around:
+//
+//   - a programmable parser expressed as a finite state machine with
+//     bounded extraction (no loops, no variable slicing);
+//   - a fixed number of match-action stages executed once, in order —
+//     "it was challenging to implement a loop to invoke the operation
+//     modules. We use the simple if-else statement with FN_Num";
+//   - tables matched by exact/LPM/ternary keys with bounded actions —
+//     "we pre-write the required operation modules on the data plane and
+//     use the operation key to match these operation modules";
+//   - preset field slices instead of variable offsets — "the field slices
+//     in Barefoot Tofino are restricted to not using variables, therefore
+//     we preset some fixed field slices";
+//   - stateful externs (register arrays / table updates from the data
+//     plane) for PIT-style state.
+//
+// The model is generic: a Pipeline is a parser, stages of tables, and a
+// deparser, assembled by the user. Package dipc (see dip.go in this
+// package) compiles DIP onto it the way the paper's P4 program does.
+package pisa
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Architectural bounds, Tofino-flavoured.
+const (
+	// MaxStages is the match-action stage budget.
+	MaxStages = 12
+	// MaxFields is the PHV container budget.
+	MaxFields = 64
+	// MaxFieldBytes is the widest PHV container (large enough for the
+	// preset locations slices DIP needs).
+	MaxFieldBytes = 128
+	// MaxParserStates bounds the parser FSM (Tofino parsers allow 256
+	// states; variable-length regions cost one state per supported size).
+	MaxParserStates = 64
+)
+
+// Errors from pipeline assembly and execution.
+var (
+	ErrPipeline  = errors.New("pisa: invalid pipeline")
+	ErrParse     = errors.New("pisa: parser rejected packet")
+	ErrTooDeep   = errors.New("pisa: parser state budget exhausted")
+	ErrFieldSize = errors.New("pisa: field exceeds container size")
+)
+
+// FieldID names a PHV container.
+type FieldID int
+
+// PHV is the parsed header vector: the per-packet scratch the parser fills
+// and the stages read and write.
+type PHV struct {
+	data  [MaxFields][MaxFieldBytes]byte
+	size  [MaxFields]uint16
+	valid [MaxFields]bool
+}
+
+// Reset invalidates every container.
+func (p *PHV) Reset() {
+	for i := range p.valid {
+		p.valid[i] = false
+		p.size[i] = 0
+	}
+}
+
+// Set copies b into container id.
+func (p *PHV) Set(id FieldID, b []byte) error {
+	if len(b) > MaxFieldBytes {
+		return fmt.Errorf("%w: %d bytes", ErrFieldSize, len(b))
+	}
+	copy(p.data[id][:], b)
+	p.size[id] = uint16(len(b))
+	p.valid[id] = true
+	return nil
+}
+
+// SetUint32 stores v big-endian in container id.
+func (p *PHV) SetUint32(id FieldID, v uint32) {
+	p.data[id][0], p.data[id][1], p.data[id][2], p.data[id][3] =
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v)
+	p.size[id] = 4
+	p.valid[id] = true
+}
+
+// Valid reports whether container id holds data.
+func (p *PHV) Valid(id FieldID) bool { return p.valid[id] }
+
+// Bytes returns container id's contents (aliasing the PHV; stages may
+// mutate in place, which is how header rewrites work).
+func (p *PHV) Bytes(id FieldID) []byte { return p.data[id][:p.size[id]] }
+
+// Uint32 reads up to the first 4 bytes of container id big-endian.
+func (p *PHV) Uint32(id FieldID) uint32 {
+	var v uint32
+	n := int(p.size[id])
+	if n > 4 {
+		n = 4
+	}
+	for i := 0; i < n; i++ {
+		v = v<<8 | uint32(p.data[id][i])
+	}
+	return v
+}
+
+// Metadata is the per-packet intrinsic metadata: ingress/egress, drop
+// state, and a handful of action registers.
+type Metadata struct {
+	InPort  int
+	Egress  [8]int
+	NEgress int
+	Drop    bool
+	Reason  string
+	// ToHost marks local delivery (the CPU port).
+	ToHost bool
+	// Absorbed marks "consumed by switch state, no egress" (PIT
+	// aggregation).
+	Absorbed bool
+	// Regs are general-purpose action registers.
+	Regs [8]uint32
+}
+
+// AddEgress records an output port (deduplicated).
+func (m *Metadata) AddEgress(port int) {
+	for i := 0; i < m.NEgress; i++ {
+		if m.Egress[i] == port {
+			return
+		}
+	}
+	if m.NEgress < len(m.Egress) {
+		m.Egress[m.NEgress] = port
+		m.NEgress++
+	}
+}
+
+// DropWith drops the packet with a diagnostic reason.
+func (m *Metadata) DropWith(reason string) {
+	if !m.Drop {
+		m.Drop = true
+		m.Reason = reason
+	}
+}
+
+// Extract is one parser extraction: copy length bytes at the current
+// cursor + offset into a PHV container.
+type Extract struct {
+	Field  FieldID
+	Offset int
+	Length int
+}
+
+// StateID names a parser state; the zero value is the start state.
+type StateID int
+
+// ParserDone is the accept pseudo-state; ParserReject rejects the packet.
+const (
+	ParserDone   StateID = -1
+	ParserReject StateID = -2
+)
+
+// State is one parser FSM state: a bounded list of extractions, a cursor
+// advance, and a select function choosing the next state from the PHV.
+type State struct {
+	Extracts []Extract
+	// Advance moves the cursor after extraction. Negative is invalid.
+	Advance int
+	// AdvanceFrom, when non-nil, computes the advance dynamically from the
+	// PHV (models advancing by a parsed length field, which PISA parsers
+	// support via the shift amount).
+	AdvanceFrom func(phv *PHV) int
+	// Next selects the following state; nil means ParserDone.
+	Next func(phv *PHV) StateID
+}
+
+// Parser is the programmable parser: a bounded FSM over the packet.
+type Parser struct {
+	States map[StateID]*State
+}
+
+// Parse runs the FSM, filling phv. It returns the final cursor (header
+// length) so the deparser knows where the payload starts.
+func (p *Parser) Parse(pkt []byte, phv *PHV) (int, error) {
+	cursor := 0
+	state := StateID(0)
+	for steps := 0; steps < MaxParserStates; steps++ {
+		st, ok := p.States[state]
+		if !ok {
+			return 0, fmt.Errorf("%w: no state %d", ErrPipeline, state)
+		}
+		for _, ex := range st.Extracts {
+			lo := cursor + ex.Offset
+			hi := lo + ex.Length
+			if lo < 0 || hi > len(pkt) {
+				return 0, fmt.Errorf("%w: extract [%d:%d) beyond %d bytes", ErrParse, lo, hi, len(pkt))
+			}
+			if err := phv.Set(ex.Field, pkt[lo:hi]); err != nil {
+				return 0, err
+			}
+		}
+		adv := st.Advance
+		if st.AdvanceFrom != nil {
+			adv = st.AdvanceFrom(phv)
+		}
+		if adv < 0 || cursor+adv > len(pkt) {
+			return 0, fmt.Errorf("%w: advance %d at cursor %d", ErrParse, adv, cursor)
+		}
+		cursor += adv
+		next := ParserDone
+		if st.Next != nil {
+			next = st.Next(phv)
+		}
+		switch next {
+		case ParserDone:
+			return cursor, nil
+		case ParserReject:
+			return 0, fmt.Errorf("%w: rejected in state %d", ErrParse, state)
+		default:
+			state = next
+		}
+	}
+	return 0, ErrTooDeep
+}
+
+// Action is a bounded table action: it may read/write the PHV, the
+// metadata, and the pipeline's stateful externs (captured at construction).
+type Action func(phv *PHV, md *Metadata)
+
+// MatchKind selects the table's matching discipline.
+type MatchKind int
+
+// Table match kinds.
+const (
+	MatchExact MatchKind = iota
+	MatchLPM
+	MatchTernary
+)
+
+// Entry is one table entry.
+type Entry struct {
+	// Key is the match key (exact bytes; for LPM the prefix bytes).
+	Key []byte
+	// PrefixLen is the LPM prefix length in bits.
+	PrefixLen int
+	// Mask is the ternary mask (same length as Key; 1-bits must match).
+	Mask []byte
+	// Priority orders ternary entries (higher wins).
+	Priority int
+	Action   Action
+}
+
+// Table is one match-action table. Entries may be mutated at runtime
+// through InsertEntry/DeleteEntries (controller writes) while Apply runs
+// on the data plane; build-time population uses AddEntry.
+type Table struct {
+	Name    string
+	Kind    MatchKind
+	Key     func(phv *PHV, md *Metadata) []byte
+	Entries []Entry
+	// Default runs on a miss (may be nil).
+	Default Action
+	// Gate, when non-nil, skips the table entirely unless it returns true
+	// (models gateway conditions / if-else around table application).
+	Gate func(phv *PHV, md *Metadata) bool
+
+	mu       sync.RWMutex
+	counters tableCounters
+}
+
+// AddEntry appends an entry (build-time form of InsertEntry).
+func (t *Table) AddEntry(e Entry) {
+	t.mu.Lock()
+	t.Entries = append(t.Entries, e)
+	t.mu.Unlock()
+}
+
+// Apply matches the key and runs the selected action.
+func (t *Table) Apply(phv *PHV, md *Metadata) {
+	if t.Gate != nil && !t.Gate(phv, md) {
+		return
+	}
+	key := t.Key(phv, md)
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var chosen *Entry
+	switch t.Kind {
+	case MatchExact:
+		for i := range t.Entries {
+			if bytesEqual(t.Entries[i].Key, key) {
+				chosen = &t.Entries[i]
+				break
+			}
+		}
+	case MatchLPM:
+		best := -1
+		for i := range t.Entries {
+			e := &t.Entries[i]
+			if e.PrefixLen > best && prefixMatch(key, e.Key, e.PrefixLen) {
+				best = e.PrefixLen
+				chosen = e
+			}
+		}
+	case MatchTernary:
+		bestPrio := -1 << 31
+		for i := range t.Entries {
+			e := &t.Entries[i]
+			if e.Priority > bestPrio && ternaryMatch(key, e.Key, e.Mask) {
+				bestPrio = e.Priority
+				chosen = e
+			}
+		}
+	}
+	if chosen != nil {
+		t.counters.hits.Add(1)
+		if chosen.Action != nil {
+			chosen.Action(phv, md)
+		}
+		return
+	}
+	t.counters.misses.Add(1)
+	if t.Default != nil {
+		t.Default(phv, md)
+	}
+}
+
+// Stage is one pipeline stage: its tables apply in order.
+type Stage struct {
+	Tables []*Table
+}
+
+// Deparser reassembles the output packet from the PHV and the original
+// packet (payload pass-through).
+type Deparser func(phv *PHV, md *Metadata, original []byte, headerLen int) []byte
+
+// Pipeline is the assembled switch program.
+type Pipeline struct {
+	Parser   *Parser
+	Stages   []*Stage
+	Deparser Deparser
+}
+
+// Validate checks the architectural bounds.
+func (pl *Pipeline) Validate() error {
+	if pl.Parser == nil {
+		return fmt.Errorf("%w: no parser", ErrPipeline)
+	}
+	if len(pl.Stages) > MaxStages {
+		return fmt.Errorf("%w: %d stages exceed %d", ErrPipeline, len(pl.Stages), MaxStages)
+	}
+	if len(pl.Parser.States) > MaxParserStates {
+		return fmt.Errorf("%w: %d parser states exceed %d", ErrPipeline, len(pl.Parser.States), MaxParserStates)
+	}
+	return nil
+}
+
+// Process runs one packet through parse → stages → deparse. The returned
+// packet is the rewritten output (nil when dropped or absorbed); md carries
+// the forwarding decision. phv and md are caller-provided (and reused
+// across packets) so the hot path does not allocate.
+func (pl *Pipeline) Process(pkt []byte, inPort int, phv *PHV, md *Metadata) ([]byte, error) {
+	phv.Reset()
+	*md = Metadata{InPort: inPort}
+	headerLen, err := pl.Parser.Parse(pkt, phv)
+	if err != nil {
+		md.DropWith("parse")
+		return nil, err
+	}
+	for _, st := range pl.Stages {
+		if md.Drop {
+			break
+		}
+		for _, tb := range st.Tables {
+			tb.Apply(phv, md)
+			if md.Drop {
+				break
+			}
+		}
+	}
+	if md.Drop || md.Absorbed {
+		return nil, nil
+	}
+	out := pkt
+	if pl.Deparser != nil {
+		out = pl.Deparser(phv, md, pkt, headerLen)
+	}
+	return out, nil
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func prefixMatch(key, prefix []byte, bits int) bool {
+	if bits > len(key)*8 || bits > len(prefix)*8 {
+		return false
+	}
+	full := bits / 8
+	for i := 0; i < full; i++ {
+		if key[i] != prefix[i] {
+			return false
+		}
+	}
+	if rem := bits % 8; rem != 0 {
+		mask := byte(0xFF) << (8 - rem)
+		if key[full]&mask != prefix[full]&mask {
+			return false
+		}
+	}
+	return true
+}
+
+func ternaryMatch(key, want, mask []byte) bool {
+	if len(key) != len(want) || len(want) != len(mask) {
+		return false
+	}
+	for i := range key {
+		if key[i]&mask[i] != want[i]&mask[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,232 @@
+package pisa
+
+import (
+	"testing"
+)
+
+const (
+	tfA FieldID = iota
+	tfB
+)
+
+func TestPHVBasics(t *testing.T) {
+	var phv PHV
+	if phv.Valid(tfA) {
+		t.Error("zero PHV claims validity")
+	}
+	if err := phv.Set(tfA, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if !phv.Valid(tfA) || phv.Uint32(tfA) != 0x010203 {
+		t.Errorf("got %x", phv.Uint32(tfA))
+	}
+	phv.SetUint32(tfB, 0xCAFEBABE)
+	if phv.Uint32(tfB) != 0xCAFEBABE {
+		t.Error("SetUint32")
+	}
+	phv.Reset()
+	if phv.Valid(tfA) || phv.Valid(tfB) {
+		t.Error("Reset did not invalidate")
+	}
+	if err := phv.Set(tfA, make([]byte, MaxFieldBytes+1)); err == nil {
+		t.Error("oversize field accepted")
+	}
+}
+
+func TestMetadata(t *testing.T) {
+	var md Metadata
+	md.AddEgress(3)
+	md.AddEgress(3)
+	md.AddEgress(5)
+	if md.NEgress != 2 {
+		t.Errorf("NEgress = %d", md.NEgress)
+	}
+	md.DropWith("first")
+	md.DropWith("second")
+	if !md.Drop || md.Reason != "first" {
+		t.Error("first drop reason must stick")
+	}
+}
+
+func TestParserFSM(t *testing.T) {
+	p := &Parser{States: map[StateID]*State{
+		0: {
+			Extracts: []Extract{{Field: tfA, Offset: 0, Length: 1}},
+			Advance:  1,
+			Next: func(phv *PHV) StateID {
+				if phv.Bytes(tfA)[0] == 0xFF {
+					return ParserReject
+				}
+				if phv.Bytes(tfA)[0] == 2 {
+					return 1
+				}
+				return ParserDone
+			},
+		},
+		1: {
+			Extracts: []Extract{{Field: tfB, Offset: 0, Length: 2}},
+			Advance:  2,
+		},
+	}}
+	var phv PHV
+	n, err := p.Parse([]byte{1, 9, 9}, &phv)
+	if err != nil || n != 1 {
+		t.Errorf("simple: n=%d err=%v", n, err)
+	}
+	phv.Reset()
+	n, err = p.Parse([]byte{2, 0xAB, 0xCD}, &phv)
+	if err != nil || n != 3 || phv.Uint32(tfB) != 0xABCD {
+		t.Errorf("two states: n=%d err=%v b=%x", n, err, phv.Uint32(tfB))
+	}
+	phv.Reset()
+	if _, err := p.Parse([]byte{0xFF}, &phv); err == nil {
+		t.Error("reject state did not reject")
+	}
+	phv.Reset()
+	if _, err := p.Parse([]byte{2}, &phv); err == nil {
+		t.Error("extract past end accepted")
+	}
+}
+
+func TestParserLoopBudget(t *testing.T) {
+	p := &Parser{States: map[StateID]*State{
+		0: {Advance: 0, Next: func(*PHV) StateID { return 0 }},
+	}}
+	var phv PHV
+	if _, err := p.Parse([]byte{1}, &phv); err == nil {
+		t.Error("infinite parser loop not bounded")
+	}
+}
+
+func TestTableExact(t *testing.T) {
+	hits := 0
+	tb := &Table{
+		Kind:    MatchExact,
+		Key:     func(phv *PHV, _ *Metadata) []byte { return phv.Bytes(tfA) },
+		Default: func(_ *PHV, md *Metadata) { md.DropWith("miss") },
+	}
+	tb.AddEntry(Entry{Key: []byte{7}, Action: func(*PHV, *Metadata) { hits++ }})
+	var phv PHV
+	var md Metadata
+	phv.Set(tfA, []byte{7})
+	tb.Apply(&phv, &md)
+	if hits != 1 || md.Drop {
+		t.Error("exact hit failed")
+	}
+	phv.Set(tfA, []byte{8})
+	tb.Apply(&phv, &md)
+	if !md.Drop {
+		t.Error("miss did not run default")
+	}
+}
+
+func TestTableLPM(t *testing.T) {
+	var got string
+	tb := &Table{
+		Kind: MatchLPM,
+		Key:  func(phv *PHV, _ *Metadata) []byte { return phv.Bytes(tfA) },
+	}
+	tb.AddEntry(Entry{Key: []byte{10, 0, 0, 0}, PrefixLen: 8, Action: func(*PHV, *Metadata) { got = "/8" }})
+	tb.AddEntry(Entry{Key: []byte{10, 1, 0, 0}, PrefixLen: 16, Action: func(*PHV, *Metadata) { got = "/16" }})
+	var phv PHV
+	var md Metadata
+	phv.Set(tfA, []byte{10, 1, 2, 3})
+	tb.Apply(&phv, &md)
+	if got != "/16" {
+		t.Errorf("got %s", got)
+	}
+	phv.Set(tfA, []byte{10, 9, 2, 3})
+	tb.Apply(&phv, &md)
+	if got != "/8" {
+		t.Errorf("got %s", got)
+	}
+}
+
+func TestTableTernary(t *testing.T) {
+	var got string
+	tb := &Table{
+		Kind: MatchTernary,
+		Key:  func(phv *PHV, _ *Metadata) []byte { return phv.Bytes(tfA) },
+	}
+	tb.AddEntry(Entry{Key: []byte{0x10}, Mask: []byte{0xF0}, Priority: 1, Action: func(*PHV, *Metadata) { got = "low" }})
+	tb.AddEntry(Entry{Key: []byte{0x12}, Mask: []byte{0xFF}, Priority: 9, Action: func(*PHV, *Metadata) { got = "high" }})
+	var phv PHV
+	var md Metadata
+	phv.Set(tfA, []byte{0x12})
+	tb.Apply(&phv, &md)
+	if got != "high" {
+		t.Errorf("priority: got %s", got)
+	}
+	phv.Set(tfA, []byte{0x15})
+	tb.Apply(&phv, &md)
+	if got != "low" {
+		t.Errorf("masked: got %s", got)
+	}
+}
+
+func TestTableGate(t *testing.T) {
+	ran := false
+	tb := &Table{
+		Kind:    MatchExact,
+		Key:     func(*PHV, *Metadata) []byte { return nil },
+		Gate:    func(_ *PHV, md *Metadata) bool { return md.Regs[0] == 1 },
+		Default: func(*PHV, *Metadata) { ran = true },
+	}
+	var phv PHV
+	var md Metadata
+	tb.Apply(&phv, &md)
+	if ran {
+		t.Error("gated table ran")
+	}
+	md.Regs[0] = 1
+	tb.Apply(&phv, &md)
+	if !ran {
+		t.Error("open gate did not run")
+	}
+}
+
+func TestPipelineValidate(t *testing.T) {
+	pl := &Pipeline{}
+	if err := pl.Validate(); err == nil {
+		t.Error("no parser accepted")
+	}
+	pl.Parser = &Parser{States: map[StateID]*State{0: {}}}
+	for i := 0; i <= MaxStages; i++ {
+		pl.Stages = append(pl.Stages, &Stage{})
+	}
+	if err := pl.Validate(); err == nil {
+		t.Error("too many stages accepted")
+	}
+	pl.Stages = pl.Stages[:2]
+	if err := pl.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPipelineProcessDropShortCircuits(t *testing.T) {
+	ran := false
+	pl := &Pipeline{
+		Parser: &Parser{States: map[StateID]*State{0: {Advance: 0}}},
+		Stages: []*Stage{
+			{Tables: []*Table{{
+				Kind:    MatchExact,
+				Key:     func(*PHV, *Metadata) []byte { return nil },
+				Default: func(_ *PHV, md *Metadata) { md.DropWith("x") },
+			}}},
+			{Tables: []*Table{{
+				Kind:    MatchExact,
+				Key:     func(*PHV, *Metadata) []byte { return nil },
+				Default: func(*PHV, *Metadata) { ran = true },
+			}}},
+		},
+	}
+	var phv PHV
+	var md Metadata
+	out, err := pl.Process([]byte{1}, 0, &phv, &md)
+	if err != nil || !md.Drop || out != nil {
+		t.Errorf("out=%v md=%+v err=%v", out, md, err)
+	}
+	if ran {
+		t.Error("stage after drop executed")
+	}
+}

@@ -1,0 +1,168 @@
+package pisa
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// This file adds the runtime-programmability surface the paper's vision
+// rests on ("DIP can also embrace the advances" in runtime programmable
+// devices, §5; rP4/FlexCore/IPSA in its related work): stateful register
+// externs, per-table hit counters, controller-style table mutation while
+// traffic flows, and resource accounting against architectural budgets.
+
+// Architectural resource budgets (Tofino-flavoured, enforced by Validate).
+const (
+	// MaxTablesPerStage bounds tables applied in one stage.
+	MaxTablesPerStage = 16
+	// MaxEntriesPerTable bounds one table's entry count (SRAM/TCAM model).
+	MaxEntriesPerTable = 1 << 16
+	// MaxRegisterBytes bounds total stateful register memory.
+	MaxRegisterBytes = 1 << 22
+)
+
+// RegisterArray is the stateful-ALU extern: an array of 32-bit cells with
+// atomic read-modify-write, the way PISA switches express per-flow state.
+type RegisterArray struct {
+	name string
+	mu   sync.Mutex
+	data []uint32
+}
+
+// NewRegisterArray allocates a named array of n cells.
+func NewRegisterArray(name string, n int) *RegisterArray {
+	return &RegisterArray{name: name, data: make([]uint32, n)}
+}
+
+// Name returns the array's name.
+func (r *RegisterArray) Name() string { return r.name }
+
+// Len returns the cell count.
+func (r *RegisterArray) Len() int { return len(r.data) }
+
+// Bytes returns the array's memory footprint.
+func (r *RegisterArray) Bytes() int { return 4 * len(r.data) }
+
+// RMW atomically applies fn to cell idx and returns the new value — one
+// stateful-ALU operation. Out-of-range indices return 0 and do nothing
+// (hardware would wrap; dropping is the safer software model).
+func (r *RegisterArray) RMW(idx int, fn func(uint32) uint32) uint32 {
+	if idx < 0 || idx >= len(r.data) {
+		return 0
+	}
+	r.mu.Lock()
+	v := fn(r.data[idx])
+	r.data[idx] = v
+	r.mu.Unlock()
+	return v
+}
+
+// Read returns cell idx (0 when out of range).
+func (r *RegisterArray) Read(idx int) uint32 {
+	if idx < 0 || idx >= len(r.data) {
+		return 0
+	}
+	r.mu.Lock()
+	v := r.data[idx]
+	r.mu.Unlock()
+	return v
+}
+
+// Stats are a table's hit/miss counters.
+type Stats struct {
+	Hits   int64
+	Misses int64
+}
+
+// tableCounters back Table.Stats without touching the hot-path layout.
+type tableCounters struct {
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// Stats returns the table's counters since creation.
+func (t *Table) Stats() Stats {
+	return Stats{Hits: t.counters.hits.Load(), Misses: t.counters.misses.Load()}
+}
+
+// InsertEntry adds an entry at runtime (a controller table write). Safe
+// against concurrent Apply.
+func (t *Table) InsertEntry(e Entry) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.Entries) >= MaxEntriesPerTable {
+		return fmt.Errorf("%w: table %s at entry budget %d", ErrPipeline, t.Name, MaxEntriesPerTable)
+	}
+	t.Entries = append(t.Entries, e)
+	return nil
+}
+
+// DeleteEntries removes every entry match reports true for, returning the
+// count removed. Safe against concurrent Apply.
+func (t *Table) DeleteEntries(match func(Entry) bool) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	kept := t.Entries[:0]
+	removed := 0
+	for _, e := range t.Entries {
+		if match(e) {
+			removed++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	t.Entries = kept
+	return removed
+}
+
+// EntryCount returns the live entry count.
+func (t *Table) EntryCount() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.Entries)
+}
+
+// Usage summarizes a pipeline's resource consumption.
+type Usage struct {
+	ParserStates  int
+	Stages        int
+	Tables        int
+	MaxStageWidth int // most tables in any one stage
+	Entries       int
+	RegisterBytes int
+}
+
+// Usage computes the pipeline's resource consumption; registers passed in
+// are the stateful externs the program owns.
+func (pl *Pipeline) Usage(registers ...*RegisterArray) Usage {
+	u := Usage{ParserStates: len(pl.Parser.States), Stages: len(pl.Stages)}
+	for _, st := range pl.Stages {
+		if len(st.Tables) > u.MaxStageWidth {
+			u.MaxStageWidth = len(st.Tables)
+		}
+		u.Tables += len(st.Tables)
+		for _, t := range st.Tables {
+			u.Entries += t.EntryCount()
+		}
+	}
+	for _, r := range registers {
+		u.RegisterBytes += r.Bytes()
+	}
+	return u
+}
+
+// CheckBudget validates usage against the architectural budgets.
+func (u Usage) CheckBudget() error {
+	switch {
+	case u.ParserStates > MaxParserStates:
+		return fmt.Errorf("%w: %d parser states exceed %d", ErrPipeline, u.ParserStates, MaxParserStates)
+	case u.Stages > MaxStages:
+		return fmt.Errorf("%w: %d stages exceed %d", ErrPipeline, u.Stages, MaxStages)
+	case u.MaxStageWidth > MaxTablesPerStage:
+		return fmt.Errorf("%w: %d tables in one stage exceed %d", ErrPipeline, u.MaxStageWidth, MaxTablesPerStage)
+	case u.RegisterBytes > MaxRegisterBytes:
+		return fmt.Errorf("%w: %d register bytes exceed %d", ErrPipeline, u.RegisterBytes, MaxRegisterBytes)
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+// Package pit implements the pending interest table behind F_PIT and the
+// native NDN forwarder.
+//
+// A PIT records, per requested content name, the ports on which interests
+// arrived; a returning data packet consumes the entry and is replicated to
+// those ports, while a data packet with no entry is discarded (paper §3:
+// "forwards it to the recorded request port (match hit) or discards the
+// packet (match miss)"). Interests for a name already pending aggregate
+// instead of being forwarded again — the caller learns this from
+// AddInterest's created result.
+//
+// Entries expire after a TTL so abandoned interests cannot pin router state
+// forever; a capacity bound enforces the paper's §2.4 state-exhaustion
+// defense at the table level (the per-packet budget lives in core.Limits).
+package pit
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrFull reports an insert into a PIT at capacity.
+var ErrFull = errors.New("pit: table full")
+
+// MaxPortsPerEntry bounds interest aggregation per name.
+const MaxPortsPerEntry = 8
+
+// EntryCost is the accounting size of one PIT entry in bytes, charged
+// against per-packet state budgets.
+const EntryCost = 64
+
+// Table is a pending interest table keyed by K (a 32-bit name ID on the
+// DIP wire, a name string in the native NDN forwarder). It is safe for
+// concurrent use.
+type Table[K comparable] struct {
+	mu      sync.Mutex
+	entries map[K]*entry
+	ttl     time.Duration
+	cap     int
+	now     func() time.Time
+}
+
+type entry struct {
+	ports   [MaxPortsPerEntry]int
+	nports  int
+	expires time.Time
+}
+
+// Option configures a Table.
+type Option[K comparable] func(*Table[K])
+
+// WithTTL sets the interest lifetime (default 4s, NDN's customary value).
+func WithTTL[K comparable](ttl time.Duration) Option[K] {
+	return func(t *Table[K]) { t.ttl = ttl }
+}
+
+// WithCapacity bounds the number of simultaneous entries (default 65536).
+func WithCapacity[K comparable](n int) Option[K] {
+	return func(t *Table[K]) { t.cap = n }
+}
+
+// WithClock injects a time source for tests.
+func WithClock[K comparable](now func() time.Time) Option[K] {
+	return func(t *Table[K]) { t.now = now }
+}
+
+// New returns an empty PIT.
+func New[K comparable](opts ...Option[K]) *Table[K] {
+	t := &Table[K]{
+		entries: make(map[K]*entry),
+		ttl:     4 * time.Second,
+		cap:     65536,
+		now:     time.Now,
+	}
+	for _, o := range opts {
+		o(t)
+	}
+	return t
+}
+
+// AddInterest records that an interest for k arrived on port. created is
+// true when no live entry existed (the caller should forward the interest
+// upstream) and false when the interest aggregated onto an existing entry
+// (the caller should not forward). ErrFull means the table is at capacity.
+func (t *Table[K]) AddInterest(k K, port int) (created bool, err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+	e, ok := t.entries[k]
+	if ok && now.After(e.expires) {
+		delete(t.entries, k)
+		ok = false
+	}
+	if !ok {
+		if len(t.entries) >= t.cap {
+			return false, ErrFull
+		}
+		e = &entry{expires: now.Add(t.ttl)}
+		e.ports[0] = port
+		e.nports = 1
+		t.entries[k] = e
+		return true, nil
+	}
+	e.expires = now.Add(t.ttl)
+	for i := 0; i < e.nports; i++ {
+		if e.ports[i] == port {
+			return false, nil
+		}
+	}
+	if e.nports < MaxPortsPerEntry {
+		e.ports[e.nports] = port
+		e.nports++
+	}
+	return false, nil
+}
+
+// Consume pops the entry for k, appending its request ports to dst and
+// returning the extended slice. ok is false (and dst unchanged) when no live
+// entry exists — the data packet should then be discarded. Passing a
+// caller-owned dst keeps the hot path allocation-free.
+func (t *Table[K]) Consume(dst []int, k K) (ports []int, ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, found := t.entries[k]
+	if !found {
+		return dst, false
+	}
+	delete(t.entries, k)
+	if t.now().After(e.expires) {
+		return dst, false
+	}
+	return append(dst, e.ports[:e.nports]...), true
+}
+
+// Pending reports whether a live entry exists for k without consuming it.
+func (t *Table[K]) Pending(k K) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.entries[k]
+	return ok && !t.now().After(e.expires)
+}
+
+// Len returns the number of entries, counting ones not yet swept.
+func (t *Table[K]) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.entries)
+}
+
+// Expire sweeps dead entries and returns how many were removed. Routers
+// call this periodically; correctness does not depend on it because every
+// read path re-checks expiry.
+func (t *Table[K]) Expire() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+	n := 0
+	for k, e := range t.entries {
+		if now.After(e.expires) {
+			delete(t.entries, k)
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,57 @@
+package profiles
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dip/internal/core"
+)
+
+// Next-header values for DIP control messages.
+const (
+	// NHData marks an ordinary payload-bearing packet.
+	NHData = 0
+	// NHFNUnsupported marks the ICMP-like "FN unsupported" notification a
+	// router returns when a packet demands an operation it cannot run and
+	// the operation's policy requires on-path participation (§2.4).
+	NHFNUnsupported = 0xFE
+)
+
+// BuildFNUnsupported constructs the §2.4 notification: a DIP packet
+// addressed to srcAddr (4 or 16 bytes, from the original packet's F_source
+// field) whose next header is NHFNUnsupported and whose payload names the
+// offending operation key.
+func BuildFNUnsupported(srcAddr []byte, key core.Key) ([]byte, error) {
+	var h *core.Header
+	switch len(srcAddr) {
+	case 4:
+		var dst [4]byte
+		copy(dst[:], srcAddr)
+		h = IPv4([4]byte{}, dst)
+	case 16:
+		var dst [16]byte
+		copy(dst[:], srcAddr)
+		h = IPv6([16]byte{}, dst)
+	default:
+		return nil, fmt.Errorf("profiles: cannot address FN-unsupported reply to %d-byte source", len(srcAddr))
+	}
+	h.NextHeader = NHFNUnsupported
+	buf, err := h.AppendTo(make([]byte, 0, h.WireSize()+2))
+	if err != nil {
+		return nil, err
+	}
+	return binary.BigEndian.AppendUint16(buf, uint16(key)), nil
+}
+
+// ParseFNUnsupported extracts the offending key from an FN-unsupported
+// notification. ok is false when the packet is not such a notification.
+func ParseFNUnsupported(v core.View) (core.Key, bool) {
+	if v.NextHeader() != NHFNUnsupported {
+		return 0, false
+	}
+	p := v.Payload()
+	if len(p) < 2 {
+		return 0, false
+	}
+	return core.Key(binary.BigEndian.Uint16(p)), true
+}

@@ -1,0 +1,246 @@
+// Package profiles implements the host constructions of paper §3: the
+// DIP-header compositions that realize each L3 protocol. A profile is
+// nothing but a recipe for filling the FN-locations region and choosing FN
+// triples — which is the paper's core claim, demonstrated here as code:
+//
+//	IP32/IP128   (loc:0,len:32,key:1)(loc:32,len:32,key:3) — and the 128-bit twins
+//	NDN          interest (loc:0,len:32,key:4) / data (loc:0,len:32,key:5)
+//	OPT          (128,128,6)(0,416,7)(288,128,8)(0,544,9·host)
+//	NDN+OPT      FIB-or-PIT + the four OPT FNs shifted 32 bits
+//	XIA          F_DAG + F_intent over an encoded DAG
+//
+// Every builder returns a core.Header whose WireSize reproduces the paper's
+// Table 2 exactly (asserted by tests and by experiment E2).
+package profiles
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dip/internal/core"
+	"dip/internal/opt"
+	"dip/internal/xia"
+)
+
+// DefaultHopLimit matches common IP practice.
+const DefaultHopLimit = 64
+
+// IPv4 builds the DIP-32 forwarding header (Table 2: 26 bytes): destination
+// in the lower 32 bits of the locations, source in the upper 32 bits
+// (paper §3).
+func IPv4(src, dst [4]byte) *core.Header {
+	locs := make([]byte, 8)
+	copy(locs[0:4], dst[:])
+	copy(locs[4:8], src[:])
+	return &core.Header{
+		HopLimit: DefaultHopLimit,
+		FNs: []core.FN{
+			core.RouterFN(0, 32, core.KeyMatch32),
+			core.RouterFN(32, 32, core.KeySource),
+		},
+		Locations: locs,
+	}
+}
+
+// IPv6 builds the DIP-128 forwarding header (Table 2: 50 bytes).
+func IPv6(src, dst [16]byte) *core.Header {
+	locs := make([]byte, 32)
+	copy(locs[0:16], dst[:])
+	copy(locs[16:32], src[:])
+	return &core.Header{
+		HopLimit: DefaultHopLimit,
+		FNs: []core.FN{
+			core.RouterFN(0, 128, core.KeyMatch128),
+			core.RouterFN(128, 128, core.KeySource),
+		},
+		Locations: locs,
+	}
+}
+
+// NDNInterest builds the DIP-realized NDN interest (Table 2: 16 bytes):
+// one F_FIB triple over the 32-bit content name — the triple
+// (loc: 0, len: 32, key: 4) of paper §3.
+func NDNInterest(name uint32) *core.Header {
+	locs := make([]byte, 4)
+	binary.BigEndian.PutUint32(locs, name)
+	return &core.Header{
+		HopLimit:  DefaultHopLimit,
+		FNs:       []core.FN{core.RouterFN(0, 32, core.KeyFIB)},
+		Locations: locs,
+	}
+}
+
+// NDNData builds the DIP-realized NDN data packet: one F_PIT triple —
+// (loc: 0, len: 32, key: 5). The content itself is the packet payload.
+func NDNData(name uint32) *core.Header {
+	locs := make([]byte, 4)
+	binary.BigEndian.PutUint32(locs, name)
+	return &core.Header{
+		HopLimit:  DefaultHopLimit,
+		FNs:       []core.FN{core.RouterFN(0, 32, core.KeyPIT)},
+		Locations: locs,
+	}
+}
+
+// OPT builds the standalone OPT header (Table 2: 98 bytes) for a packet
+// carrying payload: the session's initialized 544-bit region in the
+// locations and the paper's four FN triples — (128,128,6), (0,416,7),
+// (288,128,8) router-tagged and (0,544,9) host-tagged. Multi-hop sessions
+// grow the region and the F_ver operand by 128 bits per extra hop.
+func OPT(sess *opt.Session, payload []byte, timestamp uint32) (*core.Header, error) {
+	hops := sess.Hops()
+	if hops < 1 {
+		return nil, fmt.Errorf("profiles: OPT needs ≥ 1 hop, session has %d", hops)
+	}
+	locs := make([]byte, opt.RegionSize(hops))
+	if err := sess.InitRegion(locs, payload, timestamp); err != nil {
+		return nil, err
+	}
+	verBits := uint16(opt.RegionBits(hops))
+	return &core.Header{
+		HopLimit: DefaultHopLimit,
+		FNs: []core.FN{
+			core.RouterFN(opt.SessionIDOff*8, 128, core.KeyParm),
+			core.RouterFN(0, opt.MACInputSize*8, core.KeyMAC),
+			core.RouterFN(opt.PVFOff*8, 128, core.KeyMark),
+			core.HostFN(0, verBits, core.KeyVer),
+		},
+		Locations: locs,
+	}, nil
+}
+
+// NDNOPTData builds the derived NDN+OPT data packet (Table 2: 108 bytes):
+// secure content delivery composing F_PIT with the four OPT FNs. The
+// 32-bit content name occupies bits 0..32 of the locations and every OPT
+// offset shifts by +32 — the composability the derived protocol rests on.
+func NDNOPTData(sess *opt.Session, name uint32, payload []byte, timestamp uint32) (*core.Header, error) {
+	return ndnOPT(sess, name, payload, timestamp, core.KeyPIT)
+}
+
+// NDNOPTInterest is the interest-side twin of NDNOPTData, composing F_FIB
+// with the OPT FNs so interests are source-authenticated too.
+func NDNOPTInterest(sess *opt.Session, name uint32, timestamp uint32) (*core.Header, error) {
+	return ndnOPT(sess, name, nil, timestamp, core.KeyFIB)
+}
+
+func ndnOPT(sess *opt.Session, name uint32, payload []byte, timestamp uint32, ndnKey core.Key) (*core.Header, error) {
+	hops := sess.Hops()
+	if hops < 1 {
+		return nil, fmt.Errorf("profiles: NDN+OPT needs ≥ 1 hop, session has %d", hops)
+	}
+	const shift = 4 // bytes the content name occupies before the OPT region
+	locs := make([]byte, shift+opt.RegionSize(hops))
+	binary.BigEndian.PutUint32(locs[:shift], name)
+	if err := sess.InitRegion(locs[shift:], payload, timestamp); err != nil {
+		return nil, err
+	}
+	verBits := uint16(opt.RegionBits(hops))
+	return &core.Header{
+		HopLimit: DefaultHopLimit,
+		FNs: []core.FN{
+			core.RouterFN(0, 32, ndnKey),
+			core.RouterFN(shift*8+opt.SessionIDOff*8, 128, core.KeyParm),
+			core.RouterFN(shift*8, opt.MACInputSize*8, core.KeyMAC),
+			core.RouterFN(shift*8+opt.PVFOff*8, 128, core.KeyMark),
+			core.HostFN(shift*8, verBits, core.KeyVer),
+		},
+		Locations: locs,
+	}, nil
+}
+
+// NDNOPTRegion returns the OPT region view inside an NDN+OPT locations
+// slice (everything after the 4-byte name).
+func NDNOPTRegion(locations []byte) []byte { return locations[4:] }
+
+// XIA builds the XIA header: F_DAG and F_intent over the encoded address
+// (paper §3: "set the header of XIA in the FN locations and use these two
+// operation modules").
+func XIA(dag *xia.DAG) (*core.Header, error) {
+	locs := make([]byte, dag.WireSize())
+	if _, err := dag.Encode(locs, xia.SourceIndex); err != nil {
+		return nil, err
+	}
+	bits := uint16(len(locs) * 8)
+	return &core.Header{
+		HopLimit: DefaultHopLimit,
+		FNs: []core.FN{
+			core.RouterFN(0, bits, core.KeyDAG),
+			core.RouterFN(0, bits, core.KeyIntent),
+		},
+		Locations: locs,
+	}, nil
+}
+
+// WithPass prepends an F_pass source-label guard to an NDN-style header:
+// the label region ([name 32b][label 128b]) is appended to the locations
+// and the FN list gains the guard triple. Producers stamp the label with
+// ops.StampLabel before sending.
+func WithPass(h *core.Header, name uint32, label [16]byte) *core.Header {
+	off := uint16(len(h.Locations) * 8)
+	locs := make([]byte, len(h.Locations)+20)
+	copy(locs, h.Locations)
+	binary.BigEndian.PutUint32(locs[len(h.Locations):], name)
+	copy(locs[len(h.Locations)+4:], label[:])
+	out := *h
+	out.Locations = locs
+	out.FNs = append(append([]core.FN(nil), core.RouterFN(off, 160, core.KeyPass)), h.FNs...)
+	return &out
+}
+
+// SourceOf extracts the source address recorded by an F_source FN, for
+// reverse-path messaging. It returns nil when the header carries none.
+func SourceOf(v core.View) []byte {
+	for i := 0; i < v.FNNum(); i++ {
+		fn := v.FN(i)
+		if fn.Key == core.KeySource && fn.Loc%8 == 0 && fn.Len%8 == 0 {
+			locs := v.Locations()
+			off, n := int(fn.Loc)/8, int(fn.Len)/8
+			if off+n <= len(locs) {
+				return locs[off : off+n]
+			}
+		}
+	}
+	return nil
+}
+
+// XIAOPT builds a second derived protocol this implementation contributes
+// beyond the paper's NDN+OPT: XIA addressing with OPT source/path
+// authentication. The encoded DAG occupies the front of the locations
+// (padded to a byte boundary) and the OPT region follows; F_DAG/F_intent
+// traverse while F_parm/F_MAC/F_mark/F_ver authenticate — composability
+// across the two most structurally different protocol families in §3.
+func XIAOPT(dag *xia.DAG, sess *opt.Session, payload []byte, timestamp uint32) (*core.Header, error) {
+	hops := sess.Hops()
+	if hops < 1 {
+		return nil, fmt.Errorf("profiles: XIA+OPT needs ≥ 1 hop, session has %d", hops)
+	}
+	dagSize := dag.WireSize()
+	locs := make([]byte, dagSize+opt.RegionSize(hops))
+	if _, err := dag.Encode(locs[:dagSize], xia.SourceIndex); err != nil {
+		return nil, err
+	}
+	if err := sess.InitRegion(locs[dagSize:], payload, timestamp); err != nil {
+		return nil, err
+	}
+	dagBits := uint16(dagSize * 8)
+	shift := dagBits
+	verBits := uint16(opt.RegionBits(hops))
+	return &core.Header{
+		HopLimit: DefaultHopLimit,
+		FNs: []core.FN{
+			core.RouterFN(0, dagBits, core.KeyDAG),
+			core.RouterFN(0, dagBits, core.KeyIntent),
+			core.RouterFN(shift+opt.SessionIDOff*8, 128, core.KeyParm),
+			core.RouterFN(shift, opt.MACInputSize*8, core.KeyMAC),
+			core.RouterFN(shift+opt.PVFOff*8, 128, core.KeyMark),
+			core.HostFN(shift, verBits, core.KeyVer),
+		},
+		Locations: locs,
+	}, nil
+}
+
+// XIAOPTRegion returns the OPT region view inside an XIA+OPT locations
+// slice, given the DAG's wire size.
+func XIAOPTRegion(locations []byte, dagWireSize int) []byte {
+	return locations[dagWireSize:]
+}

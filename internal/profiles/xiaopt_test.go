@@ -1,0 +1,89 @@
+package profiles
+
+import (
+	"bytes"
+	"testing"
+
+	"dip/internal/core"
+	"dip/internal/drkey"
+	"dip/internal/opt"
+	"dip/internal/xia"
+)
+
+func xiaoptDAG() *xia.DAG {
+	return &xia.DAG{
+		SrcEdges: []int{1, 0},
+		Nodes: []xia.Node{
+			{XID: xia.NewXID(xia.TypeAD, []byte("ad")), Edges: []int{1}},
+			{XID: xia.NewXID(xia.TypeSID, []byte("svc"))},
+		},
+	}
+}
+
+func TestXIAOPTLayout(t *testing.T) {
+	sess := session(t, 2)
+	dag := xiaoptDAG()
+	payload := []byte("secured service request")
+	h, err := XIAOPT(dag, sess, payload, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	dagSize := dag.WireSize()
+	if len(h.Locations) != dagSize+opt.RegionSize(2) {
+		t.Fatalf("locations %d bytes", len(h.Locations))
+	}
+	// The DAG decodes from the front.
+	got, last, n, err := xia.Decode(h.Locations[:dagSize])
+	if err != nil || last != xia.SourceIndex || n != dagSize || !got.Equal(dag) {
+		t.Fatalf("embedded DAG: %v last=%d n=%d", err, last, n)
+	}
+	// The OPT region sits behind it, initialized for this session.
+	region := XIAOPTRegion(h.Locations, dagSize)
+	r, err := opt.AsRegion(region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(r.SessionID(), sess.ID[:]) {
+		t.Error("session ID misplaced")
+	}
+	// FN triples: DAG ops over the DAG bits, OPT ops shifted past them.
+	dagBits := uint16(dagSize * 8)
+	want := []core.FN{
+		core.RouterFN(0, dagBits, core.KeyDAG),
+		core.RouterFN(0, dagBits, core.KeyIntent),
+		core.RouterFN(dagBits+opt.SessionIDOff*8, 128, core.KeyParm),
+		core.RouterFN(dagBits, opt.MACInputSize*8, core.KeyMAC),
+		core.RouterFN(dagBits+opt.PVFOff*8, 128, core.KeyMark),
+		core.HostFN(dagBits, uint16(opt.RegionBits(2)), core.KeyVer),
+	}
+	if len(h.FNs) != len(want) {
+		t.Fatalf("FNs %v", h.FNs)
+	}
+	for i := range want {
+		if h.FNs[i] != want[i] {
+			t.Errorf("FN %d = %v, want %v", i, h.FNs[i], want[i])
+		}
+	}
+}
+
+func TestXIAOPTRequiresHops(t *testing.T) {
+	dst, _ := drkey.NewSecretValue("d", bytes.Repeat([]byte{1}, 16))
+	sess, err := opt.NewSession(opt.Kind2EM, nil, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := XIAOPT(xiaoptDAG(), sess, nil, 0); err == nil {
+		t.Error("0-hop XIA+OPT accepted")
+	}
+}
+
+func TestXIAOPTRejectsBadDAG(t *testing.T) {
+	sess := session(t, 1)
+	bad := &xia.DAG{SrcEdges: []int{0}, Nodes: []xia.Node{{Edges: []int{0}}}}
+	if _, err := XIAOPT(bad, sess, nil, 0); err == nil {
+		t.Error("invalid DAG accepted")
+	}
+}

@@ -1,0 +1,191 @@
+// Package router assembles the DIP per-hop pipeline: parse the header
+// (in place), enforce the hop limit, run Algorithm 1 through the engine,
+// and act on the verdict — forward (with replication), deliver locally,
+// answer interests from the content store, or drop, including the
+// FN-unsupported signalling of §2.4 for heterogeneous deployments.
+package router
+
+import (
+	"encoding/binary"
+	"sync"
+
+	"dip/internal/core"
+	"dip/internal/profiles"
+	"dip/internal/telemetry"
+)
+
+// Port is an attachment point packets leave through. Send must not retain
+// pkt after returning (links and sockets copy as they serialize).
+type Port interface {
+	Send(pkt []byte)
+}
+
+// PortFunc adapts a function to the Port interface.
+type PortFunc func(pkt []byte)
+
+// Send implements Port.
+func (f PortFunc) Send(pkt []byte) { f(pkt) }
+
+// Config tunes a router beyond its operation registry.
+type Config struct {
+	// Name labels the router in diagnostics.
+	Name string
+	// Limits are the per-packet security limits (§2.4).
+	Limits core.Limits
+	// Metrics, when set, receives per-op and per-verdict telemetry.
+	Metrics *telemetry.Metrics
+	// LocalDelivery receives packets whose verdict is Deliver (this node
+	// is the destination or the local producer). The buffer is only valid
+	// during the call.
+	LocalDelivery func(pkt []byte, inPort int)
+	// DisableSignalling suppresses FN-unsupported notifications even when
+	// an operation's policy requests them.
+	DisableSignalling bool
+}
+
+// Router is one DIP-capable node.
+type Router struct {
+	engine *core.Engine
+	cfg    Config
+	ports  []Port
+}
+
+// New builds a router over the operation registry.
+func New(reg *core.Registry, cfg Config) *Router {
+	e := core.NewEngine(reg, cfg.Limits)
+	if cfg.Metrics != nil {
+		e.SetRecorder(cfg.Metrics)
+	}
+	return &Router{engine: e, cfg: cfg}
+}
+
+// Registry exposes the router's current operation catalog (bootstrap
+// advertises it).
+func (r *Router) Registry() *core.Registry { return r.engine.Registry() }
+
+// ReplaceRegistry atomically installs a new operation catalog while the
+// data plane keeps running — the §2.4 dynamic-security-policy mechanism
+// ("F_pass can be enabled on the fly upon detecting content poisoning
+// attacks"). It returns the previous catalog.
+func (r *Router) ReplaceRegistry(reg *core.Registry) *core.Registry {
+	return r.engine.SwapRegistry(reg)
+}
+
+// Name returns the router's diagnostic label.
+func (r *Router) Name() string { return r.cfg.Name }
+
+// AttachPort registers an egress port and returns its index.
+func (r *Router) AttachPort(p Port) int {
+	r.ports = append(r.ports, p)
+	return len(r.ports) - 1
+}
+
+// NumPorts returns the number of attached ports.
+func (r *Router) NumPorts() int { return len(r.ports) }
+
+// HandlePacket runs one received packet through the pipeline. The buffer is
+// mutated in place (hop limit, FN operand updates) and handed to egress
+// ports; it must not be reused by the caller until HandlePacket returns.
+func (r *Router) HandlePacket(pkt []byte, inPort int) {
+	v, err := core.ParseView(pkt)
+	if err != nil {
+		r.countDrop(core.DropMalformed)
+		return
+	}
+	if !v.DecHopLimit() {
+		r.countDrop(core.DropHopLimit)
+		return
+	}
+	ctx := ctxPool.Get().(*core.ExecContext)
+	defer releaseCtx(ctx)
+	ctx.Reset(v, inPort)
+	r.engine.Process(ctx)
+	if r.cfg.Metrics != nil {
+		r.cfg.Metrics.CountVerdict(ctx.Verdict)
+	}
+	switch ctx.Verdict {
+	case core.VerdictForward:
+		for _, p := range ctx.EgressPorts() {
+			r.sendOn(p, pkt)
+		}
+	case core.VerdictDeliver:
+		if r.cfg.LocalDelivery != nil {
+			r.cfg.LocalDelivery(pkt, inPort)
+		}
+	case core.VerdictAbsorb:
+		if ctx.Cached != nil {
+			r.replyFromCache(v, ctx, inPort)
+		}
+	case core.VerdictDrop:
+		if ctx.SignalUnsupported && !r.cfg.DisableSignalling {
+			r.signalUnsupported(v, ctx, inPort)
+		}
+	}
+}
+
+// ctxPool recycles execution contexts so HandlePacket stays allocation-free
+// even though contexts escape into the engine through interface calls.
+var ctxPool = sync.Pool{New: func() any { return new(core.ExecContext) }}
+
+func releaseCtx(ctx *core.ExecContext) {
+	ctx.Cached = nil       // drop the content-store reference
+	ctx.View = core.View{} // drop the packet buffer reference
+	ctxPool.Put(ctx)
+}
+
+func (r *Router) sendOn(port int, pkt []byte) {
+	if port >= 0 && port < len(r.ports) && r.ports[port] != nil {
+		r.ports[port].Send(pkt)
+	}
+}
+
+func (r *Router) countDrop(reason core.DropReason) {
+	if r.cfg.Metrics != nil {
+		r.cfg.Metrics.RecordDrop(reason)
+		r.cfg.Metrics.CountVerdict(core.VerdictDrop)
+	}
+}
+
+// replyFromCache synthesizes the NDN data packet answering an interest the
+// content store satisfied (footnote 2), sending it back on the ingress port.
+func (r *Router) replyFromCache(v core.View, ctx *core.ExecContext, inPort int) {
+	name, ok := interestName(v)
+	if !ok {
+		return
+	}
+	h := profiles.NDNData(name)
+	h.HopLimit = v.HopLimit()
+	buf, err := h.AppendTo(make([]byte, 0, h.WireSize()+len(ctx.Cached)))
+	if err != nil {
+		return
+	}
+	buf = append(buf, ctx.Cached...)
+	r.sendOn(inPort, buf)
+}
+
+// interestName extracts the 32-bit content name an F_FIB FN addresses.
+func interestName(v core.View) (uint32, bool) {
+	for i := 0; i < v.FNNum(); i++ {
+		fn := v.FN(i)
+		if fn.Key == core.KeyFIB && fn.Len == 32 && fn.Loc%8 == 0 {
+			locs := v.Locations()
+			off := int(fn.Loc) / 8
+			if off+4 <= len(locs) {
+				return binary.BigEndian.Uint32(locs[off:]), true
+			}
+		}
+	}
+	return 0, false
+}
+
+// signalUnsupported builds and sends the FN-unsupported notification back
+// toward the packet's source. Without an F_source FN the source is
+// unaddressable and the packet is silently dropped.
+func (r *Router) signalUnsupported(v core.View, ctx *core.ExecContext, inPort int) {
+	src := profiles.SourceOf(v)
+	msg, err := profiles.BuildFNUnsupported(src, ctx.UnsupportedKey)
+	if err != nil {
+		return
+	}
+	r.sendOn(inPort, msg)
+}

@@ -1,0 +1,88 @@
+package router
+
+import "sync"
+
+// Ingress is a running queue-and-workers front end for a router: packets
+// are submitted from any goroutine (socket readers, simulator callbacks)
+// into a bounded queue and drained by a pool of forwarding workers, each
+// running HandlePacket. Everything HandlePacket touches — the engine's
+// atomic registry, the RW-locked tables, the pooled contexts — is safe for
+// this concurrency.
+type Ingress struct {
+	r     *Router
+	queue chan queuedPacket
+	wg    sync.WaitGroup
+	// Dropped counts tail drops (queue full), the router's overload shed.
+	mu      sync.Mutex
+	dropped int64
+	closed  bool
+}
+
+type queuedPacket struct {
+	pkt    []byte
+	inPort int
+}
+
+// Serve starts workers goroutines draining a queue of depth queueDepth.
+// Stop it with Close.
+func (r *Router) Serve(workers, queueDepth int) *Ingress {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueDepth < 1 {
+		queueDepth = 64
+	}
+	in := &Ingress{r: r, queue: make(chan queuedPacket, queueDepth)}
+	in.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer in.wg.Done()
+			for q := range in.queue {
+				r.HandlePacket(q.pkt, q.inPort)
+			}
+		}()
+	}
+	return in
+}
+
+// Submit hands a packet to the workers. Ownership of pkt transfers to the
+// router (it is mutated in place and must not be reused by the caller).
+// It returns false — a tail drop — when the queue is full or the ingress
+// is closed.
+func (in *Ingress) Submit(pkt []byte, inPort int) bool {
+	in.mu.Lock()
+	if in.closed {
+		in.mu.Unlock()
+		return false
+	}
+	select {
+	case in.queue <- queuedPacket{pkt: pkt, inPort: inPort}:
+		in.mu.Unlock()
+		return true
+	default:
+		in.dropped++
+		in.mu.Unlock()
+		return false
+	}
+}
+
+// Dropped returns the tail-drop count.
+func (in *Ingress) Dropped() int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.dropped
+}
+
+// Close stops accepting packets, drains the queue, and waits for the
+// workers to finish in-flight work.
+func (in *Ingress) Close() {
+	in.mu.Lock()
+	if in.closed {
+		in.mu.Unlock()
+		return
+	}
+	in.closed = true
+	in.mu.Unlock()
+	close(in.queue)
+	in.wg.Wait()
+}

@@ -1,0 +1,179 @@
+// Package telemetry collects the per-operation and per-verdict statistics
+// the paper lists among DIP's opportunities ("efficient network telemetry",
+// §5) and that the benchmark harness uses to report Figure 2 numbers.
+//
+// Counters are lock-free atomics so recording from concurrent forwarding
+// goroutines never serializes the data plane.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"dip/internal/core"
+)
+
+// histBuckets is the number of log2 latency buckets (1ns … ~32s).
+const histBuckets = 36
+
+type opStat struct {
+	count   atomic.Int64
+	totalNs atomic.Int64
+	hist    [histBuckets]atomic.Int64
+}
+
+// Metrics implements core.Recorder and adds router-level verdict counters.
+// The zero value is ready to use.
+type Metrics struct {
+	ops       [core.MaxKey + 1]opStat
+	drops     [core.NumDropReasons]atomic.Int64
+	forwarded atomic.Int64
+	delivered atomic.Int64
+	absorbed  atomic.Int64
+	noAction  atomic.Int64
+	received  atomic.Int64
+}
+
+// RecordOp implements core.Recorder.
+func (m *Metrics) RecordOp(k core.Key, d time.Duration) {
+	if k > core.MaxKey {
+		return
+	}
+	s := &m.ops[k]
+	s.count.Add(1)
+	ns := d.Nanoseconds()
+	s.totalNs.Add(ns)
+	s.hist[bucketOf(ns)].Add(1)
+}
+
+// RecordDrop implements core.Recorder.
+func (m *Metrics) RecordDrop(r core.DropReason) {
+	if int(r) < core.NumDropReasons {
+		m.drops[r].Add(1)
+	}
+}
+
+// CountVerdict tallies a packet's final fate (drops are counted by
+// RecordDrop, wired through the engine).
+func (m *Metrics) CountVerdict(v core.Verdict) {
+	m.received.Add(1)
+	switch v {
+	case core.VerdictForward:
+		m.forwarded.Add(1)
+	case core.VerdictDeliver:
+		m.delivered.Add(1)
+	case core.VerdictAbsorb:
+		m.absorbed.Add(1)
+	case core.VerdictContinue:
+		// Every FN ran but none chose an egress: the packet completes with
+		// no action (e.g. a pure authentication composition with no match
+		// FN). Counted so received always reconciles.
+		m.noAction.Add(1)
+	}
+}
+
+func bucketOf(ns int64) int {
+	b := 0
+	for ns > 1 && b < histBuckets-1 {
+		ns >>= 1
+		b++
+	}
+	return b
+}
+
+// OpSnapshot is one operation's aggregate statistics.
+type OpSnapshot struct {
+	Key     core.Key
+	Count   int64
+	TotalNs int64
+}
+
+// Mean returns the mean execution time.
+func (s OpSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.TotalNs / s.Count)
+}
+
+// Snapshot summarizes everything recorded so far.
+type Snapshot struct {
+	Ops       []OpSnapshot
+	Drops     map[core.DropReason]int64
+	Received  int64
+	Forwarded int64
+	Delivered int64
+	Absorbed  int64
+	NoAction  int64
+}
+
+// Snapshot captures current counters (concurrent-safe, monotone).
+func (m *Metrics) Snapshot() Snapshot {
+	s := Snapshot{Drops: map[core.DropReason]int64{}}
+	for k := core.Key(1); k <= core.MaxKey; k++ {
+		if c := m.ops[k].count.Load(); c > 0 {
+			s.Ops = append(s.Ops, OpSnapshot{Key: k, Count: c, TotalNs: m.ops[k].totalNs.Load()})
+		}
+	}
+	for r := 0; r < core.NumDropReasons; r++ {
+		if c := m.drops[r].Load(); c > 0 {
+			s.Drops[core.DropReason(r)] = c
+		}
+	}
+	s.Received = m.received.Load()
+	s.Forwarded = m.forwarded.Load()
+	s.Delivered = m.delivered.Load()
+	s.Absorbed = m.absorbed.Load()
+	s.NoAction = m.noAction.Load()
+	return s
+}
+
+// Percentile estimates the p-quantile (0 < p ≤ 1) of an operation's
+// execution time from its log2 histogram, returning the bucket's upper
+// bound. Zero when the operation never ran.
+func (m *Metrics) Percentile(k core.Key, p float64) time.Duration {
+	if k > core.MaxKey {
+		return 0
+	}
+	s := &m.ops[k]
+	total := s.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := int64(float64(total) * p)
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for b := 0; b < histBuckets; b++ {
+		cum += s.hist[b].Load()
+		if cum >= target {
+			return time.Duration(int64(1) << uint(b))
+		}
+	}
+	return time.Duration(int64(1) << (histBuckets - 1))
+}
+
+// String renders a human-readable report.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "packets: received=%d forwarded=%d delivered=%d absorbed=%d no-action=%d\n",
+		s.Received, s.Forwarded, s.Delivered, s.Absorbed, s.NoAction)
+	for _, op := range s.Ops {
+		fmt.Fprintf(&b, "  %-12s count=%-8d mean=%v\n", op.Key, op.Count, op.Mean())
+	}
+	if len(s.Drops) > 0 {
+		reasons := make([]core.DropReason, 0, len(s.Drops))
+		for r := range s.Drops {
+			reasons = append(reasons, r)
+		}
+		sort.Slice(reasons, func(i, j int) bool { return reasons[i] < reasons[j] })
+		for _, r := range reasons {
+			fmt.Fprintf(&b, "  drop %-14s %d\n", r, s.Drops[r])
+		}
+	}
+	return b.String()
+}

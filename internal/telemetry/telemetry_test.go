@@ -1,0 +1,127 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dip/internal/core"
+)
+
+func TestRecordAndSnapshot(t *testing.T) {
+	m := &Metrics{}
+	m.RecordOp(core.KeyFIB, 100*time.Nanosecond)
+	m.RecordOp(core.KeyFIB, 300*time.Nanosecond)
+	m.RecordOp(core.KeyMAC, time.Microsecond)
+	m.RecordDrop(core.DropNoRoute)
+	m.CountVerdict(core.VerdictForward)
+	m.CountVerdict(core.VerdictDeliver)
+	m.CountVerdict(core.VerdictAbsorb)
+	m.CountVerdict(core.VerdictDrop)
+	m.CountVerdict(core.VerdictContinue)
+
+	s := m.Snapshot()
+	if s.Received != 5 || s.Forwarded != 1 || s.Delivered != 1 || s.Absorbed != 1 || s.NoAction != 1 {
+		t.Errorf("verdicts: %+v", s)
+	}
+	// Conservation: every received packet lands in exactly one bucket.
+	if s.Forwarded+s.Delivered+s.Absorbed+s.NoAction+1 /* drop */ != s.Received {
+		t.Errorf("buckets do not reconcile: %+v", s)
+	}
+	if len(s.Ops) != 2 {
+		t.Fatalf("ops: %+v", s.Ops)
+	}
+	if s.Ops[0].Key != core.KeyFIB || s.Ops[0].Count != 2 || s.Ops[0].Mean() != 200*time.Nanosecond {
+		t.Errorf("FIB stat: %+v", s.Ops[0])
+	}
+	if s.Drops[core.DropNoRoute] != 1 {
+		t.Errorf("drops: %v", s.Drops)
+	}
+}
+
+func TestMeanOfZero(t *testing.T) {
+	var s OpSnapshot
+	if s.Mean() != 0 {
+		t.Error("Mean of empty must be 0")
+	}
+}
+
+func TestOutOfRangeKeysIgnored(t *testing.T) {
+	m := &Metrics{}
+	m.RecordOp(core.MaxKey+1, time.Second)
+	m.RecordDrop(core.DropReason(200))
+	s := m.Snapshot()
+	if len(s.Ops) != 0 || len(s.Drops) != 0 {
+		t.Error("out-of-range records counted")
+	}
+	if m.Percentile(core.MaxKey+1, 0.5) != 0 {
+		t.Error("percentile of out-of-range key")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	m := &Metrics{}
+	if m.Percentile(core.KeyFIB, 0.5) != 0 {
+		t.Error("percentile with no samples")
+	}
+	for i := 0; i < 90; i++ {
+		m.RecordOp(core.KeyFIB, 100*time.Nanosecond)
+	}
+	for i := 0; i < 10; i++ {
+		m.RecordOp(core.KeyFIB, 100*time.Microsecond)
+	}
+	p50 := m.Percentile(core.KeyFIB, 0.5)
+	p99 := m.Percentile(core.KeyFIB, 0.99)
+	if p50 > time.Microsecond {
+		t.Errorf("p50 = %v", p50)
+	}
+	if p99 < 10*time.Microsecond {
+		t.Errorf("p99 = %v", p99)
+	}
+	if p50 >= p99 {
+		t.Errorf("p50 %v ≥ p99 %v", p50, p99)
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	m := &Metrics{}
+	m.RecordOp(core.KeyFIB, time.Microsecond)
+	m.RecordDrop(core.DropPITMiss)
+	m.CountVerdict(core.VerdictForward)
+	out := m.Snapshot().String()
+	for _, want := range []string{"F_FIB", "forwarded=1", "pit-miss"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	m := &Metrics{}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				m.RecordOp(core.KeyFIB, time.Nanosecond)
+				m.CountVerdict(core.VerdictForward)
+			}
+		}()
+	}
+	wg.Wait()
+	s := m.Snapshot()
+	if s.Ops[0].Count != 8000 || s.Forwarded != 8000 {
+		t.Errorf("lost updates: %+v", s)
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	if bucketOf(0) != 0 || bucketOf(1) != 0 {
+		t.Error("small buckets")
+	}
+	if bucketOf(1<<40) != histBuckets-1 {
+		t.Errorf("huge latency bucket = %d", bucketOf(1<<40))
+	}
+}

@@ -1,0 +1,559 @@
+// Package topo parses and runs topology/scenario files: a line-based DSL
+// describing DIP routers, hosts, links, routes, producers, and timed
+// traffic, executed on the virtual-time simulator. cmd/diptopo is its CLI.
+//
+// Syntax (one directive per line, '#' comments):
+//
+//	router R1 [cache=64] [secret=<32 hex>] [hopindex=N] [requirepass]
+//	host   H1
+//	link   R1:0 H1 [delay]          # bidirectional; hosts have one port
+//	link   R1:1 R2:0 2ms
+//	route32 R1 10.0.0.0/8 1         # IPv4-style route to a port, or "local"
+//	route128 R1 20/8 1              # hex prefix
+//	name   R1 aa000000/8 1          # content-name route
+//	produce H2 aa000001 "payload"   # H2 answers interests for the name
+//	interest H1 aa000001 [at 5ms]   # scenario traffic
+//	send   H1 ipv4 10.0.0.1 10.0.0.9 "payload" [at 1ms]
+package topo
+
+import (
+	"bufio"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"dip/internal/core"
+	"dip/internal/cs"
+	"dip/internal/drkey"
+	"dip/internal/fib"
+	"dip/internal/netsim"
+	"dip/internal/ops"
+	"dip/internal/pit"
+	"dip/internal/profiles"
+	"dip/internal/router"
+	"dip/internal/telemetry"
+)
+
+// Delivery records a packet arriving at a host.
+type Delivery struct {
+	Host    string
+	At      time.Duration
+	Payload string
+	Profile string // "interest", "data", "other"
+}
+
+// Topology is a parsed, runnable network.
+type Topology struct {
+	sim        *netsim.Simulator
+	routers    map[string]*routerNode
+	hosts      map[string]*hostNode
+	events     []event
+	Deliveries []Delivery
+	// Log receives a line per notable event; nil discards.
+	Log func(format string, args ...any)
+}
+
+type routerNode struct {
+	name    string
+	cfg     ops.Config
+	r       *router.Router
+	metrics *telemetry.Metrics
+	ports   int
+}
+
+type hostNode struct {
+	name     string
+	topo     *Topology
+	port     router.Port // toward the network (set by link)
+	produces map[uint32]string
+}
+
+type event struct {
+	at time.Duration
+	fn func()
+}
+
+// Parse reads a topology file.
+func Parse(r io.Reader) (*Topology, error) {
+	t := &Topology{
+		sim:     netsim.New(),
+		routers: map[string]*routerNode{},
+		hosts:   map[string]*hostNode{},
+	}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if err := t.directive(line); err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func (t *Topology) directive(line string) error {
+	fields := tokenize(line)
+	switch fields[0] {
+	case "router":
+		return t.addRouter(fields[1:])
+	case "host":
+		return t.addHost(fields[1:])
+	case "link":
+		return t.addLink(fields[1:])
+	case "route32", "route128", "name":
+		return t.addRoute(fields[0], fields[1:])
+	case "produce":
+		return t.addProducer(fields[1:])
+	case "interest":
+		return t.addInterest(fields[1:])
+	case "send":
+		return t.addSend(fields[1:])
+	default:
+		return fmt.Errorf("unknown directive %q", fields[0])
+	}
+}
+
+// tokenize splits on spaces but keeps quoted strings whole (without quotes).
+func tokenize(line string) []string {
+	var out []string
+	for len(line) > 0 {
+		line = strings.TrimLeft(line, " \t")
+		if line == "" {
+			break
+		}
+		if line[0] == '"' {
+			end := strings.IndexByte(line[1:], '"')
+			if end < 0 {
+				out = append(out, line[1:])
+				return out
+			}
+			out = append(out, line[1:1+end])
+			line = line[2+end:]
+			continue
+		}
+		sp := strings.IndexAny(line, " \t")
+		if sp < 0 {
+			out = append(out, line)
+			break
+		}
+		out = append(out, line[:sp])
+		line = line[sp+1:]
+	}
+	return out
+}
+
+func (t *Topology) addRouter(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("router needs a name")
+	}
+	name := args[0]
+	if _, dup := t.routers[name]; dup {
+		return fmt.Errorf("router %s redefined", name)
+	}
+	cfg := ops.Config{
+		FIB32:   fib.New(),
+		FIB128:  fib.New(),
+		NameFIB: fib.New(),
+		PIT:     pit.New[uint32](),
+	}
+	for _, opt := range args[1:] {
+		k, v, _ := strings.Cut(opt, "=")
+		switch k {
+		case "cache":
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return fmt.Errorf("cache: %v", err)
+			}
+			cfg.ContentStore = cs.New[uint32](n)
+		case "secret":
+			secret, err := hex.DecodeString(v)
+			if err != nil || len(secret) != 16 {
+				return fmt.Errorf("secret must be 32 hex chars")
+			}
+			sv, err := drkey.NewSecretValue(name, secret)
+			if err != nil {
+				return err
+			}
+			cfg.Secret = sv
+		case "hopindex":
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return fmt.Errorf("hopindex: %v", err)
+			}
+			cfg.HopIndex = uint8(n)
+		case "requirepass":
+			cfg.RequirePass = true
+		default:
+			return fmt.Errorf("unknown router option %q", opt)
+		}
+	}
+	rn := &routerNode{name: name, cfg: cfg, metrics: &telemetry.Metrics{}}
+	rn.r = router.New(ops.NewRouterRegistry(cfg), router.Config{
+		Name:    name,
+		Metrics: rn.metrics,
+	})
+	t.routers[name] = rn
+	return nil
+}
+
+func (t *Topology) addHost(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("host needs a name")
+	}
+	name := args[0]
+	if _, dup := t.hosts[name]; dup {
+		return fmt.Errorf("host %s redefined", name)
+	}
+	t.hosts[name] = &hostNode{name: name, topo: t, produces: map[uint32]string{}}
+	return nil
+}
+
+// endpoint resolves "NAME[:port]".
+func (t *Topology) endpoint(spec string) (name string, port int, isHost bool, err error) {
+	name, portStr, has := strings.Cut(spec, ":")
+	if _, ok := t.hosts[name]; ok {
+		if has {
+			return "", 0, false, fmt.Errorf("hosts have no port numbers: %q", spec)
+		}
+		return name, 0, true, nil
+	}
+	if _, ok := t.routers[name]; !ok {
+		return "", 0, false, fmt.Errorf("unknown node %q", name)
+	}
+	if !has {
+		return "", 0, false, fmt.Errorf("router endpoint needs a port: %q", spec)
+	}
+	port, err = strconv.Atoi(portStr)
+	return name, port, false, err
+}
+
+func (t *Topology) addLink(args []string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("link needs two endpoints")
+	}
+	delay := time.Millisecond
+	if len(args) >= 3 {
+		d, err := time.ParseDuration(args[2])
+		if err != nil {
+			return fmt.Errorf("delay: %v", err)
+		}
+		delay = d
+	}
+	aName, aPort, aHost, err := t.endpoint(args[0])
+	if err != nil {
+		return err
+	}
+	bName, bPort, bHost, err := t.endpoint(args[1])
+	if err != nil {
+		return err
+	}
+	recvOf := func(name string, isHost bool, port int) netsim.Receiver {
+		if isHost {
+			h := t.hosts[name]
+			return netsim.ReceiverFunc(func(pkt []byte, _ int) { h.receive(pkt) })
+		}
+		r := t.routers[name].r
+		return netsim.ReceiverFunc(func(pkt []byte, p int) { r.HandlePacket(pkt, p) })
+	}
+	// a → b direction.
+	abPipe := t.sim.Pipe(recvOf(bName, bHost, bPort), bPort, delay, 0)
+	baPipe := t.sim.Pipe(recvOf(aName, aHost, aPort), aPort, delay, 0)
+	attach := func(name string, isHost bool, port int, pipe *netsim.Endpoint) error {
+		if isHost {
+			t.hosts[name].port = pipe
+			return nil
+		}
+		rn := t.routers[name]
+		for rn.ports <= port {
+			// Pad unassigned ports with black holes so indices line up.
+			if rn.ports == port {
+				rn.r.AttachPort(pipe)
+			} else {
+				rn.r.AttachPort(router.PortFunc(func([]byte) {}))
+			}
+			rn.ports++
+		}
+		return nil
+	}
+	if err := attach(aName, aHost, aPort, abPipe); err != nil {
+		return err
+	}
+	return attach(bName, bHost, bPort, baPipe)
+}
+
+func (t *Topology) addRoute(kind string, args []string) error {
+	if len(args) != 3 {
+		return fmt.Errorf("%s needs: router prefix/len port|local", kind)
+	}
+	rn, ok := t.routers[args[0]]
+	if !ok {
+		return fmt.Errorf("unknown router %q", args[0])
+	}
+	prefixStr, lenStr, ok := strings.Cut(args[1], "/")
+	if !ok {
+		return fmt.Errorf("prefix needs /len")
+	}
+	plen, err := strconv.Atoi(lenStr)
+	if err != nil {
+		return err
+	}
+	nh := fib.Local
+	if args[2] != "local" {
+		port, err := strconv.Atoi(args[2])
+		if err != nil {
+			return fmt.Errorf("port: %v", err)
+		}
+		nh = fib.NextHop{Port: port}
+	}
+	switch kind {
+	case "route32":
+		key, err := parse32(prefixStr)
+		if err != nil {
+			return err
+		}
+		return rn.cfg.FIB32.AddUint32(key, plen, nh)
+	case "name":
+		key, err := parseHex32(prefixStr)
+		if err != nil {
+			return err
+		}
+		return rn.cfg.NameFIB.AddUint32(key, plen, nh)
+	default: // route128
+		key, err := hex.DecodeString(prefixStr)
+		if err != nil {
+			return err
+		}
+		key = append(key, make([]byte, 16-len(key))...)
+		return rn.cfg.FIB128.Add(key, plen, nh)
+	}
+}
+
+func (t *Topology) addProducer(args []string) error {
+	if len(args) != 3 {
+		return fmt.Errorf("produce needs: host name payload")
+	}
+	h, ok := t.hosts[args[0]]
+	if !ok {
+		return fmt.Errorf("unknown host %q", args[0])
+	}
+	name, err := parseHex32(args[1])
+	if err != nil {
+		return err
+	}
+	h.produces[name] = args[2]
+	return nil
+}
+
+func (t *Topology) scheduleAt(args []string) (rest []string, at time.Duration, err error) {
+	for i := 0; i+1 < len(args); i++ {
+		if args[i] == "at" {
+			d, err := time.ParseDuration(args[i+1])
+			if err != nil {
+				return nil, 0, err
+			}
+			return append(append([]string{}, args[:i]...), args[i+2:]...), d, nil
+		}
+	}
+	return args, 0, nil
+}
+
+func (t *Topology) addInterest(args []string) error {
+	args, at, err := t.scheduleAt(args)
+	if err != nil {
+		return err
+	}
+	if len(args) != 2 {
+		return fmt.Errorf("interest needs: host name [at D]")
+	}
+	h, ok := t.hosts[args[0]]
+	if !ok {
+		return fmt.Errorf("unknown host %q", args[0])
+	}
+	name, err := parseHex32(args[1])
+	if err != nil {
+		return err
+	}
+	t.events = append(t.events, event{at: at, fn: func() {
+		b, err := buildPacket(profiles.NDNInterest(name), nil)
+		if err != nil {
+			return
+		}
+		h.send(b)
+	}})
+	return nil
+}
+
+func (t *Topology) addSend(args []string) error {
+	args, at, err := t.scheduleAt(args)
+	if err != nil {
+		return err
+	}
+	if len(args) != 5 || args[1] != "ipv4" {
+		return fmt.Errorf("send needs: host ipv4 src dst payload [at D]")
+	}
+	h, ok := t.hosts[args[0]]
+	if !ok {
+		return fmt.Errorf("unknown host %q", args[0])
+	}
+	src, err := parseDotted(args[2])
+	if err != nil {
+		return err
+	}
+	dst, err := parseDotted(args[3])
+	if err != nil {
+		return err
+	}
+	payload := args[4]
+	t.events = append(t.events, event{at: at, fn: func() {
+		b, err := buildPacket(profiles.IPv4(src, dst), []byte(payload))
+		if err != nil {
+			return
+		}
+		h.send(b)
+	}})
+	return nil
+}
+
+func (h *hostNode) send(pkt []byte) {
+	if h.port != nil {
+		h.port.Send(pkt)
+	}
+}
+
+func (h *hostNode) receive(pkt []byte) {
+	t := h.topo
+	v, err := core.ParseView(pkt)
+	if err != nil {
+		return
+	}
+	profile := "other"
+	if v.FNNum() > 0 {
+		switch v.FN(0).Key {
+		case core.KeyFIB:
+			profile = "interest"
+		case core.KeyPIT:
+			profile = "data"
+		}
+	}
+	// Producers answer interests for names they serve.
+	if profile == "interest" {
+		name := nameOf(v)
+		if payload, serves := h.produces[name]; serves {
+			if t.Log != nil {
+				t.Log("[%v] %s serves %#08x", t.sim.Now(), h.name, name)
+			}
+			reply, err := buildPacket(profiles.NDNData(name), []byte(payload))
+			if err == nil {
+				t.sim.Schedule(0, func() { h.send(reply) })
+			}
+			return
+		}
+	}
+	t.Deliveries = append(t.Deliveries, Delivery{
+		Host:    h.name,
+		At:      t.sim.Now(),
+		Payload: string(v.Payload()),
+		Profile: profile,
+	})
+	if t.Log != nil {
+		t.Log("[%v] %s received %s %q", t.sim.Now(), h.name, profile, v.Payload())
+	}
+}
+
+// Run schedules the scenario and drains the simulator, returning the
+// deliveries observed.
+func (t *Topology) Run() []Delivery {
+	for _, e := range t.events {
+		e := e
+		t.sim.Schedule(e.at, e.fn)
+	}
+	t.events = nil
+	t.sim.Run()
+	return t.Deliveries
+}
+
+// Report summarizes router telemetry after a run.
+func (t *Topology) Report(w io.Writer) {
+	names := make([]string, 0, len(t.routers))
+	for n := range t.routers {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	for _, n := range names {
+		fmt.Fprintf(w, "router %s:\n%s", n, indent(t.routers[n].metrics.Snapshot().String()))
+	}
+}
+
+func nameOf(v core.View) uint32 {
+	locs := v.Locations()
+	if len(locs) < 4 {
+		return 0
+	}
+	return uint32(locs[0])<<24 | uint32(locs[1])<<16 | uint32(locs[2])<<8 | uint32(locs[3])
+}
+
+func parse32(s string) (uint32, error) {
+	if strings.Contains(s, ".") {
+		b, err := parseDotted(s)
+		if err != nil {
+			return 0, err
+		}
+		return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3]), nil
+	}
+	return parseHex32(s)
+}
+
+func parseHex32(s string) (uint32, error) {
+	v, err := strconv.ParseUint(strings.TrimPrefix(s, "0x"), 16, 32)
+	return uint32(v), err
+}
+
+func parseDotted(s string) ([4]byte, error) {
+	var out [4]byte
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return out, fmt.Errorf("want a.b.c.d, got %q", s)
+	}
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 0 || v > 255 {
+			return out, fmt.Errorf("bad octet %q", p)
+		}
+		out[i] = byte(v)
+	}
+	return out, nil
+}
+
+func buildPacket(h *core.Header, payload []byte) ([]byte, error) {
+	buf, err := h.AppendTo(make([]byte, 0, h.WireSize()+len(payload)))
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, payload...), nil
+}
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = "  " + lines[i]
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

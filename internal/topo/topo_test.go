@@ -1,0 +1,143 @@
+package topo
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+const demoTopo = `
+# consumer -- R1 -- R2 -- producer, with a cache at R1
+router R1 cache=16
+router R2
+host   C
+host   P
+
+link C R1:0
+link R1:1 R2:0 2ms
+link R2:1 P
+
+name R1 aa000000/8 1
+name R2 aa000000/8 1
+
+produce P aa000001 "the bits"
+interest C aa000001
+interest C aa000001 at 100ms
+`
+
+func TestParseAndRunNDNScenario(t *testing.T) {
+	tp, err := Parse(strings.NewReader(demoTopo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deliveries := tp.Run()
+	var dataToC []Delivery
+	for _, d := range deliveries {
+		if d.Host == "C" && d.Profile == "data" {
+			dataToC = append(dataToC, d)
+		}
+	}
+	if len(dataToC) != 2 {
+		t.Fatalf("consumer data deliveries: %+v", deliveries)
+	}
+	for _, d := range dataToC {
+		if d.Payload != "the bits" {
+			t.Errorf("payload %q", d.Payload)
+		}
+	}
+	// The second interest (at 100ms) is served from R1's cache: it must
+	// arrive much sooner after issue (2ms round trip to R1, not 6ms to P).
+	if gap := dataToC[1].At - 100*time.Millisecond; gap > 3*time.Millisecond {
+		t.Errorf("cache not used: second delivery %v after issue", gap)
+	}
+	var report strings.Builder
+	tp.Report(&report)
+	if !strings.Contains(report.String(), "router R1:") {
+		t.Errorf("report:\n%s", report.String())
+	}
+}
+
+func TestParseIPv4Send(t *testing.T) {
+	src := `
+router R1
+host A
+host B
+link A R1:0
+link R1:1 B
+route32 R1 10.0.0.0/8 1
+send A ipv4 192.0.2.1 10.0.0.9 "over ip" at 5ms
+`
+	tp, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deliveries := tp.Run()
+	if len(deliveries) != 1 || deliveries[0].Host != "B" || deliveries[0].Payload != "over ip" {
+		t.Fatalf("deliveries: %+v", deliveries)
+	}
+	if deliveries[0].At < 5*time.Millisecond {
+		t.Errorf("scheduled time ignored: %v", deliveries[0].At)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"unknown directive", "frobnicate x"},
+		{"router redefined", "router R\nrouter R"},
+		{"host redefined", "host H\nhost H"},
+		{"link unknown node", "link A:0 B:0"},
+		{"link host with port", "host H\nrouter R\nlink H:1 R:0"},
+		{"link router without port", "router R\nhost H\nlink R H"},
+		{"bad delay", "router R\nhost H\nlink H R:0 soon"},
+		{"route unknown router", "route32 R 10.0.0.0/8 1"},
+		{"route bad prefix", "router R\nroute32 R 10.0.0.0 1"},
+		{"route bad port", "router R\nroute32 R 10.0.0.0/8 x"},
+		{"produce unknown host", "produce H aa 1"},
+		{"interest unknown host", "interest H aa000001"},
+		{"send bad proto", "host H\nsend H ipv6 a b c"},
+		{"bad secret", "router R secret=zz"},
+		{"bad cache", "router R cache=many"},
+		{"unknown router option", "router R wings=2"},
+		{"bad at", "host H\ninterest H aa000001 at soon"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Parse(strings.NewReader(c.src)); err == nil {
+				t.Errorf("accepted:\n%s", c.src)
+			}
+		})
+	}
+}
+
+func TestRouterOptions(t *testing.T) {
+	src := `
+router R cache=4 secret=00112233445566778899aabbccddeeff hopindex=2 requirepass
+`
+	tp, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rn := tp.routers["R"]
+	if rn.cfg.ContentStore == nil || rn.cfg.Secret == nil ||
+		rn.cfg.HopIndex != 2 || !rn.cfg.RequirePass {
+		t.Errorf("options lost: %+v", rn.cfg)
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	got := tokenize(`produce P aa "two words"  tail`)
+	want := []string{"produce", "P", "aa", "two words", "tail"}
+	if len(got) != len(want) {
+		t.Fatalf("got %q", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %q", i, got[i])
+		}
+	}
+	// Unterminated quote: rest of line becomes one token.
+	got = tokenize(`a "unterminated rest`)
+	if len(got) != 2 || got[1] != "unterminated rest" {
+		t.Errorf("got %q", got)
+	}
+}

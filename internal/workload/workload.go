@@ -1,0 +1,216 @@
+// Package workload generates synthetic packet traces for benchmarks and
+// stress tests: configurable protocol mixes over the §3 profiles, Zipf
+// content-name popularity (the usual NDN workload model), random address
+// pools, and padded packet sizes. The generator is deterministic for a
+// given seed so experiments are reproducible.
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"dip/internal/core"
+	"dip/internal/opt"
+	"dip/internal/profiles"
+)
+
+// Protocol labels trace entries.
+type Protocol uint8
+
+// Protocols the generator can emit.
+const (
+	ProtoIPv4 Protocol = iota
+	ProtoIPv6
+	ProtoNDN // an interest/data pair
+	ProtoOPT
+	ProtoNDNOPT // an interest + NDN+OPT data pair
+	numProtocols
+)
+
+// String names the protocol.
+func (p Protocol) String() string {
+	names := [...]string{"ipv4", "ipv6", "ndn", "opt", "ndn+opt"}
+	if int(p) < len(names) {
+		return names[p]
+	}
+	return "proto(?)"
+}
+
+// NamePrefix is the content-name prefix all generated names share; route
+// it in the NameFIB to make the trace forwardable.
+const NamePrefix = 0xAA000000
+
+// AddrPrefixByte is the first octet of every generated IPv4 destination;
+// route AddrPrefixByte/8 in FIB32. Generated IPv6 destinations start with
+// Addr6PrefixByte; route it /8 in FIB128.
+const (
+	AddrPrefixByte  = 10
+	Addr6PrefixByte = 0x20
+)
+
+// Spec configures a trace.
+type Spec struct {
+	// Weights select the protocol mix (zero-valued entries are excluded).
+	Weights map[Protocol]float64
+	// Names is the distinct content-name population (≥ 1 for NDN traffic).
+	Names int
+	// ZipfS is the Zipf skew (>1); 0 disables skew (uniform).
+	ZipfS float64
+	// PacketSize pads every packet to this many bytes (0 = no padding).
+	PacketSize int
+	// Ports is the router port fan-in to attribute packets to.
+	Ports int
+	// Session supplies OPT state (required for OPT / NDN+OPT weights).
+	Session *opt.Session
+	// Seed makes the trace reproducible.
+	Seed int64
+}
+
+// Packet is one trace entry.
+type Packet struct {
+	Buf    []byte
+	InPort int
+	Proto  Protocol
+	// HopByte is the offset of the hop-limit byte, for cheap re-arming
+	// when a trace is replayed multiple times.
+	HopByte int
+}
+
+// Rearm restores the hop limit consumed by a previous replay.
+func (p *Packet) Rearm() { p.Buf[p.HopByte] = 64 }
+
+// Trace is a generated packet sequence.
+type Trace struct {
+	Packets []Packet
+	// Counts tallies packets per protocol.
+	Counts map[Protocol]int
+}
+
+// Generate builds a trace of n logical events (an NDN event contributes
+// two packets: interest then data for the same name, ordered so the data
+// finds its PIT entry).
+func Generate(spec Spec, n int) (*Trace, error) {
+	if spec.Names <= 0 {
+		spec.Names = 1024
+	}
+	if spec.Ports <= 0 {
+		spec.Ports = 4
+	}
+	var protos []Protocol
+	var cum []float64
+	total := 0.0
+	for p := Protocol(0); p < numProtocols; p++ {
+		w := spec.Weights[p]
+		if w <= 0 {
+			continue
+		}
+		if (p == ProtoOPT || p == ProtoNDNOPT) && spec.Session == nil {
+			return nil, fmt.Errorf("workload: %v weight requires a Session", p)
+		}
+		total += w
+		protos = append(protos, p)
+		cum = append(cum, total)
+	}
+	if len(protos) == 0 {
+		return nil, fmt.Errorf("workload: no protocol weights")
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	var zipf *rand.Zipf
+	if spec.ZipfS > 1 {
+		zipf = rand.NewZipf(rng, spec.ZipfS, 1, uint64(spec.Names-1))
+	}
+	name := func() uint32 {
+		if zipf != nil {
+			return NamePrefix | uint32(zipf.Uint64())
+		}
+		return NamePrefix | uint32(rng.Intn(spec.Names))
+	}
+
+	tr := &Trace{Counts: map[Protocol]int{}}
+	emit := func(h *core.Header, proto Protocol, payload []byte) error {
+		buf, err := h.AppendTo(make([]byte, 0, h.WireSize()+len(payload)))
+		if err != nil {
+			return err
+		}
+		buf = append(buf, payload...)
+		for len(buf) < spec.PacketSize {
+			buf = append(buf, 0xA5)
+		}
+		tr.Packets = append(tr.Packets, Packet{
+			Buf:     buf,
+			InPort:  rng.Intn(spec.Ports),
+			Proto:   proto,
+			HopByte: 3,
+		})
+		tr.Counts[proto]++
+		return nil
+	}
+
+	for i := 0; i < n; i++ {
+		x := rng.Float64() * total
+		proto := protos[len(protos)-1]
+		for j, c := range cum {
+			if x < c {
+				proto = protos[j]
+				break
+			}
+		}
+		switch proto {
+		case ProtoIPv4:
+			var src, dst [4]byte
+			rng.Read(src[:])
+			rng.Read(dst[:])
+			dst[0] = AddrPrefixByte
+			if err := emit(profiles.IPv4(src, dst), proto, nil); err != nil {
+				return nil, err
+			}
+		case ProtoIPv6:
+			var src, dst [16]byte
+			rng.Read(src[:])
+			rng.Read(dst[:])
+			dst[0] = Addr6PrefixByte
+			if err := emit(profiles.IPv6(src, dst), proto, nil); err != nil {
+				return nil, err
+			}
+		case ProtoNDN:
+			nm := name()
+			if err := emit(profiles.NDNInterest(nm), proto, nil); err != nil {
+				return nil, err
+			}
+			if err := emit(profiles.NDNData(nm), proto, payloadFor(nm)); err != nil {
+				return nil, err
+			}
+		case ProtoOPT:
+			h, err := profiles.OPT(spec.Session, nil, uint32(i))
+			if err != nil {
+				return nil, err
+			}
+			if err := emit(h, proto, nil); err != nil {
+				return nil, err
+			}
+		case ProtoNDNOPT:
+			nm := name()
+			if err := emit(profiles.NDNInterest(nm), ProtoNDN, nil); err != nil {
+				return nil, err
+			}
+			h, err := profiles.NDNOPTData(spec.Session, nm, payloadFor(nm), uint32(i))
+			if err != nil {
+				return nil, err
+			}
+			if err := emit(h, proto, payloadFor(nm)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return tr, nil
+}
+
+// payloadFor derives a small deterministic payload from a name so NDN+OPT
+// data hashes are consistent.
+func payloadFor(name uint32) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint32(b[:], name)
+	binary.BigEndian.PutUint32(b[4:], ^name)
+	return b[:]
+}

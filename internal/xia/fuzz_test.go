@@ -1,0 +1,56 @@
+package xia
+
+import "testing"
+
+// FuzzDecode: arbitrary bytes must never panic the DAG decoder, and
+// anything it accepts must re-encode to an equal DAG.
+func FuzzDecode(f *testing.F) {
+	d := fallbackDAG()
+	buf := make([]byte, d.WireSize())
+	d.Encode(buf, SourceIndex)
+	f.Add(buf)
+	f.Add([]byte{0xFF, 1, 1, 0})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dag, last, n, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		out := make([]byte, dag.WireSize())
+		m, err := dag.Encode(out, last)
+		if err != nil {
+			t.Fatalf("accepted DAG fails to re-encode: %v", err)
+		}
+		re, last2, _, err := Decode(out[:m])
+		if err != nil || last2 != last || !re.Equal(dag) {
+			t.Fatalf("re-decode mismatch: %v", err)
+		}
+	})
+}
+
+// FuzzTraverseEncoded: wire traversal must never panic or read out of
+// bounds on arbitrary input, and must agree with decoded traversal whenever
+// both accept.
+func FuzzTraverseEncoded(f *testing.F) {
+	d := fallbackDAG()
+	buf := make([]byte, d.WireSize())
+	d.Encode(buf, SourceIndex)
+	f.Add(buf)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rt := NewRouteTable()
+		rt.AddRoute(NewXID(TypeAD, []byte("ad1")), 3)
+		rt.AddLocal(NewXID(TypeCID, []byte("content1")))
+		encDec, encErr := TraverseEncoded(data, rt)
+		dag, last, _, decErr := Decode(data)
+		if encErr != nil || decErr != nil {
+			return // either rejection is fine; no panic is the invariant
+		}
+		want := Traverse(dag, last, rt)
+		if encDec != want {
+			t.Fatalf("wire traversal %+v, decoded traversal %+v", encDec, want)
+		}
+	})
+}

@@ -1,0 +1,123 @@
+package xia
+
+import "fmt"
+
+// TraverseEncoded runs the per-hop fallback traversal directly over an
+// encoded DAG, without decoding it into a DAG value. This is the form
+// F_DAG uses on the forwarding path: it allocates nothing, and the only
+// mutation a router needs afterwards is SetLastVisited on the same bytes.
+func TraverseEncoded(b []byte, r Resolver) (Decision, error) {
+	if len(b) < 3 {
+		return Decision{}, fmt.Errorf("%w: %d bytes", ErrTruncated, len(b))
+	}
+	lastVisited := SourceIndex
+	if b[0] != 0xFF {
+		lastVisited = int(b[0])
+	}
+	numNodes := int(b[1])
+	numSrc := int(b[2])
+	if numNodes == 0 || numNodes > MaxNodes || numSrc == 0 || numSrc > MaxEdges {
+		return Decision{}, fmt.Errorf("%w: %d nodes, %d source edges", ErrBadDAG, numNodes, numSrc)
+	}
+	if lastVisited >= numNodes {
+		return Decision{}, fmt.Errorf("%w: lastVisited %d of %d nodes", ErrBadDAG, lastVisited, numNodes)
+	}
+	srcEdgesOff := 3
+	if srcEdgesOff+numSrc > len(b) {
+		return Decision{}, ErrTruncated
+	}
+	// Index node offsets in one pass.
+	var nodeOff [MaxNodes]int
+	pos := srcEdgesOff + numSrc
+	for i := 0; i < numNodes; i++ {
+		if pos+4+IDSize+1 > len(b) {
+			return Decision{}, ErrTruncated
+		}
+		nodeOff[i] = pos
+		ne := int(b[pos+4+IDSize])
+		if ne > MaxEdges {
+			return Decision{}, fmt.Errorf("%w: node %d has %d edges", ErrBadDAG, i, ne)
+		}
+		pos += 4 + IDSize + 1 + ne
+		if pos > len(b) {
+			return Decision{}, ErrTruncated
+		}
+	}
+	xidAt := func(i int) XID {
+		off := nodeOff[i]
+		var x XID
+		x.Type = XIDType(uint32(b[off])<<24 | uint32(b[off+1])<<16 | uint32(b[off+2])<<8 | uint32(b[off+3]))
+		copy(x.ID[:], b[off+4:off+4+IDSize])
+		return x
+	}
+	edgesAt := func(i int) []byte {
+		if i == SourceIndex {
+			return b[srcEdgesOff : srcEdgesOff+numSrc]
+		}
+		off := nodeOff[i] + 4 + IDSize
+		ne := int(b[off])
+		return b[off+1 : off+1+ne]
+	}
+	intent := numNodes - 1
+	cur := lastVisited
+	for iter := 0; iter <= numNodes; iter++ {
+		advanced := false
+		for _, eb := range edgesAt(cur) {
+			e := int(eb)
+			if e >= numNodes || (cur != SourceIndex && e <= cur) {
+				return Decision{}, fmt.Errorf("%w: edge %d→%d", ErrBadDAG, cur, e)
+			}
+			x := xidAt(e)
+			if r.IsLocal(x) {
+				if e == intent {
+					return Decision{Kind: DecisionIntent, NewLast: e}, nil
+				}
+				cur = e
+				advanced = true
+				break
+			}
+			if port, ok := r.Lookup(x); ok {
+				return Decision{Kind: DecisionForward, Port: port, NewLast: e}, nil
+			}
+		}
+		if !advanced {
+			return Decision{Kind: DecisionDead, NewLast: cur}, nil
+		}
+	}
+	return Decision{Kind: DecisionDead, NewLast: cur}, nil
+}
+
+// IntentEncoded reports whether the encoded DAG's last-visited pointer sits
+// on the intent node, and returns the intent XID. This is F_intent's check;
+// like TraverseEncoded it walks the wire form and allocates nothing.
+func IntentEncoded(b []byte) (XID, bool, error) {
+	if len(b) < 3 {
+		return XID{}, false, fmt.Errorf("%w: %d bytes", ErrTruncated, len(b))
+	}
+	lastVisited := SourceIndex
+	if b[0] != 0xFF {
+		lastVisited = int(b[0])
+	}
+	numNodes := int(b[1])
+	numSrc := int(b[2])
+	if numNodes == 0 || numNodes > MaxNodes {
+		return XID{}, false, fmt.Errorf("%w: %d nodes", ErrBadDAG, numNodes)
+	}
+	if lastVisited >= numNodes {
+		return XID{}, false, fmt.Errorf("%w: lastVisited %d of %d nodes", ErrBadDAG, lastVisited, numNodes)
+	}
+	pos := 3 + numSrc
+	for i := 0; i < numNodes; i++ {
+		if pos+4+IDSize+1 > len(b) {
+			return XID{}, false, ErrTruncated
+		}
+		if i == numNodes-1 {
+			var x XID
+			x.Type = XIDType(uint32(b[pos])<<24 | uint32(b[pos+1])<<16 | uint32(b[pos+2])<<8 | uint32(b[pos+3]))
+			copy(x.ID[:], b[pos+4:pos+4+IDSize])
+			return x, lastVisited == numNodes-1, nil
+		}
+		pos += 4 + IDSize + 1 + int(b[pos+4+IDSize])
+	}
+	return XID{}, false, ErrTruncated
+}

@@ -1,0 +1,99 @@
+package xia
+
+import (
+	"errors"
+	"testing"
+)
+
+func encoded(t *testing.T, d *DAG, last int) []byte {
+	t.Helper()
+	buf := make([]byte, d.WireSize())
+	if _, err := d.Encode(buf, last); err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+// TraverseEncoded must agree with Traverse over the decoded form for every
+// scenario the decoded tests cover.
+func TestTraverseEncodedAgreesWithDecoded(t *testing.T) {
+	d := fallbackDAG()
+	scenarios := []func(*RouteTable){
+		func(rt *RouteTable) { rt.AddRoute(d.Nodes[2].XID, 7) },
+		func(rt *RouteTable) { rt.AddRoute(d.Nodes[0].XID, 3) },
+		func(rt *RouteTable) { rt.AddLocal(d.Nodes[0].XID); rt.AddRoute(d.Nodes[1].XID, 4) },
+		func(rt *RouteTable) { rt.AddLocal(d.Nodes[2].XID) },
+		func(rt *RouteTable) {}, // dead end
+		func(rt *RouteTable) {
+			for _, n := range d.Nodes {
+				rt.AddLocal(n.XID)
+			}
+		},
+	}
+	for si, setup := range scenarios {
+		for last := SourceIndex; last < len(d.Nodes); last++ {
+			rt := NewRouteTable()
+			setup(rt)
+			want := Traverse(d, last, rt)
+			got, err := TraverseEncoded(encoded(t, d, last), rt)
+			if err != nil {
+				t.Fatalf("scenario %d last %d: %v", si, last, err)
+			}
+			if got != want {
+				t.Errorf("scenario %d last %d: encoded %+v, decoded %+v", si, last, got, want)
+			}
+		}
+	}
+}
+
+func TestTraverseEncodedErrors(t *testing.T) {
+	rt := NewRouteTable()
+	if _, err := TraverseEncoded([]byte{1}, rt); !errors.Is(err, ErrTruncated) {
+		t.Errorf("tiny: %v", err)
+	}
+	d := fallbackDAG()
+	buf := encoded(t, d, SourceIndex)
+	if _, err := TraverseEncoded(buf[:12], rt); !errors.Is(err, ErrTruncated) {
+		t.Errorf("truncated: %v", err)
+	}
+	bad := append([]byte(nil), buf...)
+	bad[0] = 9 // lastVisited out of range
+	if _, err := TraverseEncoded(bad, rt); !errors.Is(err, ErrBadDAG) {
+		t.Errorf("lastVisited: %v", err)
+	}
+	bad = append([]byte(nil), buf...)
+	bad[1] = 0 // zero nodes
+	if _, err := TraverseEncoded(bad, rt); !errors.Is(err, ErrBadDAG) {
+		t.Errorf("zero nodes: %v", err)
+	}
+}
+
+func TestTraverseEncodedZeroAlloc(t *testing.T) {
+	d := fallbackDAG()
+	rt := NewRouteTable()
+	rt.AddRoute(d.Nodes[0].XID, 3)
+	buf := encoded(t, d, SourceIndex)
+	allocs := testing.AllocsPerRun(500, func() {
+		if _, err := TraverseEncoded(buf, rt); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("TraverseEncoded allocates %.1f", allocs)
+	}
+}
+
+func TestIntentEncoded(t *testing.T) {
+	d := fallbackDAG()
+	x, at, err := IntentEncoded(encoded(t, d, 2))
+	if err != nil || !at || x.Type != TypeCID {
+		t.Errorf("at intent: %v %v %v", x, at, err)
+	}
+	_, at, err = IntentEncoded(encoded(t, d, 0))
+	if err != nil || at {
+		t.Errorf("not at intent: %v %v", at, err)
+	}
+	if _, _, err := IntentEncoded([]byte{1}); err == nil {
+		t.Error("bad encoding accepted")
+	}
+}

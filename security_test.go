@@ -1,0 +1,156 @@
+package dip
+
+// The §2.4 adversarial scenario, end to end: "an attacker can use both
+// F_FIB and F_PIT in one packet and carry maliciously constructed data to
+// pollute the node's content cache. Nodes can enable source label
+// verification designs (implemented as a new FN F_pass) to defend against
+// this attack … F_pass can be enabled on the fly upon detecting content
+// poisoning attacks."
+
+import (
+	"bytes"
+	"testing"
+
+	"dip/internal/ops"
+)
+
+// poisonPacket is the §2.4 attack: one packet whose F_FIB creates a PIT
+// entry for the victim name and whose F_PIT immediately consumes it,
+// smuggling attacker-chosen bytes into the content store without any
+// legitimate interest ever existing.
+func poisonPacket(t *testing.T, name uint32, payload []byte) []byte {
+	t.Helper()
+	h := NDNInterestProfile(name) // F_FIB over the name...
+	h.FNs = append(h.FNs, FN{Loc: 0, Len: 32, Key: KeyPIT})
+	pkt, err := BuildPacket(h, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkt
+}
+
+func TestContentPoisoningAttackAndDefense(t *testing.T) {
+	const victimName = 0xAA00BEEF
+	var guardKey [16]byte
+	copy(guardKey[:], "domain-guard-key")
+
+	state := NewNodeState().EnableCache(64)
+	state.GuardKey = guardKey
+	state.NameFIB.AddUint32(0xAA000000, 8, NextHop{Port: 1})
+	r := NewRouter(state.OpsConfig(), RouterOptions{Name: "victim"})
+	var consumerGot []byte
+	r.AttachPort(PortFunc(func(pkt []byte) { // port 0: consumer side
+		v, err := ParsePacket(pkt)
+		if err == nil {
+			consumerGot = append(consumerGot[:0], v.Payload()...)
+		}
+	}))
+	r.AttachPort(PortFunc(func([]byte) {})) // port 1: upstream
+
+	// Phase 1 — the attack works against the default posture.
+	r.HandlePacket(poisonPacket(t, victimName, []byte("EVIL BITS")), 2)
+	if _, ok := state.ContentStore.Get(victimName); !ok {
+		t.Fatal("attack did not poison the cache (scenario broken)")
+	}
+	// A real consumer now gets the poisoned object straight from the cache.
+	interest, _ := BuildPacket(NDNInterestProfile(victimName), nil)
+	r.HandlePacket(interest, 0)
+	if !bytes.Equal(consumerGot, []byte("EVIL BITS")) {
+		t.Fatalf("consumer got %q, expected the poisoned object (attack demo)", consumerGot)
+	}
+
+	// Phase 2 — the operator detects the attack and flips the defense on
+	// the fly: a new registry with require-pass caching, swapped in while
+	// the router keeps forwarding.
+	state.ContentStore.Remove(victimName) // purge the poisoned object
+	defCfg := state.OpsConfig()
+	defCfg.RequirePass = true
+	old := r.ReplaceRegistry(NewRouterRegistry(defCfg))
+	if old == nil {
+		t.Fatal("ReplaceRegistry returned nil previous registry")
+	}
+
+	// The same attack bounces off: the combined packet still consumes its
+	// own PIT entry, but nothing is cached without a valid F_pass label.
+	r.HandlePacket(poisonPacket(t, victimName, []byte("EVIL AGAIN")), 2)
+	if _, ok := state.ContentStore.Get(victimName); ok {
+		t.Fatal("defense failed: cache poisoned despite require-pass")
+	}
+
+	// Attack with a forged label also fails.
+	forged := NDNInterestProfile(victimName)
+	forged.FNs = append(forged.FNs, FN{Loc: 0, Len: 32, Key: KeyPIT})
+	off := uint16(len(forged.Locations) * 8)
+	guard := make([]byte, 20)
+	copy(guard[:4], forged.Locations[:4])
+	guard[4] = 0xBB // wrong label bytes
+	forged.Locations = append(forged.Locations, guard...)
+	forged.FNs = append([]FN{{Loc: off, Len: 160, Key: KeyPass}}, forged.FNs...)
+	pkt, err := BuildPacket(forged, []byte("FORGED"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.HandlePacket(pkt, 2)
+	if _, ok := state.ContentStore.Get(victimName); ok {
+		t.Fatal("forged F_pass label accepted")
+	}
+
+	// Phase 3 — legitimate traffic still flows and still populates the
+	// cache when it carries a valid label. First a real interest from the
+	// consumer, then the producer's labelled data.
+	consumerGot = nil
+	interest2, _ := BuildPacket(NDNInterestProfile(victimName), nil)
+	r.HandlePacket(interest2, 0)
+
+	data := NDNDataProfile(victimName)
+	gOff := uint16(len(data.Locations) * 8)
+	labelRegion := make([]byte, 20)
+	copy(labelRegion[:4], data.Locations[:4])
+	var label [16]byte
+	ops.StampLabel(&guardKey, label[:], labelRegion[:4])
+	copy(labelRegion[4:], label[:])
+	data.Locations = append(data.Locations, labelRegion...)
+	data.FNs = append([]FN{{Loc: gOff, Len: 160, Key: KeyPass}}, data.FNs...)
+	pkt, err = BuildPacket(data, []byte("genuine content"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.HandlePacket(pkt, 1)
+	if !bytes.Equal(consumerGot, []byte("genuine content")) {
+		t.Fatalf("legitimate delivery broken under defense: %q", consumerGot)
+	}
+	cached, ok := state.ContentStore.Get(victimName)
+	if !ok || !bytes.Equal(cached, []byte("genuine content")) {
+		t.Fatalf("labelled content not cached: %q ok=%v", cached, ok)
+	}
+}
+
+// Registry swap under concurrent forwarding must be race-free (run with
+// -race): packets keep flowing while the policy flips back and forth.
+func TestRegistrySwapUnderTraffic(t *testing.T) {
+	state := NewNodeState().EnableCache(16)
+	state.NameFIB.AddUint32(0xAA000000, 8, NextHop{Port: 0})
+	open := NewRouterRegistry(state.OpsConfig())
+	guarded := func() *Registry {
+		cfg := state.OpsConfig()
+		cfg.RequirePass = true
+		return NewRouterRegistry(cfg)
+	}()
+	r := NewRouter(state.OpsConfig(), RouterOptions{})
+	r.AttachPort(PortFunc(func([]byte) {}))
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			r.ReplaceRegistry(guarded)
+			r.ReplaceRegistry(open)
+		}
+	}()
+	pkt, _ := BuildPacket(NDNInterestProfile(0xAA000005), nil)
+	for i := 0; i < 500; i++ {
+		pkt[3] = 64
+		r.HandlePacket(pkt, 1)
+	}
+	<-done
+}
