@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: build test check race vet fuzz soak clean
+
+build:
+	$(GO) build ./...
+
+# Fast tier-1 gate: what CI runs on every push.
+test:
+	$(GO) build ./... && $(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full pre-merge gate: static analysis plus the race detector.
+check: vet race
+
+# Short burst of the tunnel decap fuzzer (longer runs: make fuzz FUZZTIME=5m).
+FUZZTIME ?= 15s
+fuzz:
+	$(GO) test ./internal/tunnel/ -run '^$$' -fuzz FuzzDecap -fuzztime $(FUZZTIME)
+
+# Long-running soak and heavy-chaos tests are skipped under -short; this
+# target runs everything, including them.
+soak:
+	$(GO) test -race -count=1 ./...
+
+clean:
+	$(GO) clean ./...

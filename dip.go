@@ -139,6 +139,13 @@ type (
 	RxKind = host.RxKind
 	// Metrics collects forwarding telemetry.
 	Metrics = telemetry.Metrics
+	// Fetcher retransmits NDN interests with backoff until data arrives
+	// (end-to-end recovery over lossy paths).
+	Fetcher = host.Fetcher
+	// FetchConfig tunes a Fetcher's timeout, backoff, and retx cap.
+	FetchConfig = host.FetchConfig
+	// FetchStats snapshots a Fetcher's recovery counters.
+	FetchStats = host.FetchStats
 	// Catalog is an advertised FN availability set.
 	Catalog = bootstrap.Catalog
 	// DAG is an XIA address.
@@ -273,6 +280,32 @@ const (
 
 // NewHost builds a DIP host stack (session store + host-side engine).
 func NewHost() *Host { return host.NewStack() }
+
+// NewFetcher builds an interest retransmitter sending through send, with
+// timeouts armed on clock (the netsim Simulator, or any real-time shim).
+func NewFetcher(clock host.Clock, send func(pkt []byte), cfg FetchConfig) *Fetcher {
+	return host.NewFetcher(clock, send, cfg)
+}
+
+// InterestName extracts the 32-bit content name from a wire-format NDN
+// interest (F_FIB), reporting ok=false for any other or malformed packet.
+// Producers use it to decide what data a received interest is asking for.
+func InterestName(pkt []byte) (uint32, bool) {
+	v, err := core.ParseView(pkt)
+	if err != nil {
+		return 0, false
+	}
+	return host.InterestName(v)
+}
+
+// DataName is InterestName's counterpart for NDN data packets (F_PIT).
+func DataName(pkt []byte) (uint32, bool) {
+	v, err := core.ParseView(pkt)
+	if err != nil {
+		return 0, false
+	}
+	return host.DataName(v)
+}
 
 // NewSecret wraps a 16-byte DRKey secret for a named node.
 func NewSecret(nodeID string, secret []byte) (*SecretValue, error) {

@@ -1,0 +1,253 @@
+// Interest retransmission: the consumer half of NDN's recovery story. NDN
+// routers drop data with no pending interest and PIT entries expire, so loss
+// anywhere on the path is repaired end-to-end by the consumer re-expressing
+// the interest (stateful forwarding: the retransmission re-arms PIT state
+// hop by hop). The Fetcher tracks every outstanding name with a per-name
+// timeout, exponential backoff, a retransmission cap, and dead-letter
+// accounting for names it gave up on.
+package host
+
+import (
+	"sync"
+	"time"
+
+	"dip/internal/core"
+	"dip/internal/profiles"
+	"dip/internal/telemetry"
+)
+
+// Clock is the virtual- or real-time scheduler the Fetcher arms its
+// timeouts on. netsim.Simulator satisfies it directly, which keeps chaos
+// runs deterministic.
+type Clock interface {
+	Now() time.Duration
+	Schedule(delay time.Duration, fn func())
+}
+
+// FetchConfig tunes the retransmission machinery. Zero values select the
+// defaults noted on each field.
+type FetchConfig struct {
+	// Timeout is the initial retransmission timeout (default 50ms).
+	Timeout time.Duration
+	// Backoff multiplies the timeout after every retransmission (default 2).
+	Backoff float64
+	// MaxTimeout caps the backed-off timeout (default 1s).
+	MaxTimeout time.Duration
+	// MaxRetx bounds retransmissions per name (default 4, so at most five
+	// transmissions total before the name is dead-lettered).
+	MaxRetx int
+	// Metrics, when set, receives EventRetransmit / EventDeadLetter.
+	Metrics *telemetry.Metrics
+}
+
+func (c *FetchConfig) fill() {
+	if c.Timeout == 0 {
+		c.Timeout = 50 * time.Millisecond
+	}
+	if c.Backoff == 0 {
+		c.Backoff = 2
+	}
+	if c.MaxTimeout == 0 {
+		c.MaxTimeout = time.Second
+	}
+	if c.MaxRetx == 0 {
+		c.MaxRetx = 4
+	}
+}
+
+type fetchState struct {
+	gen      uint64 // invalidates timers armed for an earlier fetch of the name
+	attempts int    // transmissions so far
+	timeout  time.Duration
+}
+
+// FetchStats is a snapshot of the Fetcher's counters.
+type FetchStats struct {
+	Pending      int
+	Completed    int64
+	Retransmits  int64
+	DeadLettered int64
+}
+
+// Fetcher issues interests and retransmits them until data arrives, the
+// retransmission cap is hit, or Cancel is called. Safe for concurrent use;
+// with a single-goroutine netsim clock it is fully deterministic.
+type Fetcher struct {
+	clock Clock
+	send  func(pkt []byte)
+	cfg   FetchConfig
+
+	// OnComplete, when set, is called (outside the lock) with each name's
+	// payload the first time its data arrives.
+	OnComplete func(name uint32, payload []byte)
+	// OnDeadLetter, when set, is called (outside the lock) for each name
+	// abandoned after the retransmission cap.
+	OnDeadLetter func(name uint32)
+
+	mu           sync.Mutex
+	gen          uint64
+	pending      map[uint32]*fetchState
+	completed    int64
+	retransmits  int64
+	deadLettered int64
+	deadLetters  []uint32
+}
+
+// NewFetcher builds a Fetcher that transmits packets through send and arms
+// timeouts on clock.
+func NewFetcher(clock Clock, send func(pkt []byte), cfg FetchConfig) *Fetcher {
+	cfg.fill()
+	return &Fetcher{clock: clock, send: send, cfg: cfg, pending: map[uint32]*fetchState{}}
+}
+
+// Fetch expresses an interest for name and arms its retransmission timer.
+// A name already in flight is left alone (the pending timer keeps driving
+// it), mirroring PIT aggregation on the consumer side.
+func (f *Fetcher) Fetch(name uint32) error {
+	f.mu.Lock()
+	if _, inFlight := f.pending[name]; inFlight {
+		f.mu.Unlock()
+		return nil
+	}
+	f.gen++
+	st := &fetchState{gen: f.gen, attempts: 1, timeout: f.cfg.Timeout}
+	f.pending[name] = st
+	gen := st.gen
+	timeout := st.timeout
+	f.mu.Unlock()
+
+	pkt, err := BuildPacket(profiles.NDNInterest(name), nil)
+	if err != nil {
+		f.mu.Lock()
+		delete(f.pending, name)
+		f.mu.Unlock()
+		return err
+	}
+	f.send(pkt)
+	f.clock.Schedule(timeout, func() { f.onTimeout(name, gen) })
+	return nil
+}
+
+func (f *Fetcher) onTimeout(name uint32, gen uint64) {
+	f.mu.Lock()
+	st, ok := f.pending[name]
+	if !ok || st.gen != gen {
+		f.mu.Unlock()
+		return // satisfied or cancelled since the timer was armed
+	}
+	if st.attempts > f.cfg.MaxRetx {
+		delete(f.pending, name)
+		f.deadLettered++
+		f.deadLetters = append(f.deadLetters, name)
+		cb := f.OnDeadLetter
+		f.mu.Unlock()
+		if f.cfg.Metrics != nil {
+			f.cfg.Metrics.RecordEvent(telemetry.EventDeadLetter)
+		}
+		if cb != nil {
+			cb(name)
+		}
+		return
+	}
+	st.attempts++
+	st.timeout = time.Duration(float64(st.timeout) * f.cfg.Backoff)
+	if st.timeout > f.cfg.MaxTimeout {
+		st.timeout = f.cfg.MaxTimeout
+	}
+	timeout := st.timeout
+	f.retransmits++
+	f.mu.Unlock()
+
+	if f.cfg.Metrics != nil {
+		f.cfg.Metrics.RecordEvent(telemetry.EventRetransmit)
+	}
+	if pkt, err := BuildPacket(profiles.NDNInterest(name), nil); err == nil {
+		f.send(pkt)
+	}
+	f.clock.Schedule(timeout, func() { f.onTimeout(name, gen) })
+}
+
+// HandleData inspects a received packet; if it is an NDN data packet for a
+// pending name the fetch completes and matched is true. Duplicate data for
+// an already-satisfied name returns false (no double completion).
+func (f *Fetcher) HandleData(pkt []byte) (name uint32, matched bool) {
+	v, err := core.ParseView(pkt)
+	if err != nil {
+		return 0, false
+	}
+	name, ok := DataName(v)
+	if !ok {
+		return 0, false
+	}
+	f.mu.Lock()
+	if _, pending := f.pending[name]; !pending {
+		f.mu.Unlock()
+		return name, false
+	}
+	delete(f.pending, name)
+	f.completed++
+	cb := f.OnComplete
+	f.mu.Unlock()
+	if cb != nil {
+		cb(name, v.Payload())
+	}
+	return name, true
+}
+
+// Cancel abandons a pending fetch (without dead-letter accounting),
+// reporting whether it was in flight.
+func (f *Fetcher) Cancel(name uint32) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.pending[name]; !ok {
+		return false
+	}
+	delete(f.pending, name)
+	return true
+}
+
+// Stats snapshots the counters.
+func (f *Fetcher) Stats() FetchStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return FetchStats{
+		Pending:      len(f.pending),
+		Completed:    f.completed,
+		Retransmits:  f.retransmits,
+		DeadLettered: f.deadLettered,
+	}
+}
+
+// DeadLetters returns the names abandoned so far, in order.
+func (f *Fetcher) DeadLetters() []uint32 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]uint32(nil), f.deadLetters...)
+}
+
+// DataName extracts the 32-bit content name from an NDN data packet (an
+// F_PIT FN whose operand leads the locations region), reporting ok=false
+// for any other profile.
+func DataName(v core.View) (uint32, bool) {
+	return nameByKey(v, core.KeyPIT)
+}
+
+// InterestName is DataName's counterpart for interest packets (F_FIB).
+func InterestName(v core.View) (uint32, bool) {
+	return nameByKey(v, core.KeyFIB)
+}
+
+func nameByKey(v core.View, key core.Key) (uint32, bool) {
+	for i := 0; i < v.FNNum(); i++ {
+		fn := v.FN(i)
+		if fn.Key == key && fn.Len == 32 && fn.Loc%8 == 0 {
+			locs := v.Locations()
+			off := int(fn.Loc) / 8
+			if off+4 <= len(locs) {
+				return uint32(locs[off])<<24 | uint32(locs[off+1])<<16 |
+					uint32(locs[off+2])<<8 | uint32(locs[off+3]), true
+			}
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,210 @@
+package host
+
+import (
+	"testing"
+	"time"
+
+	"dip/internal/core"
+	"dip/internal/netsim"
+	"dip/internal/profiles"
+	"dip/internal/telemetry"
+)
+
+func dataPacket(t *testing.T, name uint32, payload string) []byte {
+	t.Helper()
+	pkt, err := BuildPacket(profiles.NDNData(name), []byte(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkt
+}
+
+func TestFetcherCompletesWithoutLoss(t *testing.T) {
+	sim := netsim.New()
+	var sent [][]byte
+	f := NewFetcher(sim, func(p []byte) { sent = append(sent, append([]byte(nil), p...)) }, FetchConfig{})
+	var gotName uint32
+	var gotPayload string
+	f.OnComplete = func(n uint32, p []byte) { gotName, gotPayload = n, string(p) }
+
+	if err := f.Fetch(0xAA000001); err != nil {
+		t.Fatal(err)
+	}
+	// Data arrives well before the first timeout.
+	sim.Schedule(time.Millisecond, func() { f.HandleData(dataPacket(t, 0xAA000001, "hello")) })
+	sim.Run()
+
+	st := f.Stats()
+	if st.Completed != 1 || st.Retransmits != 0 || st.Pending != 0 || st.DeadLettered != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	if len(sent) != 1 {
+		t.Errorf("sent %d interests, want 1", len(sent))
+	}
+	if gotName != 0xAA000001 || gotPayload != "hello" {
+		t.Errorf("completion %#x %q", gotName, gotPayload)
+	}
+}
+
+func TestFetcherRetransmitsWithBackoff(t *testing.T) {
+	sim := netsim.New()
+	var sentAt []time.Duration
+	metrics := &telemetry.Metrics{}
+	f := NewFetcher(sim, func(p []byte) { sentAt = append(sentAt, sim.Now()) },
+		FetchConfig{Timeout: 10 * time.Millisecond, Backoff: 2, MaxRetx: 3, Metrics: metrics})
+
+	if err := f.Fetch(1); err != nil {
+		t.Fatal(err)
+	}
+	// Satisfy after two losses: data shows up at 35ms, between the second
+	// retransmission (10+20=30ms) and the third (30+40=70ms).
+	sim.Schedule(35*time.Millisecond, func() { f.HandleData(dataPacket(t, 1, "late")) })
+	sim.Run()
+
+	want := []time.Duration{0, 10 * time.Millisecond, 30 * time.Millisecond}
+	if len(sentAt) != len(want) {
+		t.Fatalf("transmissions at %v, want %v", sentAt, want)
+	}
+	for i := range want {
+		if sentAt[i] != want[i] {
+			t.Fatalf("transmissions at %v, want %v (exponential backoff)", sentAt, want)
+		}
+	}
+	st := f.Stats()
+	if st.Completed != 1 || st.Retransmits != 2 {
+		t.Errorf("stats %+v", st)
+	}
+	if metrics.Event(telemetry.EventRetransmit) != 2 {
+		t.Errorf("telemetry retransmits %d", metrics.Event(telemetry.EventRetransmit))
+	}
+}
+
+func TestFetcherDeadLettersAfterCap(t *testing.T) {
+	sim := netsim.New()
+	sent := 0
+	metrics := &telemetry.Metrics{}
+	f := NewFetcher(sim, func([]byte) { sent++ },
+		FetchConfig{Timeout: time.Millisecond, MaxRetx: 2, Metrics: metrics})
+	var dead []uint32
+	f.OnDeadLetter = func(n uint32) { dead = append(dead, n) }
+
+	f.Fetch(7)
+	sim.Run() // nothing ever answers
+
+	if sent != 3 { // 1 initial + 2 retransmissions
+		t.Errorf("sent %d, want 3", sent)
+	}
+	st := f.Stats()
+	if st.DeadLettered != 1 || st.Pending != 0 || st.Completed != 0 {
+		t.Errorf("stats %+v", st)
+	}
+	if len(dead) != 1 || dead[0] != 7 {
+		t.Errorf("dead letters %v", dead)
+	}
+	if got := f.DeadLetters(); len(got) != 1 || got[0] != 7 {
+		t.Errorf("DeadLetters() %v", got)
+	}
+	if metrics.Event(telemetry.EventDeadLetter) != 1 {
+		t.Errorf("telemetry dead letters %d", metrics.Event(telemetry.EventDeadLetter))
+	}
+	if sim.Pending() != 0 {
+		t.Errorf("%d timers still armed after dead-letter", sim.Pending())
+	}
+}
+
+func TestFetcherTimeoutCap(t *testing.T) {
+	sim := netsim.New()
+	var sentAt []time.Duration
+	f := NewFetcher(sim, func([]byte) { sentAt = append(sentAt, sim.Now()) },
+		FetchConfig{Timeout: 100 * time.Millisecond, Backoff: 10, MaxTimeout: 200 * time.Millisecond, MaxRetx: 2})
+	f.Fetch(9)
+	sim.Run()
+	// 0, then +100ms, then +200ms (capped, not 1s).
+	want := []time.Duration{0, 100 * time.Millisecond, 300 * time.Millisecond}
+	for i := range want {
+		if i >= len(sentAt) || sentAt[i] != want[i] {
+			t.Fatalf("transmissions at %v, want %v (MaxTimeout cap)", sentAt, want)
+		}
+	}
+}
+
+func TestFetcherIgnoresUnrelatedAndDuplicateData(t *testing.T) {
+	sim := netsim.New()
+	f := NewFetcher(sim, func([]byte) {}, FetchConfig{})
+	completions := 0
+	f.OnComplete = func(uint32, []byte) { completions++ }
+	f.Fetch(5)
+
+	if _, matched := f.HandleData(dataPacket(t, 6, "other")); matched {
+		t.Error("matched data for a name never fetched")
+	}
+	if _, matched := f.HandleData([]byte{0xFF, 0x01}); matched {
+		t.Error("matched garbage")
+	}
+	if _, matched := f.HandleData(dataPacket(t, 5, "x")); !matched {
+		t.Error("real data not matched")
+	}
+	// The network re-delivers (duplicate or reordered copy): no double
+	// completion.
+	if _, matched := f.HandleData(dataPacket(t, 5, "x")); matched {
+		t.Error("duplicate data matched twice")
+	}
+	if completions != 1 {
+		t.Errorf("completions %d", completions)
+	}
+	sim.Run()
+	if st := f.Stats(); st.Retransmits != 0 || st.Completed != 1 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestFetcherFetchWhileInFlightAggregates(t *testing.T) {
+	sim := netsim.New()
+	sent := 0
+	f := NewFetcher(sim, func([]byte) { sent++ }, FetchConfig{})
+	f.Fetch(3)
+	f.Fetch(3) // aggregates: no second transmission, no second timer chain
+	if sent != 1 {
+		t.Errorf("sent %d, want 1", sent)
+	}
+	f.HandleData(dataPacket(t, 3, "d"))
+	sim.Run()
+	if st := f.Stats(); st.Completed != 1 || st.DeadLettered != 0 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestFetcherCancel(t *testing.T) {
+	sim := netsim.New()
+	f := NewFetcher(sim, func([]byte) {}, FetchConfig{Timeout: time.Millisecond, MaxRetx: 1})
+	f.Fetch(4)
+	if !f.Cancel(4) || f.Cancel(4) {
+		t.Error("cancel semantics wrong")
+	}
+	sim.Run()
+	if st := f.Stats(); st.Retransmits != 0 || st.DeadLettered != 0 {
+		t.Errorf("cancelled fetch still ran: %+v", st)
+	}
+}
+
+func TestNameHelpers(t *testing.T) {
+	data := dataPacket(t, 0xBB0000CC, "p")
+	v, err := core.ParseView(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, ok := DataName(v); !ok || n != 0xBB0000CC {
+		t.Errorf("DataName = %#x, %v", n, ok)
+	}
+	if _, ok := InterestName(v); ok {
+		t.Error("InterestName matched a data packet")
+	}
+	interest, err := BuildPacket(profiles.NDNInterest(0x11223344), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv, _ := core.ParseView(interest)
+	if n, ok := InterestName(iv); !ok || n != 0x11223344 {
+		t.Errorf("InterestName = %#x, %v", n, ok)
+	}
+}

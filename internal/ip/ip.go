@@ -16,8 +16,9 @@ import (
 
 // Protocol numbers used across the repository.
 const (
-	ProtoDIP = 0xFD // experimental: DIP-in-IP tunneling
-	ProtoUDP = 17
+	ProtoDIP      = 0xFD // experimental: DIP-in-IP tunneling
+	ProtoDIPProbe = 0xFE // experimental: tunnel endpoint liveness probes
+	ProtoUDP      = 17
 )
 
 // Header sizes (no IPv4 options: the forwarding prototype never emits them).
@@ -48,9 +49,14 @@ func Parse4(b []byte) (Header4, error) {
 	if ihl != HeaderLen4 {
 		return Header4{}, fmt.Errorf("%w: IHL %d unsupported", ErrVersion, ihl)
 	}
-	if int(binary.BigEndian.Uint16(b[2:4])) > len(b) {
-		return Header4{}, fmt.Errorf("%w: total length %d > %d", ErrTruncated,
-			binary.BigEndian.Uint16(b[2:4]), len(b))
+	total := int(binary.BigEndian.Uint16(b[2:4]))
+	if total > len(b) {
+		return Header4{}, fmt.Errorf("%w: total length %d > %d", ErrTruncated, total, len(b))
+	}
+	if total < ihl {
+		// A total length shorter than the header would make Payload's
+		// bounds invert (fuzz-found: Decap panicked on such packets).
+		return Header4{}, fmt.Errorf("%w: total length %d < header %d", ErrTruncated, total, ihl)
 	}
 	if checksum(b[:HeaderLen4]) != 0 {
 		return Header4{}, ErrChecksum

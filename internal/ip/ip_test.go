@@ -57,6 +57,15 @@ func TestParse4Errors(t *testing.T) {
 	if _, err := Parse4(bad); !errors.Is(err, ErrTruncated) {
 		t.Errorf("total length: %v", err)
 	}
+	// Fuzz-found regression: total length smaller than the header must be
+	// rejected, or Payload()'s slice bounds invert and panic.
+	bad = append([]byte(nil), pkt...)
+	binary.BigEndian.PutUint16(bad[2:4], 1)
+	h, err := Parse4(bad)
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("undersized total length: %v", err)
+	}
+	_ = h
 }
 
 // Property: the incremental checksum update on TTL decrement keeps the

@@ -113,13 +113,24 @@ type Endpoint struct {
 	Bytes int64
 	// TailDrops counts packets shed by the queue limit.
 	TailDrops int64
+	// impair, when set, applies the seeded fault model to every packet
+	// (see impair.go). Nil means a perfect link, exactly as before.
+	impair *Impairment
 }
 
 // Pipe creates an endpoint that delivers into dst's dstPort with the given
 // propagation delay and bandwidth (bits per second; 0 means infinite).
-func (s *Simulator) Pipe(dst Receiver, dstPort int, delay time.Duration, bps int64) *Endpoint {
-	return &Endpoint{sim: s, dst: dst, dstPort: dstPort, delay: delay, bps: bps}
+// Options (fault injection, queue limits) apply in order.
+func (s *Simulator) Pipe(dst Receiver, dstPort int, delay time.Duration, bps int64, opts ...LinkOption) *Endpoint {
+	e := &Endpoint{sim: s, dst: dst, dstPort: dstPort, delay: delay, bps: bps}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
 }
+
+// Impair returns the link's fault model, or nil for a perfect link.
+func (e *Endpoint) Impair() *Impairment { return e.impair }
 
 // Send implements the router Port contract: the packet is copied, so the
 // caller's buffer is free for reuse when Send returns. With finite
@@ -145,12 +156,41 @@ func (e *Endpoint) Send(pkt []byte) {
 		tx = time.Duration(int64(len(pkt)) * 8 * int64(time.Second) / e.bps)
 		e.busyUntil = start + tx
 	}
-	cp := make([]byte, len(pkt))
-	copy(cp, pkt)
+	arrival := start - now + tx + e.delay
+	copies := 1
+	if im := e.impair; im != nil {
+		v := im.decide(now, len(pkt))
+		if v.drop {
+			return
+		}
+		arrival += v.extraDelay
+		copies = v.copies
+		if v.corruptAt >= 0 {
+			// Flip one bit in a scratch copy so the sender's buffer (which
+			// the contract says we must not retain or mutate) stays intact.
+			cp := make([]byte, len(pkt))
+			copy(cp, pkt)
+			cp[v.corruptAt] ^= 0x01
+			pkt = cp
+		}
+	}
 	dst, port := e.dst, e.dstPort
 	sim := e.sim
-	sim.Schedule(start-now+tx+e.delay, func() {
-		sim.Delivered++
-		dst.Receive(cp, port)
-	})
+	for i := 0; i < copies; i++ {
+		cp := make([]byte, len(pkt))
+		copy(cp, pkt)
+		at := arrival
+		if i > 0 {
+			// Duplicates trail the original by the reorder lag.
+			lag := e.impair.ReorderDelay
+			if lag == 0 {
+				lag = time.Millisecond
+			}
+			at += lag
+		}
+		sim.Schedule(at, func() {
+			sim.Delivered++
+			dst.Receive(cp, port)
+		})
+	}
 }

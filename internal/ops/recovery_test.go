@@ -1,0 +1,127 @@
+package ops
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"dip/internal/core"
+	"dip/internal/cs"
+	"dip/internal/fib"
+	"dip/internal/pit"
+)
+
+// Table-driven check of the NDN data path (F_FIB + F_PIT + content store)
+// under the duplicate and reordered Data packets impaired links produce:
+// a data packet satisfies the PIT exactly once, duplicates are pit-miss
+// drops that do not disturb the cache, and early (reordered) data never
+// enters the cache.
+func TestNDNDataPathUnderDuplicationAndReordering(t *testing.T) {
+	const name = 0xAA000001
+	interest := func() *core.Header {
+		locs := make([]byte, 4)
+		binary.BigEndian.PutUint32(locs, name)
+		return &core.Header{
+			FNs:       []core.FN{core.RouterFN(0, 32, core.KeyFIB)},
+			Locations: locs,
+		}
+	}
+	data := func() *core.Header {
+		locs := make([]byte, 4)
+		binary.BigEndian.PutUint32(locs, name)
+		return &core.Header{
+			FNs:       []core.FN{core.RouterFN(0, 32, core.KeyPIT)},
+			Locations: locs,
+		}
+	}
+
+	type step struct {
+		label       string
+		h           *core.Header
+		payload     []byte
+		inPort      int
+		wantVerdict core.Verdict
+		wantReason  core.DropReason
+		wantEgress  []int
+		wantCSLen   int
+	}
+	cases := []struct {
+		label string
+		steps []step
+	}{
+		{
+			label: "duplicate data: one satisfy, cache undisturbed",
+			steps: []step{
+				{label: "interest", h: interest(), inPort: 2,
+					wantVerdict: core.VerdictForward, wantEgress: []int{7}, wantCSLen: 0},
+				{label: "data", h: data(), payload: []byte("content"), inPort: 7,
+					wantVerdict: core.VerdictForward, wantEgress: []int{2}, wantCSLen: 1},
+				{label: "duplicate data", h: data(), payload: []byte("content"), inPort: 7,
+					wantVerdict: core.VerdictDrop, wantReason: core.DropPITMiss, wantCSLen: 1},
+				{label: "re-interest served from cache", h: interest(), inPort: 3,
+					wantVerdict: core.VerdictAbsorb, wantCSLen: 1},
+			},
+		},
+		{
+			label: "reordered data before any interest: miss, never cached",
+			steps: []step{
+				{label: "early data", h: data(), payload: []byte("early"), inPort: 7,
+					wantVerdict: core.VerdictDrop, wantReason: core.DropPITMiss, wantCSLen: 0},
+				{label: "interest still forwards upstream", h: interest(), inPort: 2,
+					wantVerdict: core.VerdictForward, wantEgress: []int{7}, wantCSLen: 0},
+				{label: "data then satisfies", h: data(), payload: []byte("late"), inPort: 7,
+					wantVerdict: core.VerdictForward, wantEgress: []int{2}, wantCSLen: 1},
+			},
+		},
+		{
+			label: "duplicate interest aggregates, data fans out once",
+			steps: []step{
+				{label: "interest A", h: interest(), inPort: 1,
+					wantVerdict: core.VerdictForward, wantEgress: []int{7}, wantCSLen: 0},
+				{label: "interest B aggregates", h: interest(), inPort: 4,
+					wantVerdict: core.VerdictAbsorb, wantCSLen: 0},
+				{label: "data fans out to both", h: data(), payload: []byte("x"), inPort: 7,
+					wantVerdict: core.VerdictForward, wantEgress: []int{1, 4}, wantCSLen: 1},
+				{label: "replayed data misses", h: data(), payload: []byte("x"), inPort: 7,
+					wantVerdict: core.VerdictDrop, wantReason: core.DropPITMiss, wantCSLen: 1},
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.label, func(t *testing.T) {
+			store := cs.New[uint32](16)
+			cfg := Config{
+				FIB32:        fib.New(),
+				FIB128:       fib.New(),
+				NameFIB:      fib.New(),
+				PIT:          pit.New[uint32](),
+				ContentStore: store,
+			}
+			cfg.NameFIB.AddUint32(0xAA000000, 8, fib.NextHop{Port: 7})
+			reg := NewRouterRegistry(cfg)
+			for _, s := range tc.steps {
+				ctx := runPayload(t, reg, s.h, s.inPort, s.payload)
+				if ctx.Verdict != s.wantVerdict {
+					t.Fatalf("%s: verdict %v, want %v", s.label, ctx.Verdict, s.wantVerdict)
+				}
+				if s.wantVerdict == core.VerdictDrop && ctx.Reason != s.wantReason {
+					t.Fatalf("%s: reason %v, want %v", s.label, ctx.Reason, s.wantReason)
+				}
+				if len(s.wantEgress) > 0 {
+					got := ctx.EgressPorts()
+					if len(got) != len(s.wantEgress) {
+						t.Fatalf("%s: egress %v, want %v", s.label, got, s.wantEgress)
+					}
+					for i := range got {
+						if got[i] != s.wantEgress[i] {
+							t.Fatalf("%s: egress %v, want %v", s.label, got, s.wantEgress)
+						}
+					}
+				}
+				if store.Len() != s.wantCSLen {
+					t.Fatalf("%s: cache has %d entries, want %d", s.label, store.Len(), s.wantCSLen)
+				}
+			}
+		})
+	}
+}

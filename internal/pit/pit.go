@@ -17,6 +17,7 @@ package pit
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -39,6 +40,7 @@ type Table[K comparable] struct {
 	ttl     time.Duration
 	cap     int
 	now     func() time.Time
+	expired int64
 }
 
 type entry struct {
@@ -162,5 +164,41 @@ func (t *Table[K]) Expire() int {
 			n++
 		}
 	}
+	t.expired += int64(n)
 	return n
+}
+
+// ExpiredTotal returns how many entries sweeps have removed over the
+// table's lifetime (lazy expiry on the read paths is not counted: those
+// entries were superseded, not abandoned).
+func (t *Table[K]) ExpiredTotal() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.expired
+}
+
+// Scheduler arms the periodic sweep; the netsim Simulator satisfies it, so
+// sweeps run in virtual time during simulations and on any caller-supplied
+// timer in a live deployment.
+type Scheduler interface {
+	Schedule(delay time.Duration, fn func())
+}
+
+// SweepEvery runs Expire every interval on sched until the returned cancel
+// function is called. onExpired, when non-nil, is invoked after each sweep
+// that removed at least one entry (wire it to telemetry).
+func (t *Table[K]) SweepEvery(sched Scheduler, interval time.Duration, onExpired func(removed int)) (cancel func()) {
+	var stopped atomic.Bool
+	var tick func()
+	tick = func() {
+		if stopped.Load() {
+			return
+		}
+		if n := t.Expire(); n > 0 && onExpired != nil {
+			onExpired(n)
+		}
+		sched.Schedule(interval, tick)
+	}
+	sched.Schedule(interval, tick)
+	return func() { stopped.Store(true) }
 }

@@ -136,6 +136,12 @@ func releaseCtx(ctx *core.ExecContext) {
 func (r *Router) sendOn(port int, pkt []byte) {
 	if port >= 0 && port < len(r.ports) && r.ports[port] != nil {
 		r.ports[port].Send(pkt)
+		return
+	}
+	// A route pointing at a detached port is a configuration fault; count it
+	// so the packet does not vanish without trace.
+	if r.cfg.Metrics != nil {
+		r.cfg.Metrics.RecordEvent(telemetry.EventBadEgress)
 	}
 }
 

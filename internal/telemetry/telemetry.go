@@ -25,16 +25,88 @@ type opStat struct {
 	hist    [histBuckets]atomic.Int64
 }
 
+// Event is a recovery or degradation occurrence counted alongside the
+// per-packet verdicts: link-level faults (reported by impaired simulator
+// links), end-to-end recovery actions (retransmissions, tunnel failovers),
+// and state-maintenance work (PIT expiry sweeps). These make graceful
+// degradation observable — a fabric that delivers everything but only via
+// thousands of retransmits shows it here.
+type Event uint8
+
+// Event kinds.
+const (
+	EventLinkDrop    Event = iota // impaired link discarded a packet
+	EventLinkDup                  // impaired link duplicated a packet
+	EventLinkReorder              // impaired link reordered a packet
+	EventLinkCorrupt              // impaired link corrupted a packet
+	EventLinkDown                 // packet hit a scheduled down window
+	EventRetransmit               // host retransmitted an interest
+	EventDeadLetter               // host gave up on a name (retx cap)
+	EventPITExpired               // PIT sweep removed an expired entry
+	EventProbeMiss                // tunnel liveness probe unanswered
+	EventFailover                 // tunnel switched to its backup remote
+	EventBadEgress                // router asked to send on a missing port
+	numEvents
+)
+
+// NumEvents is the count of distinct event kinds, for counter arrays.
+const NumEvents = int(numEvents)
+
+// String names the event.
+func (e Event) String() string {
+	switch e {
+	case EventLinkDrop:
+		return "link-drop"
+	case EventLinkDup:
+		return "link-dup"
+	case EventLinkReorder:
+		return "link-reorder"
+	case EventLinkCorrupt:
+		return "link-corrupt"
+	case EventLinkDown:
+		return "link-down"
+	case EventRetransmit:
+		return "retransmit"
+	case EventDeadLetter:
+		return "dead-letter"
+	case EventPITExpired:
+		return "pit-expired"
+	case EventProbeMiss:
+		return "probe-miss"
+	case EventFailover:
+		return "failover"
+	case EventBadEgress:
+		return "bad-egress"
+	}
+	return "event(?)"
+}
+
 // Metrics implements core.Recorder and adds router-level verdict counters.
 // The zero value is ready to use.
 type Metrics struct {
 	ops       [core.MaxKey + 1]opStat
 	drops     [core.NumDropReasons]atomic.Int64
+	events    [NumEvents]atomic.Int64
 	forwarded atomic.Int64
 	delivered atomic.Int64
 	absorbed  atomic.Int64
 	noAction  atomic.Int64
 	received  atomic.Int64
+}
+
+// RecordEvent tallies a recovery/degradation event.
+func (m *Metrics) RecordEvent(e Event) {
+	if int(e) < NumEvents {
+		m.events[e].Add(1)
+	}
+}
+
+// Event returns the current count for one event kind.
+func (m *Metrics) Event(e Event) int64 {
+	if int(e) >= NumEvents {
+		return 0
+	}
+	return m.events[e].Load()
 }
 
 // RecordOp implements core.Recorder.
@@ -103,6 +175,7 @@ func (s OpSnapshot) Mean() time.Duration {
 type Snapshot struct {
 	Ops       []OpSnapshot
 	Drops     map[core.DropReason]int64
+	Events    map[Event]int64
 	Received  int64
 	Forwarded int64
 	Delivered int64
@@ -112,7 +185,7 @@ type Snapshot struct {
 
 // Snapshot captures current counters (concurrent-safe, monotone).
 func (m *Metrics) Snapshot() Snapshot {
-	s := Snapshot{Drops: map[core.DropReason]int64{}}
+	s := Snapshot{Drops: map[core.DropReason]int64{}, Events: map[Event]int64{}}
 	for k := core.Key(1); k <= core.MaxKey; k++ {
 		if c := m.ops[k].count.Load(); c > 0 {
 			s.Ops = append(s.Ops, OpSnapshot{Key: k, Count: c, TotalNs: m.ops[k].totalNs.Load()})
@@ -121,6 +194,11 @@ func (m *Metrics) Snapshot() Snapshot {
 	for r := 0; r < core.NumDropReasons; r++ {
 		if c := m.drops[r].Load(); c > 0 {
 			s.Drops[core.DropReason(r)] = c
+		}
+	}
+	for e := 0; e < NumEvents; e++ {
+		if c := m.events[e].Load(); c > 0 {
+			s.Events[Event(e)] = c
 		}
 	}
 	s.Received = m.received.Load()
@@ -173,6 +251,16 @@ func (s Snapshot) String() string {
 		sort.Slice(reasons, func(i, j int) bool { return reasons[i] < reasons[j] })
 		for _, r := range reasons {
 			fmt.Fprintf(&b, "  drop %-14s %d\n", r, s.Drops[r])
+		}
+	}
+	if len(s.Events) > 0 {
+		events := make([]Event, 0, len(s.Events))
+		for e := range s.Events {
+			events = append(events, e)
+		}
+		sort.Slice(events, func(i, j int) bool { return events[i] < events[j] })
+		for _, e := range events {
+			fmt.Fprintf(&b, "  event %-13s %d\n", e, s.Events[e])
 		}
 	}
 	return b.String()

@@ -8,6 +8,9 @@
 //	host   H1
 //	link   R1:0 H1 [delay]          # bidirectional; hosts have one port
 //	link   R1:1 R2:0 2ms
+//	link   R1:1 R2:0 2ms loss=0.1 seed=42    # seeded fault injection:
+//	                                # loss= dup= corrupt= reorder= (probabilities),
+//	                                # jitter=2ms, down=10ms-20ms (window), seed=N
 //	route32 R1 10.0.0.0/8 1         # IPv4-style route to a port, or "local"
 //	route128 R1 20/8 1              # hex prefix
 //	name   R1 aa000000/8 1          # content-name route
@@ -51,9 +54,15 @@ type Topology struct {
 	routers    map[string]*routerNode
 	hosts      map[string]*hostNode
 	events     []event
+	faulty     []faultyLink
 	Deliveries []Delivery
 	// Log receives a line per notable event; nil discards.
 	Log func(format string, args ...any)
+}
+
+type faultyLink struct {
+	label string
+	im    *netsim.Impairment
 }
 
 type routerNode struct {
@@ -237,17 +246,102 @@ func (t *Topology) endpoint(spec string) (name string, port int, isHost bool, er
 	return name, port, false, err
 }
 
+// parseImpairments reads the link directive's key=value fault options into
+// a pair of per-direction impairments (nil when none are given). Seeds are
+// derived per direction so both fault sequences are independent yet fully
+// determined by the one seed= value.
+func parseImpairments(opts []string) (ab, ba *netsim.Impairment, err error) {
+	var seed int64 = 1
+	type setter func(im *netsim.Impairment)
+	var setters []setter
+	prob := func(k, v string, assign func(im *netsim.Impairment, p float64)) error {
+		p, err := strconv.ParseFloat(v, 64)
+		if err != nil || p < 0 || p > 1 {
+			return fmt.Errorf("%s wants a probability in [0,1], got %q", k, v)
+		}
+		setters = append(setters, func(im *netsim.Impairment) { assign(im, p) })
+		return nil
+	}
+	for _, opt := range opts {
+		k, v, ok := strings.Cut(opt, "=")
+		if !ok {
+			return nil, nil, fmt.Errorf("unknown link option %q", opt)
+		}
+		switch k {
+		case "seed":
+			s, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("seed: %v", err)
+			}
+			seed = s
+		case "loss":
+			if err := prob(k, v, func(im *netsim.Impairment, p float64) { im.DropProb = p }); err != nil {
+				return nil, nil, err
+			}
+		case "dup":
+			if err := prob(k, v, func(im *netsim.Impairment, p float64) { im.DupProb = p }); err != nil {
+				return nil, nil, err
+			}
+		case "corrupt":
+			if err := prob(k, v, func(im *netsim.Impairment, p float64) { im.CorruptProb = p }); err != nil {
+				return nil, nil, err
+			}
+		case "reorder":
+			if err := prob(k, v, func(im *netsim.Impairment, p float64) { im.ReorderProb = p }); err != nil {
+				return nil, nil, err
+			}
+		case "jitter":
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				return nil, nil, fmt.Errorf("jitter: %v", err)
+			}
+			setters = append(setters, func(im *netsim.Impairment) { im.Jitter = d })
+		case "down":
+			fromStr, toStr, ok := strings.Cut(v, "-")
+			if !ok {
+				return nil, nil, fmt.Errorf("down wants from-to durations, got %q", v)
+			}
+			from, err := time.ParseDuration(fromStr)
+			if err != nil {
+				return nil, nil, fmt.Errorf("down: %v", err)
+			}
+			to, err := time.ParseDuration(toStr)
+			if err != nil {
+				return nil, nil, fmt.Errorf("down: %v", err)
+			}
+			setters = append(setters, func(im *netsim.Impairment) { im.DownBetween(from, to) })
+		default:
+			return nil, nil, fmt.Errorf("unknown link option %q", opt)
+		}
+	}
+	if len(setters) == 0 {
+		return nil, nil, nil
+	}
+	ab, ba = netsim.NewImpairment(seed), netsim.NewImpairment(seed+1)
+	for _, s := range setters {
+		s(ab)
+		s(ba)
+	}
+	return ab, ba, nil
+}
+
 func (t *Topology) addLink(args []string) error {
 	if len(args) < 2 {
 		return fmt.Errorf("link needs two endpoints")
 	}
 	delay := time.Millisecond
-	if len(args) >= 3 {
-		d, err := time.ParseDuration(args[2])
+	opts := args[2:]
+	if len(opts) > 0 && !strings.Contains(opts[0], "=") {
+		d, err := time.ParseDuration(opts[0])
 		if err != nil {
 			return fmt.Errorf("delay: %v", err)
 		}
 		delay = d
+		opts = opts[1:]
+	}
+	imAB, imBA, err := parseImpairments(opts)
+	if err != nil {
+		return err
 	}
 	aName, aPort, aHost, err := t.endpoint(args[0])
 	if err != nil {
@@ -266,8 +360,16 @@ func (t *Topology) addLink(args []string) error {
 		return netsim.ReceiverFunc(func(pkt []byte, p int) { r.HandlePacket(pkt, p) })
 	}
 	// a → b direction.
-	abPipe := t.sim.Pipe(recvOf(bName, bHost, bPort), bPort, delay, 0)
-	baPipe := t.sim.Pipe(recvOf(aName, aHost, aPort), aPort, delay, 0)
+	var abOpts, baOpts []netsim.LinkOption
+	if imAB != nil {
+		abOpts = append(abOpts, netsim.WithImpairment(imAB))
+		baOpts = append(baOpts, netsim.WithImpairment(imBA))
+		t.faulty = append(t.faulty,
+			faultyLink{label: args[0] + "->" + args[1], im: imAB},
+			faultyLink{label: args[1] + "->" + args[0], im: imBA})
+	}
+	abPipe := t.sim.Pipe(recvOf(bName, bHost, bPort), bPort, delay, 0, abOpts...)
+	baPipe := t.sim.Pipe(recvOf(aName, aHost, aPort), aPort, delay, 0, baOpts...)
 	attach := func(name string, isHost bool, port int, pipe *netsim.Endpoint) error {
 		if isHost {
 			t.hosts[name].port = pipe
@@ -482,7 +584,7 @@ func (t *Topology) Run() []Delivery {
 	return t.Deliveries
 }
 
-// Report summarizes router telemetry after a run.
+// Report summarizes router telemetry and link fault counters after a run.
 func (t *Topology) Report(w io.Writer) {
 	names := make([]string, 0, len(t.routers))
 	for n := range t.routers {
@@ -491,6 +593,13 @@ func (t *Topology) Report(w io.Writer) {
 	sortStrings(names)
 	for _, n := range names {
 		fmt.Fprintf(w, "router %s:\n%s", n, indent(t.routers[n].metrics.Snapshot().String()))
+	}
+	for _, fl := range t.faulty {
+		if fl.im.Faults() == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "link %s: drops=%d dups=%d reorders=%d corrupts=%d down-drops=%d\n",
+			fl.label, fl.im.Drops, fl.im.Dups, fl.im.Reorders, fl.im.Corrupts, fl.im.DownDrops)
 	}
 }
 

@@ -1,0 +1,150 @@
+// Tunnel endpoint liveness: the legacy domain between two tunnel endpoints
+// is a black box that can silently die (§2.4's tunnels span networks DIP
+// has no visibility into). Each endpoint therefore probes its peer with
+// echo request/reply control packets carried under a distinct outer
+// protocol number, and after a configurable number of consecutive misses
+// fails over to a backup remote — the recovery a multi-homed legacy
+// attachment offers.
+package tunnel
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"dip/internal/ip"
+	"dip/internal/telemetry"
+)
+
+// Clock schedules probe timers; netsim.Simulator satisfies it.
+type Clock interface {
+	Now() time.Duration
+	Schedule(delay time.Duration, fn func())
+}
+
+// Probe wire format (inner payload under ip.ProtoDIPProbe):
+// 6-byte magic, 1-byte kind, 4-byte big-endian sequence number.
+const probeLen = 11
+
+var probeMagic = [6]byte{'D', 'I', 'P', 'P', 'R', 'B'}
+
+// Probe kinds.
+const (
+	probeRequest = 0
+	probeReply   = 1
+)
+
+func buildProbe(kind byte, seq uint32, src, dst [4]byte, ttl uint8) ([]byte, error) {
+	out := make([]byte, ip.HeaderLen4+probeLen)
+	if err := ip.Build4(out, src, dst, ip.ProtoDIPProbe, ttl, probeLen); err != nil {
+		return nil, err
+	}
+	inner := out[ip.HeaderLen4:]
+	copy(inner, probeMagic[:])
+	inner[6] = kind
+	binary.BigEndian.PutUint32(inner[7:], seq)
+	return out, nil
+}
+
+func parseProbe(inner []byte) (kind byte, seq uint32, err error) {
+	if len(inner) < probeLen {
+		return 0, 0, fmt.Errorf("tunnel: probe %d bytes, want %d", len(inner), probeLen)
+	}
+	if [6]byte(inner[:6]) != probeMagic {
+		return 0, 0, fmt.Errorf("tunnel: bad probe magic %x", inner[:6])
+	}
+	if inner[6] != probeRequest && inner[6] != probeReply {
+		return 0, 0, fmt.Errorf("tunnel: bad probe kind %d", inner[6])
+	}
+	return inner[6], binary.BigEndian.Uint32(inner[7:]), nil
+}
+
+// StartProbing arms periodic liveness probing: every interval the endpoint
+// sends an echo request to its current remote, and when missThreshold
+// consecutive requests go unanswered it fails over — Remote and Backup swap,
+// so flapping paths alternate rather than strand the tunnel. Probing
+// continues after failover (watching the new remote). The returned cancel
+// function stops the timer chain.
+//
+// The peer must also be receiving (its Receive answers requests); Deliver
+// never sees probe traffic.
+func (e *Endpoint) StartProbing(clock Clock, interval time.Duration, missThreshold int) (cancel func()) {
+	if missThreshold <= 0 {
+		missThreshold = 3
+	}
+	stopped := false
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		if e.awaitingReply {
+			e.ProbeMisses++
+			e.misses++
+			if e.Metrics != nil {
+				e.Metrics.RecordEvent(telemetry.EventProbeMiss)
+			}
+			if e.misses >= missThreshold && e.Backup != ([4]byte{}) {
+				e.Remote, e.Backup = e.Backup, e.Remote
+				e.Failovers++
+				e.misses = 0
+				if e.Metrics != nil {
+					e.Metrics.RecordEvent(telemetry.EventFailover)
+				}
+			}
+		}
+		e.sendProbe()
+		clock.Schedule(interval, tick)
+	}
+	tick()
+	return func() { stopped = true }
+}
+
+// Alive reports whether the last probe round-trip succeeded (true before
+// any probe has been sent).
+func (e *Endpoint) Alive() bool { return !e.awaitingReply }
+
+func (e *Endpoint) sendProbe() {
+	e.probeSeq++
+	pkt, err := buildProbe(probeRequest, e.probeSeq, e.Local, e.Remote, e.ttl())
+	if err != nil {
+		return
+	}
+	e.awaitingReply = true
+	e.ProbesSent++
+	e.Carrier.Send(pkt)
+}
+
+// handleProbe consumes one ProtoDIPProbe packet. Requests are echoed back
+// to the outer source; replies matching the outstanding sequence mark the
+// peer alive.
+func (e *Endpoint) handleProbe(h ip.Header4) error {
+	kind, seq, err := parseProbe(h.Payload())
+	if err != nil {
+		return err
+	}
+	switch kind {
+	case probeRequest:
+		var peer [4]byte
+		copy(peer[:], h.Src())
+		reply, err := buildProbe(probeReply, seq, e.Local, peer, e.ttl())
+		if err != nil {
+			return err
+		}
+		e.Carrier.Send(reply)
+	case probeReply:
+		if seq == e.probeSeq && e.awaitingReply {
+			e.awaitingReply = false
+			e.misses = 0
+			e.ProbesAcked++
+		}
+	}
+	return nil
+}
+
+func (e *Endpoint) ttl() uint8 {
+	if e.TTL == 0 {
+		return 64
+	}
+	return e.TTL
+}

@@ -1,0 +1,162 @@
+package tunnel
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"dip/internal/ip"
+	"dip/internal/netsim"
+	"dip/internal/telemetry"
+)
+
+// legacyDomain is a carrier that routes outer packets by destination IP,
+// standing in for the DIP-agnostic network between tunnel endpoints. Downed
+// addresses black-hole their traffic.
+type legacyDomain struct {
+	sim   *netsim.Simulator
+	peers map[[4]byte]*Endpoint
+	down  map[[4]byte]bool
+	src   *Endpoint // whose packets this carrier view sends
+}
+
+func (d *legacyDomain) Send(pkt []byte) {
+	h, err := ip.Parse4(pkt)
+	if err != nil {
+		return
+	}
+	var dst [4]byte
+	copy(dst[:], h.Dst())
+	if d.down[dst] {
+		return
+	}
+	peer, ok := d.peers[dst]
+	if !ok {
+		return
+	}
+	cp := append([]byte(nil), pkt...)
+	d.sim.Schedule(time.Millisecond, func() { peer.Receive(cp) })
+}
+
+func TestProbeKeepsAliveAndFailsOver(t *testing.T) {
+	sim := netsim.New()
+	domain := &legacyDomain{sim: sim, peers: map[[4]byte]*Endpoint{}, down: map[[4]byte]bool{}}
+	primary := [4]byte{10, 0, 0, 2}
+	backup := [4]byte{10, 0, 0, 3}
+
+	metrics := &telemetry.Metrics{}
+	var delivered [][]byte
+	local := &Endpoint{
+		Local: [4]byte{10, 0, 0, 1}, Remote: primary, Backup: backup,
+		Metrics: metrics,
+	}
+	primaryEP := &Endpoint{Local: primary, Remote: [4]byte{10, 0, 0, 1}}
+	backupEP := &Endpoint{
+		Local: backup, Remote: [4]byte{10, 0, 0, 1},
+		Deliver: func(p []byte) { delivered = append(delivered, append([]byte(nil), p...)) },
+	}
+	for _, e := range []*Endpoint{local, primaryEP, backupEP} {
+		e.Carrier = &legacyDomain{sim: sim, peers: domain.peers, down: domain.down, src: e}
+	}
+	domain.peers[local.Local] = local
+	domain.peers[primary] = primaryEP
+	domain.peers[backup] = backupEP
+
+	cancel := local.StartProbing(sim, 10*time.Millisecond, 3)
+	defer cancel()
+
+	// Phase 1: the primary answers; no misses accumulate. (55ms, not a
+	// probe-interval multiple, so the last probe's reply has landed.)
+	sim.RunUntil(55 * time.Millisecond)
+	if local.ProbesAcked == 0 || local.ProbeMisses != 0 || local.Failovers != 0 {
+		t.Fatalf("healthy phase: acked=%d misses=%d failovers=%d",
+			local.ProbesAcked, local.ProbeMisses, local.Failovers)
+	}
+	if !local.Alive() {
+		t.Fatal("endpoint not alive with a responsive peer")
+	}
+
+	// Phase 2: the primary dies. Three consecutive misses trigger failover.
+	domain.down[primary] = true
+	sim.RunUntil(150 * time.Millisecond)
+	if local.Failovers != 1 {
+		t.Fatalf("failovers=%d after primary death (misses=%d)", local.Failovers, local.ProbeMisses)
+	}
+	if local.Remote != backup || local.Backup != primary {
+		t.Fatalf("remote=%v backup=%v, want swapped", local.Remote, local.Backup)
+	}
+	if metrics.Event(telemetry.EventFailover) != 1 || metrics.Event(telemetry.EventProbeMiss) == 0 {
+		t.Errorf("telemetry: failover=%d miss=%d",
+			metrics.Event(telemetry.EventFailover), metrics.Event(telemetry.EventProbeMiss))
+	}
+
+	// Phase 3: probing recovers against the backup, and data flows there.
+	sim.RunUntil(175 * time.Millisecond)
+	if !local.Alive() {
+		t.Error("probing did not recover on the backup")
+	}
+	inner := dipPacket(t)
+	local.Send(inner)
+	cancel() // stop the (otherwise unbounded) probe timer chain
+	sim.Run()
+	if len(delivered) != 1 || !bytes.Equal(delivered[0], inner) {
+		t.Fatalf("backup delivered %d packets", len(delivered))
+	}
+}
+
+func TestProbeRepliesNeverReachDeliver(t *testing.T) {
+	sim := netsim.New()
+	var delivered int
+	a := &Endpoint{Local: [4]byte{1, 1, 1, 1}, Remote: [4]byte{2, 2, 2, 2},
+		Deliver: func([]byte) { delivered++ }}
+	b := &Endpoint{Local: [4]byte{2, 2, 2, 2}, Remote: [4]byte{1, 1, 1, 1},
+		Deliver: func([]byte) { delivered++ }}
+	// Wire a and b back-to-back.
+	a.Carrier = CarrierFunc(func(p []byte) {
+		cp := append([]byte(nil), p...)
+		sim.Schedule(0, func() { b.Receive(cp) })
+	})
+	b.Carrier = CarrierFunc(func(p []byte) {
+		cp := append([]byte(nil), p...)
+		sim.Schedule(0, func() { a.Receive(cp) })
+	})
+	cancel := a.StartProbing(sim, 5*time.Millisecond, 3)
+	sim.RunUntil(40 * time.Millisecond)
+	cancel()
+	if delivered != 0 {
+		t.Errorf("probe traffic leaked into Deliver %d times", delivered)
+	}
+	if a.ProbesAcked == 0 {
+		t.Error("no probe acked over a healthy loop")
+	}
+	if a.Received != 0 || b.Received != 0 {
+		t.Error("probes counted as data packets")
+	}
+}
+
+func TestProbeParseRejectsCorruption(t *testing.T) {
+	pkt, err := buildProbe(probeRequest, 42, [4]byte{1, 1, 1, 1}, [4]byte{2, 2, 2, 2}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := ip.Parse4(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind, seq, err := parseProbe(h.Payload()); err != nil || kind != probeRequest || seq != 42 {
+		t.Fatalf("round trip: kind=%d seq=%d err=%v", kind, seq, err)
+	}
+	if _, _, err := parseProbe([]byte("short")); err == nil {
+		t.Error("short probe accepted")
+	}
+	bad := append([]byte(nil), h.Payload()...)
+	bad[0] ^= 0xFF
+	if _, _, err := parseProbe(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+	badKind := append([]byte(nil), h.Payload()...)
+	badKind[6] = 9
+	if _, _, err := parseProbe(badKind); err == nil {
+		t.Error("bad kind accepted")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"dip/internal/ip"
+	"dip/internal/telemetry"
 )
 
 // ErrNotTunnel reports a packet that is not DIP-in-IPv4.
@@ -46,30 +47,47 @@ type Carrier interface {
 	Send(pkt []byte)
 }
 
+// CarrierFunc adapts a function to Carrier.
+type CarrierFunc func(pkt []byte)
+
+// Send implements Carrier.
+func (f CarrierFunc) Send(pkt []byte) { f(pkt) }
+
 // Endpoint is one end of a tunnel: a router.Port that encapsulates
 // outbound DIP packets onto the carrier, plus a receive hook that
-// decapsulates inbound carrier packets into the local router.
+// decapsulates inbound carrier packets into the local router. With a
+// Backup remote and StartProbing armed (probe.go), the endpoint detects a
+// dead peer and fails over.
 type Endpoint struct {
 	// Local and Remote are the tunnel's outer IPv4 addresses.
 	Local, Remote [4]byte
+	// Backup, when non-zero, is the failover remote StartProbing switches
+	// to after consecutive probe misses.
+	Backup [4]byte
 	// TTL is the outer header's hop budget across the legacy domain.
 	TTL uint8
 	// Carrier transports outer packets (the legacy domain).
 	Carrier Carrier
 	// Deliver receives decapsulated DIP packets (wire into the router's
-	// HandlePacket with the tunnel's port index).
+	// HandlePacket with the tunnel's port index). Probe traffic never
+	// reaches it.
 	Deliver func(dipPkt []byte)
-	// Sent and Received count tunneled packets.
+	// Metrics, when set, receives EventProbeMiss / EventFailover.
+	Metrics *telemetry.Metrics
+	// Sent and Received count tunneled data packets.
 	Sent, Received int64
+	// ProbesSent, ProbesAcked, ProbeMisses and Failovers count the
+	// liveness machinery's activity.
+	ProbesSent, ProbesAcked, ProbeMisses, Failovers int64
+
+	probeSeq      uint32
+	awaitingReply bool
+	misses        int
 }
 
 // Send implements router.Port: encapsulate and hand to the carrier.
 func (e *Endpoint) Send(dipPkt []byte) {
-	ttl := e.TTL
-	if ttl == 0 {
-		ttl = 64
-	}
-	outer, err := Encap(dipPkt, e.Local, e.Remote, ttl)
+	outer, err := Encap(dipPkt, e.Local, e.Remote, e.ttl())
 	if err != nil {
 		return
 	}
@@ -77,16 +95,24 @@ func (e *Endpoint) Send(dipPkt []byte) {
 	e.Carrier.Send(outer)
 }
 
-// Receive accepts an outer packet from the legacy domain, decapsulates it,
-// and delivers the inner DIP packet. Non-tunnel packets are reported.
+// Receive accepts an outer packet from the legacy domain: probe control
+// packets feed the liveness machinery, tunneled DIP packets are
+// decapsulated and delivered, anything else is reported.
 func (e *Endpoint) Receive(outer []byte) error {
-	inner, err := Decap(outer)
+	h, err := ip.Parse4(outer)
 	if err != nil {
-		return err
+		return fmt.Errorf("%w: %v", ErrNotTunnel, err)
 	}
-	e.Received++
-	if e.Deliver != nil {
-		e.Deliver(inner)
+	switch h.Proto() {
+	case ip.ProtoDIPProbe:
+		return e.handleProbe(h)
+	case ip.ProtoDIP:
+		e.Received++
+		if e.Deliver != nil {
+			e.Deliver(h.Payload())
+		}
+		return nil
+	default:
+		return fmt.Errorf("%w: protocol %d", ErrNotTunnel, h.Proto())
 	}
-	return nil
 }
