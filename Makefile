@@ -15,13 +15,21 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# Full pre-merge gate: static analysis plus the race detector.
-check: vet race
+# Full pre-merge gate: static analysis, the race detector, and a fuzz smoke
+# sweep over every fuzz target.
+check: vet race fuzz
 
-# Short burst of the tunnel decap fuzzer (longer runs: make fuzz FUZZTIME=5m).
-FUZZTIME ?= 15s
+# Smoke sweep over every fuzz target in the tree, discovered with `go test
+# -list` so new fuzzers join automatically (longer runs: make fuzz
+# FUZZTIME=5m).
+FUZZTIME ?= 5s
 fuzz:
-	$(GO) test ./internal/tunnel/ -run '^$$' -fuzz FuzzDecap -fuzztime $(FUZZTIME)
+	@set -e; for pkg in $$($(GO) list ./...); do \
+		for f in $$($(GO) test -list '^Fuzz' $$pkg | grep '^Fuzz' || true); do \
+			echo "== fuzz $$pkg $$f ($(FUZZTIME))"; \
+			$(GO) test $$pkg -run '^$$' -fuzz "^$$f$$" -fuzztime $(FUZZTIME); \
+		done; \
+	done
 
 # Long-running soak and heavy-chaos tests are skipped under -short; this
 # target runs everything, including them.

@@ -3,10 +3,16 @@
 // triple in the paper's notation, and a hex dump of the FN-locations region
 // and payload.
 //
+// Lines starting with '#' are annotations and are echoed verbatim, so a
+// router's quarantine dump (guard.Quarantine.Dump: '#' metadata and stack
+// lines around each hex-encoded poison packet) pipes straight in and comes
+// out dissected alongside its capture context.
+//
 // Usage:
 //
 //	dipdump 01001140...            # hex packet as argument
 //	some-producer | dipdump        # hex packets on stdin
+//	quarantine-dump | dipdump      # poison packets with capture context
 package main
 
 import (
@@ -32,6 +38,10 @@ func main() {
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fmt.Println(line)
 			continue
 		}
 		dump(line)

@@ -24,6 +24,19 @@
 //	-secret HEX       16-byte DRKey secret enabling the OPT operations
 //	-maxfns N         per-packet FN budget (security limit, §2.4)
 //	-v                log every packet decision
+//
+// Overload hardening (the ingress guard layer):
+//
+//	-workers N        drain packets through N guarded workers instead of
+//	                  inline (enables the priority queues, admission
+//	                  control, and panic quarantine)
+//	-queue N          per-class queue depth (default 256)
+//	-admit-port R:B   per-inport token bucket: R pkts/s, burst B
+//	-admit-bulk R:B   bulk-class token bucket (control class is never
+//	                  limited by this flag)
+//	-pitperport N     per-inport pending-interest cap (flood defense)
+//	-health D         log a guard health line every D (e.g. 10s) and dump
+//	                  new quarantine captures in dipdump-ready form
 package main
 
 import (
@@ -35,8 +48,10 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"dip"
+	"dip/internal/pit"
 	"dip/internal/telemetry"
 )
 
@@ -52,6 +67,12 @@ func main() {
 		secretHex = flag.String("secret", "", "16-byte hex DRKey secret (enables OPT ops)")
 		maxFNs    = flag.Int("maxfns", 0, "per-packet FN budget (0 = wire max)")
 		verbose   = flag.Bool("v", false, "log packets")
+		workers   = flag.Int("workers", 0, "guarded forwarding workers (0 = handle inline)")
+		queueLen  = flag.Int("queue", 256, "per-class ingress queue depth")
+		admitPort = flag.String("admit-port", "", "per-inport admission rate:burst (pkts/s)")
+		admitBulk = flag.String("admit-bulk", "", "bulk-class admission rate:burst (pkts/s)")
+		pitCap    = flag.Int("pitperport", 0, "per-inport pending-interest cap (0 = off)")
+		healthDur = flag.Duration("health", 0, "guard health log period (0 = off)")
 		peers     stringList
 		routes32  stringList
 		routes128 stringList
@@ -80,6 +101,9 @@ func main() {
 	state := dip.NewNodeState()
 	if *cacheSize > 0 {
 		state.EnableCache(*cacheSize)
+	}
+	if *pitCap > 0 {
+		state.PIT = pit.New[uint32](pit.WithPerPortCap[uint32](*pitCap))
 	}
 	if *secretHex != "" {
 		secret, err := hex.DecodeString(*secretHex)
@@ -137,6 +161,50 @@ func main() {
 		}
 	}
 
+	// With -workers the ingress guard layer owns the packets: classification,
+	// admission control, priority queues, and the panic quarantine all sit
+	// between the socket and HandlePacket.
+	handle := func(pkt []byte, inPort int) { r.HandlePacket(pkt, inPort) }
+	if *workers > 0 {
+		var policy dip.AdmissionPolicy
+		limited := false
+		if *admitPort != "" {
+			rate, err := parseRate(*admitPort)
+			if err != nil {
+				log.Fatalf("-admit-port: %v", err)
+			}
+			policy.PerPort, limited = rate, true
+		}
+		if *admitBulk != "" {
+			rate, err := parseRate(*admitBulk)
+			if err != nil {
+				log.Fatalf("-admit-bulk: %v", err)
+			}
+			policy.PerClass[dip.ClassBulk], limited = rate, true
+		}
+		var admission *dip.Admission
+		if limited {
+			admission = dip.NewAdmission(policy, nil)
+		}
+		in := r.ServeGuarded(dip.ServeConfig{
+			Workers:   *workers,
+			HighDepth: *queueLen,
+			LowDepth:  *queueLen,
+			Admission: admission,
+		})
+		defer in.Close()
+		handle = func(pkt []byte, inPort int) {
+			// Submit transfers buffer ownership to the workers; the read
+			// loop reuses its buffer, so hand over a copy.
+			cp := make([]byte, len(pkt))
+			copy(cp, pkt)
+			in.Submit(cp, inPort)
+		}
+		if *healthDur > 0 {
+			go watchHealth(r, in, *healthDur)
+		}
+	}
+
 	log.Printf("diprouter listening on %v with %d ports", laddr, r.NumPorts())
 	buf := make([]byte, 65535)
 	for {
@@ -149,7 +217,42 @@ func main() {
 		if *verbose {
 			log.Printf("rx %d bytes from %v (port %d)", n, raddr, inPort)
 		}
-		r.HandlePacket(buf[:n], inPort)
+		handle(buf[:n], inPort)
+	}
+}
+
+// parseRate reads "rate:burst" (packets per second, burst allowance).
+func parseRate(spec string) (dip.AdmissionRate, error) {
+	rateStr, burstStr, ok := strings.Cut(spec, ":")
+	if !ok {
+		return dip.AdmissionRate{}, fmt.Errorf("want rate:burst, got %q", spec)
+	}
+	rate, err := strconv.ParseFloat(rateStr, 64)
+	if err != nil {
+		return dip.AdmissionRate{}, fmt.Errorf("rate: %v", err)
+	}
+	burst, err := strconv.ParseFloat(burstStr, 64)
+	if err != nil {
+		return dip.AdmissionRate{}, fmt.Errorf("burst: %v", err)
+	}
+	return dip.AdmissionRate{PerSec: rate, Burst: burst}, nil
+}
+
+// watchHealth periodically logs the guard snapshot and streams any new
+// quarantine captures to stderr in dipdump-ready form (pipe them into
+// `dipdump` to dissect the poison packets).
+func watchHealth(r *dip.Router, in *dip.Ingress, every time.Duration) {
+	var dumped int64
+	for range time.Tick(every) {
+		if h, ok := r.Health(); ok {
+			log.Printf("guard: %s", h)
+		}
+		for _, c := range in.Quarantine().Snapshot() {
+			if c.Seq >= dumped {
+				fmt.Fprint(os.Stderr, c.String())
+				dumped = c.Seq + 1
+			}
+		}
 	}
 }
 
@@ -209,6 +312,9 @@ func addRoute128(state *dip.NodeState, spec string) error {
 	key, err := hex.DecodeString(strings.TrimPrefix(prefix, "0x"))
 	if err != nil {
 		return err
+	}
+	if len(key) > 16 {
+		return fmt.Errorf("prefix %d bytes, max 16", len(key))
 	}
 	key = append(key, make([]byte, 16-len(key))...)
 	nh := dip.NextHop{Port: port}

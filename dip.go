@@ -35,11 +35,14 @@
 package dip
 
 import (
+	"time"
+
 	"dip/internal/bootstrap"
 	"dip/internal/core"
 	"dip/internal/cs"
 	"dip/internal/drkey"
 	"dip/internal/fib"
+	"dip/internal/guard"
 	"dip/internal/host"
 	"dip/internal/ndn"
 	"dip/internal/ops"
@@ -146,6 +149,25 @@ type (
 	FetchConfig = host.FetchConfig
 	// FetchStats snapshots a Fetcher's recovery counters.
 	FetchStats = host.FetchStats
+	// Ingress is a router's guarded queue-and-workers front end.
+	Ingress = router.Ingress
+	// ServeConfig tunes the ingress guard layer (admission control,
+	// priority queues, quarantine, watchdog).
+	ServeConfig = router.ServeConfig
+	// Health is a point-in-time ingress guard snapshot.
+	Health = router.Health
+	// AdmissionPolicy configures the ingress token-bucket limiters.
+	AdmissionPolicy = guard.Policy
+	// AdmissionRate is one token-bucket configuration (zero = unlimited).
+	AdmissionRate = guard.Rate
+	// Admission is a router ingress's admission-control state.
+	Admission = guard.Admission
+	// GuardClass is an ingress admission priority class.
+	GuardClass = guard.Class
+	// Quarantine is the bounded poison-packet capture ring.
+	Quarantine = guard.Quarantine
+	// QuarantineCapture is one quarantined poison packet.
+	QuarantineCapture = guard.Capture
 	// Catalog is an advertised FN availability set.
 	Catalog = bootstrap.Catalog
 	// DAG is an XIA address.
@@ -174,6 +196,27 @@ const (
 
 // Local is the next hop meaning "deliver to this node".
 var Local = fib.Local
+
+// Ingress admission classes: bulk data sheds first under pressure; control
+// and probe traffic is protected.
+const (
+	ClassBulk    = guard.ClassBulk
+	ClassControl = guard.ClassControl
+)
+
+// NewAdmission builds ingress admission-control state over a policy. clock
+// supplies elapsed time (a netsim Simulator's Now for deterministic
+// simulations, nil for wall time).
+func NewAdmission(policy AdmissionPolicy, clock func() time.Duration) *Admission {
+	return guard.NewAdmission(policy, clock)
+}
+
+// NewQuarantine builds a poison-packet capture ring holding the last n
+// captures (n < 1 uses the default size).
+func NewQuarantine(n int) *Quarantine { return guard.NewQuarantine(n) }
+
+// ClassifyPacket reports the default admission class of raw packet bytes.
+func ClassifyPacket(pkt []byte) GuardClass { return guard.Classify(pkt) }
 
 // NodeState bundles the forwarding state a fully-featured DIP node keeps.
 // Zero-valued fields are valid: a node built from a fresh NodeState

@@ -50,6 +50,7 @@ const (
 	DropVerifyFailed             // authentication tags invalid
 	DropGuard                    // rejected by a security guard (F_pass)
 	DropOpError                  // operation failed internally
+	DropFlood                    // per-inport pending-interest cap (flood defense)
 	numDropReasons
 )
 
@@ -59,7 +60,7 @@ const NumDropReasons = int(numDropReasons)
 var dropNames = [...]string{
 	"none", "hop-limit", "malformed", "unsupported-fn", "op-budget",
 	"deadline", "state-budget", "no-route", "pit-miss", "verify-failed",
-	"guard", "op-error",
+	"guard", "op-error", "flood-cap",
 }
 
 // String names the drop reason.

@@ -1,0 +1,105 @@
+package guard
+
+import (
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Capture is one quarantined packet: the bytes that crashed a worker, where
+// they came from, and the panic they caused. The packet is a copy — the
+// original buffer may have been half-mutated by the pipeline before it
+// died.
+type Capture struct {
+	// Seq is the capture's position in the quarantine's lifetime count
+	// (monotone; gaps mean the ring wrapped).
+	Seq int64
+	// InPort is the ingress port the packet arrived on.
+	InPort int
+	// Packet is a copy of the offending bytes.
+	Packet []byte
+	// Panic is the recovered panic value, stringified.
+	Panic string
+	// Stack is the crashing worker's stack trace.
+	Stack string
+}
+
+// String renders the capture in dipdump-compatible form: '#'-prefixed
+// annotation lines (metadata and stack) around one hex-encoded packet line,
+// so a dumped quarantine pipes straight into `dipdump` for dissection.
+func (c Capture) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# quarantine seq=%d inport=%d bytes=%d panic=%q\n",
+		c.Seq, c.InPort, len(c.Packet), c.Panic)
+	fmt.Fprintf(&b, "%s\n", hex.EncodeToString(c.Packet))
+	for _, line := range strings.Split(strings.TrimRight(c.Stack, "\n"), "\n") {
+		fmt.Fprintf(&b, "# %s\n", line)
+	}
+	return b.String()
+}
+
+// Quarantine is a bounded ring of poison-packet captures. One malformed
+// packet costs one packet: the worker recovers, the evidence lands here,
+// and the ring's bound means even a stream of poison cannot grow memory.
+// Safe for concurrent use.
+type Quarantine struct {
+	mu    sync.Mutex
+	ring  []Capture
+	next  int
+	total int64
+}
+
+// DefaultQuarantineSlots is the ring capacity used when none is given.
+const DefaultQuarantineSlots = 16
+
+// NewQuarantine returns a ring holding the last n captures (n < 1 uses
+// DefaultQuarantineSlots).
+func NewQuarantine(n int) *Quarantine {
+	if n < 1 {
+		n = DefaultQuarantineSlots
+	}
+	return &Quarantine{ring: make([]Capture, 0, n)}
+}
+
+// Add records a capture, overwriting the oldest once the ring is full. The
+// capture's Seq is assigned here.
+func (q *Quarantine) Add(c Capture) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	c.Seq = q.total
+	q.total++
+	if len(q.ring) < cap(q.ring) {
+		q.ring = append(q.ring, c)
+		return
+	}
+	q.ring[q.next] = c
+	q.next = (q.next + 1) % cap(q.ring)
+}
+
+// Snapshot returns the retained captures, oldest first.
+func (q *Quarantine) Snapshot() []Capture {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]Capture, 0, len(q.ring))
+	out = append(out, q.ring[q.next:]...)
+	out = append(out, q.ring[:q.next]...)
+	return out
+}
+
+// Total returns how many packets have ever been quarantined (retained or
+// overwritten).
+func (q *Quarantine) Total() int64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.total
+}
+
+// Dump writes every retained capture in dipdump-compatible form.
+func (q *Quarantine) Dump() string {
+	var b strings.Builder
+	for _, c := range q.Snapshot() {
+		b.WriteString(c.String())
+	}
+	return b.String()
+}

@@ -70,6 +70,12 @@ func (o *FIB) Execute(ctx *core.ExecContext, loc, bits uint) error {
 			ctx.Drop(core.DropStateBudget)
 			return nil
 		}
+		if errors.Is(err, pit.ErrPortCap) {
+			// One port at its flood cap sheds only its own interests; the
+			// shared table stays available to everyone else.
+			ctx.Drop(core.DropFlood)
+			return nil
+		}
 		return err
 	}
 	if !created {

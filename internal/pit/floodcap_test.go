@@ -1,0 +1,99 @@
+package pit
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestPerPortCapRejects(t *testing.T) {
+	p, _ := newTestPIT(WithPerPortCap[uint32](2))
+	if _, err := p.AddInterest(1, 9); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.AddInterest(2, 9); err != nil {
+		t.Fatal(err)
+	}
+	_, err := p.AddInterest(3, 9)
+	if !errors.Is(err, ErrPortCap) {
+		t.Fatalf("third interest on port 9: err = %v, want ErrPortCap", err)
+	}
+	// Another port is unaffected by port 9 hitting its cap.
+	if _, err := p.AddInterest(3, 5); err != nil {
+		t.Fatalf("clean port rejected: %v", err)
+	}
+	if got := p.PortPending(9); got != 2 {
+		t.Errorf("PortPending(9) = %d, want 2", got)
+	}
+	if got := p.PortCapRejections(); got != 1 {
+		t.Errorf("PortCapRejections = %d, want 1", got)
+	}
+}
+
+func TestPerPortCapChargesAggregation(t *testing.T) {
+	// Aggregating a new port onto an existing entry charges that port too.
+	p, _ := newTestPIT(WithPerPortCap[uint32](1))
+	p.AddInterest(1, 4)
+	if _, err := p.AddInterest(2, 4); !errors.Is(err, ErrPortCap) {
+		t.Fatalf("aggregation past cap: err = %v, want ErrPortCap", err)
+	}
+	// Re-expressing on an already-recorded port is free (no double charge).
+	if _, err := p.AddInterest(1, 4); err != nil {
+		t.Fatalf("refresh on recorded port: %v", err)
+	}
+}
+
+func TestPerPortCapReleasedOnConsume(t *testing.T) {
+	p, _ := newTestPIT(WithPerPortCap[uint32](1))
+	p.AddInterest(1, 9)
+	if _, err := p.AddInterest(2, 9); !errors.Is(err, ErrPortCap) {
+		t.Fatal("cap not enforced before consume")
+	}
+	if _, ok := p.Consume(nil, 1); !ok {
+		t.Fatal("consume failed")
+	}
+	if got := p.PortPending(9); got != 0 {
+		t.Fatalf("PortPending(9) = %d after consume, want 0", got)
+	}
+	if _, err := p.AddInterest(2, 9); err != nil {
+		t.Fatalf("port still capped after consume: %v", err)
+	}
+}
+
+func TestPerPortCapReleasedOnExpiry(t *testing.T) {
+	p, clk := newTestPIT(WithPerPortCap[uint32](1), WithTTL[uint32](time.Second))
+	p.AddInterest(1, 9)
+	clk.advance(2 * time.Second)
+	if n := p.Expire(); n != 1 {
+		t.Fatalf("Expire removed %d, want 1", n)
+	}
+	if _, err := p.AddInterest(2, 9); err != nil {
+		t.Fatalf("port still capped after sweep: %v", err)
+	}
+}
+
+func TestPerPortCapReleasedOnLazyExpiry(t *testing.T) {
+	// An expired entry encountered by AddInterest itself must free its
+	// ports before the new entry is charged.
+	p, clk := newTestPIT(WithPerPortCap[uint32](1), WithTTL[uint32](time.Second))
+	p.AddInterest(1, 9)
+	clk.advance(2 * time.Second)
+	if _, err := p.AddInterest(1, 9); err != nil {
+		t.Fatalf("lazy expiry did not release the port: %v", err)
+	}
+	if got := p.PortPending(9); got != 1 {
+		t.Errorf("PortPending(9) = %d, want 1", got)
+	}
+}
+
+func TestPerPortCapDisabledByDefault(t *testing.T) {
+	p, _ := newTestPIT()
+	for i := uint32(0); i < 1000; i++ {
+		if _, err := p.AddInterest(i, 9); err != nil {
+			t.Fatalf("uncapped table rejected interest %d: %v", i, err)
+		}
+	}
+	if got := p.PortPending(9); got != 1000 {
+		t.Errorf("PortPending(9) = %d, want 1000", got)
+	}
+}

@@ -24,6 +24,11 @@ import (
 // ErrFull reports an insert into a PIT at capacity.
 var ErrFull = errors.New("pit: table full")
 
+// ErrPortCap reports an insert refused because the ingress port already has
+// its full allowance of pending entries — the interest-flood defense that
+// keeps one aggressive consumer from exhausting the shared table.
+var ErrPortCap = errors.New("pit: per-port pending cap reached")
+
 // MaxPortsPerEntry bounds interest aggregation per name.
 const MaxPortsPerEntry = 8
 
@@ -41,6 +46,12 @@ type Table[K comparable] struct {
 	cap     int
 	now     func() time.Time
 	expired int64
+	// portCap bounds how many pending (entry, port) charges any single
+	// ingress port may hold; 0 disables the check. perPort tracks the live
+	// charges, portCapHits the refusals.
+	portCap     int
+	perPort     map[int]int
+	portCapHits int64
 }
 
 type entry struct {
@@ -67,6 +78,14 @@ func WithClock[K comparable](now func() time.Time) Option[K] {
 	return func(t *Table[K]) { t.now = now }
 }
 
+// WithPerPortCap bounds the pending entries any single ingress port may
+// hold (default 0 = unbounded). A port at its cap has further interests
+// refused with ErrPortCap while well-behaved ports keep inserting — the
+// per-source isolation the shared capacity bound alone cannot give.
+func WithPerPortCap[K comparable](n int) Option[K] {
+	return func(t *Table[K]) { t.portCap = n }
+}
+
 // New returns an empty PIT.
 func New[K comparable](opts ...Option[K]) *Table[K] {
 	t := &Table[K]{
@@ -74,6 +93,7 @@ func New[K comparable](opts ...Option[K]) *Table[K] {
 		ttl:     4 * time.Second,
 		cap:     65536,
 		now:     time.Now,
+		perPort: make(map[int]int),
 	}
 	for _, o := range opts {
 		o(t)
@@ -91,12 +111,15 @@ func (t *Table[K]) AddInterest(k K, port int) (created bool, err error) {
 	now := t.now()
 	e, ok := t.entries[k]
 	if ok && now.After(e.expires) {
-		delete(t.entries, k)
+		t.remove(k, e)
 		ok = false
 	}
 	if !ok {
 		if len(t.entries) >= t.cap {
 			return false, ErrFull
+		}
+		if !t.chargePort(port) {
+			return false, ErrPortCap
 		}
 		e = &entry{expires: now.Add(t.ttl)}
 		e.ports[0] = port
@@ -111,10 +134,36 @@ func (t *Table[K]) AddInterest(k K, port int) (created bool, err error) {
 		}
 	}
 	if e.nports < MaxPortsPerEntry {
+		if !t.chargePort(port) {
+			return false, ErrPortCap
+		}
 		e.ports[e.nports] = port
 		e.nports++
 	}
 	return false, nil
+}
+
+// chargePort accounts one pending entry against port, refusing at the cap.
+func (t *Table[K]) chargePort(port int) bool {
+	if t.portCap > 0 && t.perPort[port] >= t.portCap {
+		t.portCapHits++
+		return false
+	}
+	t.perPort[port]++
+	return true
+}
+
+// remove deletes an entry and releases its per-port charges.
+func (t *Table[K]) remove(k K, e *entry) {
+	delete(t.entries, k)
+	for i := 0; i < e.nports; i++ {
+		p := e.ports[i]
+		if t.perPort[p] <= 1 {
+			delete(t.perPort, p)
+		} else {
+			t.perPort[p]--
+		}
+	}
 }
 
 // Consume pops the entry for k, appending its request ports to dst and
@@ -128,7 +177,7 @@ func (t *Table[K]) Consume(dst []int, k K) (ports []int, ok bool) {
 	if !found {
 		return dst, false
 	}
-	delete(t.entries, k)
+	t.remove(k, e)
 	if t.now().After(e.expires) {
 		return dst, false
 	}
@@ -160,12 +209,28 @@ func (t *Table[K]) Expire() int {
 	n := 0
 	for k, e := range t.entries {
 		if now.After(e.expires) {
-			delete(t.entries, k)
+			t.remove(k, e)
 			n++
 		}
 	}
 	t.expired += int64(n)
 	return n
+}
+
+// PortPending returns the live pending-entry charges held by one ingress
+// port.
+func (t *Table[K]) PortPending(port int) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.perPort[port]
+}
+
+// PortCapRejections returns how many interests the per-port cap has refused
+// over the table's lifetime.
+func (t *Table[K]) PortCapRejections() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.portCapHits
 }
 
 // ExpiredTotal returns how many entries sweeps have removed over the

@@ -8,6 +8,7 @@ package router
 import (
 	"encoding/binary"
 	"sync"
+	"sync/atomic"
 
 	"dip/internal/core"
 	"dip/internal/profiles"
@@ -48,6 +49,9 @@ type Router struct {
 	engine *core.Engine
 	cfg    Config
 	ports  []Port
+	// ingress is the currently serving guard layer, when any (set by
+	// Serve/ServeGuarded, cleared by Close); Health reads through it.
+	ingress atomic.Pointer[Ingress]
 }
 
 // New builds a router over the operation registry.
@@ -73,6 +77,16 @@ func (r *Router) ReplaceRegistry(reg *core.Registry) *core.Registry {
 
 // Name returns the router's diagnostic label.
 func (r *Router) Name() string { return r.cfg.Name }
+
+// Health snapshots the serving ingress guard layer. ok is false when the
+// router is not currently serving (no queues to report on).
+func (r *Router) Health() (h Health, ok bool) {
+	in := r.ingress.Load()
+	if in == nil {
+		return Health{}, false
+	}
+	return in.Health(), true
+}
 
 // AttachPort registers an egress port and returns its index.
 func (r *Router) AttachPort(p Port) int {

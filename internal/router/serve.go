@@ -1,88 +1,365 @@
 package router
 
-import "sync"
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dip/internal/guard"
+	"dip/internal/telemetry"
+)
+
+// ServeConfig tunes the guarded ingress. The zero value (normalized by
+// ServeGuarded) gives one worker, 64-deep queues, no admission control, a
+// default quarantine ring, and byte-level classification.
+type ServeConfig struct {
+	// Workers is the forwarding pool size. 0 selects pump mode: no
+	// goroutines are started and the caller drains the queues with Pump —
+	// the deterministic single-goroutine mode virtual-time simulations use.
+	Workers int
+	// HighDepth and LowDepth bound the control and bulk queues (default 64
+	// each). The low queue sheds first by construction: workers always
+	// prefer the high queue, so under sustained overload bulk waits and
+	// overflows while control keeps flowing.
+	HighDepth, LowDepth int
+	// Admission, when set, polices packets before they enter a queue
+	// (per-inport and per-class token buckets). Nil admits everything.
+	Admission *guard.Admission
+	// Classify maps raw packet bytes to an admission class. Nil uses
+	// guard.Classify (DIP control next-headers → ClassControl).
+	Classify func(pkt []byte) guard.Class
+	// Quarantine receives poison-packet captures from recovered worker
+	// panics. Nil allocates a default-sized ring.
+	Quarantine *guard.Quarantine
+	// StallAfter is how long a worker may chew on one packet before Health
+	// counts it stalled (default 1s).
+	StallAfter time.Duration
+	// Clock supplies elapsed time for heartbeats and stall detection (the
+	// netsim Simulator's Now, or nil for wall time).
+	Clock func() time.Duration
+}
 
 // Ingress is a running queue-and-workers front end for a router: packets
 // are submitted from any goroutine (socket readers, simulator callbacks)
-// into a bounded queue and drained by a pool of forwarding workers, each
-// running HandlePacket. Everything HandlePacket touches — the engine's
-// atomic registry, the RW-locked tables, the pooled contexts — is safe for
-// this concurrency.
+// into two bounded priority queues and drained by a pool of forwarding
+// workers, each running HandlePacket behind a panic quarantine. Everything
+// HandlePacket touches — the engine's atomic registry, the RW-locked
+// tables, the pooled contexts — is safe for this concurrency.
 type Ingress struct {
-	r     *Router
-	queue chan queuedPacket
-	wg    sync.WaitGroup
-	// Dropped counts tail drops (queue full), the router's overload shed.
-	mu      sync.Mutex
-	dropped int64
-	closed  bool
+	r    *Router
+	cfg  ServeConfig
+	high chan queuedPacket // control/probe class: served first
+	low  chan queuedPacket // bulk class: sheds first
+	wg   sync.WaitGroup
+
+	// state packs a closed bit above an in-flight Submit count, making the
+	// hot path one atomic add with no lock. Close sets the bit (no new
+	// submitters pass), waits for in-flight submitters to drain, and only
+	// then closes the channels — so Submit never races a channel close.
+	state     atomic.Int64
+	closeOnce sync.Once
+
+	dropped   atomic.Int64                   // total sheds (queue full), both classes
+	shed      [guard.NumClasses]atomic.Int64 // sheds by class
+	rejected  atomic.Int64                   // admission-control refusals
+	processed atomic.Int64                   // packets handed to HandlePacket
+	panics    atomic.Int64                   // recovered HandlePacket panics
+
+	workers []workerState
 }
+
+const ingressClosedBit = int64(1) << 62
 
 type queuedPacket struct {
 	pkt    []byte
 	inPort int
 }
 
-// Serve starts workers goroutines draining a queue of depth queueDepth.
-// Stop it with Close.
+// workerState is one worker's heartbeat, read by the Health watchdog.
+type workerState struct {
+	busy atomic.Bool
+	beat atomic.Int64 // clock reading (ns) when the current packet started
+}
+
+// Serve starts workers goroutines draining a queue of depth queueDepth,
+// with no admission control — the permissive legacy configuration. Stop it
+// with Close.
 func (r *Router) Serve(workers, queueDepth int) *Ingress {
 	if workers < 1 {
 		workers = 1
 	}
-	if queueDepth < 1 {
-		queueDepth = 64
+	return r.ServeGuarded(ServeConfig{
+		Workers:   workers,
+		HighDepth: queueDepth,
+		LowDepth:  queueDepth,
+	})
+}
+
+// ServeGuarded starts the ingress guard layer: classification, admission
+// control, two-class priority queues, panic quarantine, and worker
+// heartbeats. Stop it with Close.
+func (r *Router) ServeGuarded(cfg ServeConfig) *Ingress {
+	if cfg.HighDepth < 1 {
+		cfg.HighDepth = 64
 	}
-	in := &Ingress{r: r, queue: make(chan queuedPacket, queueDepth)}
-	in.wg.Add(workers)
-	for i := 0; i < workers; i++ {
-		go func() {
-			defer in.wg.Done()
-			for q := range in.queue {
-				r.HandlePacket(q.pkt, q.inPort)
-			}
-		}()
+	if cfg.LowDepth < 1 {
+		cfg.LowDepth = 64
 	}
+	if cfg.Classify == nil {
+		cfg.Classify = guard.Classify
+	}
+	if cfg.Quarantine == nil {
+		cfg.Quarantine = guard.NewQuarantine(0)
+	}
+	if cfg.StallAfter <= 0 {
+		cfg.StallAfter = time.Second
+	}
+	if cfg.Clock == nil {
+		start := time.Now()
+		cfg.Clock = func() time.Duration { return time.Since(start) }
+	}
+	in := &Ingress{
+		r:       r,
+		cfg:     cfg,
+		high:    make(chan queuedPacket, cfg.HighDepth),
+		low:     make(chan queuedPacket, cfg.LowDepth),
+		workers: make([]workerState, cfg.Workers),
+	}
+	in.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go in.worker(&in.workers[i])
+	}
+	r.ingress.Store(in)
 	return in
+}
+
+// worker drains both queues, always preferring the high-priority one, and
+// exits when both are closed and empty.
+func (in *Ingress) worker(w *workerState) {
+	defer in.wg.Done()
+	high, low := in.high, in.low
+	for high != nil || low != nil {
+		// Serve everything waiting in the control queue first.
+		select {
+		case q, ok := <-high:
+			if !ok {
+				high = nil
+				continue
+			}
+			in.process(q, w)
+			continue
+		default:
+		}
+		select {
+		case q, ok := <-high:
+			if !ok {
+				high = nil
+				continue
+			}
+			in.process(q, w)
+		case q, ok := <-low:
+			if !ok {
+				low = nil
+				continue
+			}
+			in.process(q, w)
+		}
+	}
+}
+
+// process runs one packet through HandlePacket behind the quarantine,
+// stamping the worker's heartbeat around it.
+func (in *Ingress) process(q queuedPacket, w *workerState) {
+	if w != nil {
+		w.beat.Store(int64(in.cfg.Clock()))
+		w.busy.Store(true)
+	}
+	in.safeHandle(q)
+	if w != nil {
+		w.busy.Store(false)
+	}
+	in.processed.Add(1)
+}
+
+// safeHandle is the panic isolation boundary: a packet that crashes the
+// pipeline costs exactly that packet. The offending bytes, ingress port,
+// panic value, and stack are captured into the quarantine ring for offline
+// dissection (guard.Capture renders dipdump-ready dumps).
+func (in *Ingress) safeHandle(q queuedPacket) {
+	defer func() {
+		if p := recover(); p != nil {
+			in.panics.Add(1)
+			cp := make([]byte, len(q.pkt))
+			copy(cp, q.pkt)
+			in.cfg.Quarantine.Add(guard.Capture{
+				InPort: q.inPort,
+				Packet: cp,
+				Panic:  fmt.Sprint(p),
+				Stack:  string(debug.Stack()),
+			})
+			in.event(telemetry.EventQuarantine)
+		}
+	}()
+	in.r.HandlePacket(q.pkt, q.inPort)
+}
+
+func (in *Ingress) event(e telemetry.Event) {
+	if in.r.cfg.Metrics != nil {
+		in.r.cfg.Metrics.RecordEvent(e)
+	}
 }
 
 // Submit hands a packet to the workers. Ownership of pkt transfers to the
 // router (it is mutated in place and must not be reused by the caller).
-// It returns false — a tail drop — when the queue is full or the ingress
-// is closed.
+// It returns false when the ingress is closed, admission control refuses
+// the packet, or its class's queue is full (a shed). The hot path is one
+// atomic add plus the channel send — no locks.
 func (in *Ingress) Submit(pkt []byte, inPort int) bool {
-	in.mu.Lock()
-	if in.closed {
-		in.mu.Unlock()
+	if in.state.Add(1)&ingressClosedBit != 0 {
+		in.state.Add(-1)
 		return false
+	}
+	defer in.state.Add(-1)
+	class := in.cfg.Classify(pkt)
+	if in.cfg.Admission != nil && !in.cfg.Admission.Admit(inPort, class) {
+		in.rejected.Add(1)
+		in.event(telemetry.EventAdmitReject)
+		return false
+	}
+	ch := in.low
+	shedEvent := telemetry.EventShedLow
+	if class == guard.ClassControl {
+		ch = in.high
+		shedEvent = telemetry.EventShedHigh
 	}
 	select {
-	case in.queue <- queuedPacket{pkt: pkt, inPort: inPort}:
-		in.mu.Unlock()
+	case ch <- queuedPacket{pkt: pkt, inPort: inPort}:
 		return true
 	default:
-		in.dropped++
-		in.mu.Unlock()
+		in.dropped.Add(1)
+		in.shed[class].Add(1)
+		in.event(shedEvent)
 		return false
 	}
 }
 
-// Dropped returns the tail-drop count.
-func (in *Ingress) Dropped() int64 {
-	in.mu.Lock()
-	defer in.mu.Unlock()
-	return in.dropped
+// Pump synchronously drains every packet currently queued (control first)
+// on the caller's goroutine, returning how many it processed. It is the
+// workerless (Workers: 0) drain loop: virtual-time simulations schedule
+// Pump from simulator events so queue service happens in deterministic
+// order inside virtual time. Pump must not run concurrently with itself or
+// with goroutine workers.
+func (in *Ingress) Pump() int {
+	n := 0
+	for {
+		select {
+		case q, ok := <-in.high:
+			if !ok {
+				return n
+			}
+			in.process(q, nil)
+			n++
+			continue
+		default:
+		}
+		select {
+		case q, ok := <-in.low:
+			if !ok {
+				return n
+			}
+			in.process(q, nil)
+			n++
+		default:
+			return n
+		}
+	}
 }
 
-// Close stops accepting packets, drains the queue, and waits for the
-// workers to finish in-flight work.
+// Dropped returns the tail-drop (queue shed) count across both classes.
+func (in *Ingress) Dropped() int64 { return in.dropped.Load() }
+
+// Quarantine returns the poison-packet ring for inspection.
+func (in *Ingress) Quarantine() *guard.Quarantine { return in.cfg.Quarantine }
+
+// Close stops accepting packets, drains the queues, and waits for the
+// workers to finish in-flight work. Safe to call multiple times and
+// concurrently with Submit.
 func (in *Ingress) Close() {
-	in.mu.Lock()
-	if in.closed {
-		in.mu.Unlock()
-		return
+	in.closeOnce.Do(func() {
+		in.state.Add(ingressClosedBit)
+		// Wait out submitters that passed the closed check before the bit
+		// was set; none can touch the channels after this loop exits.
+		for in.state.Load() != ingressClosedBit {
+			runtime.Gosched()
+		}
+		close(in.high)
+		close(in.low)
+		if len(in.workers) == 0 {
+			in.Pump() // workerless mode: drain what remains inline
+		}
+		in.wg.Wait()
+		in.r.ingress.CompareAndSwap(in, nil)
+	})
+}
+
+// Health is a point-in-time snapshot of the guard layer: queue pressure
+// per class, everything the guards turned away, quarantine volume, and
+// worker liveness.
+type Health struct {
+	// Workers is the forwarding pool size (0 in pump mode).
+	Workers int
+	// Stalled counts workers that have been busy on a single packet for
+	// longer than the stall threshold.
+	Stalled int
+	// HighDepth/LowDepth are current queue occupancies; HighCap/LowCap the
+	// bounds.
+	HighDepth, HighCap int
+	LowDepth, LowCap   int
+	// ShedHigh/ShedLow count queue-full drops per class.
+	ShedHigh, ShedLow int64
+	// AdmitRejected counts admission-control refusals.
+	AdmitRejected int64
+	// Quarantined counts packets captured after panicking a worker.
+	Quarantined int64
+	// Processed counts packets handed to the pipeline.
+	Processed int64
+}
+
+// String renders the snapshot as one diagnostic line.
+func (h Health) String() string {
+	return fmt.Sprintf(
+		"workers=%d stalled=%d high=%d/%d low=%d/%d shed-high=%d shed-low=%d admit-rejected=%d quarantined=%d processed=%d",
+		h.Workers, h.Stalled, h.HighDepth, h.HighCap, h.LowDepth, h.LowCap,
+		h.ShedHigh, h.ShedLow, h.AdmitRejected, h.Quarantined, h.Processed)
+}
+
+// Health captures the current guard-layer state. Each call acts as the
+// watchdog tick: newly observed worker stalls are recorded to telemetry.
+func (in *Ingress) Health() Health {
+	h := Health{
+		Workers:       len(in.workers),
+		HighDepth:     len(in.high),
+		HighCap:       cap(in.high),
+		LowDepth:      len(in.low),
+		LowCap:        cap(in.low),
+		ShedHigh:      in.shed[guard.ClassControl].Load(),
+		ShedLow:       in.shed[guard.ClassBulk].Load(),
+		AdmitRejected: in.rejected.Load(),
+		Quarantined:   in.panics.Load(),
+		Processed:     in.processed.Load(),
 	}
-	in.closed = true
-	in.mu.Unlock()
-	close(in.queue)
-	in.wg.Wait()
+	now := in.cfg.Clock()
+	for i := range in.workers {
+		w := &in.workers[i]
+		if w.busy.Load() && now-time.Duration(w.beat.Load()) > in.cfg.StallAfter {
+			h.Stalled++
+		}
+	}
+	if h.Stalled > 0 {
+		in.event(telemetry.EventWorkerStall)
+	}
+	return h
 }

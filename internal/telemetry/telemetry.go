@@ -46,6 +46,11 @@ const (
 	EventProbeMiss                // tunnel liveness probe unanswered
 	EventFailover                 // tunnel switched to its backup remote
 	EventBadEgress                // router asked to send on a missing port
+	EventAdmitReject              // ingress admission control refused a packet
+	EventShedLow                  // low-priority (bulk) queue full, packet shed
+	EventShedHigh                 // high-priority (control) queue full, packet shed
+	EventQuarantine               // a packet panicked a worker and was quarantined
+	EventWorkerStall              // a forwarding worker exceeded the stall threshold
 	numEvents
 )
 
@@ -77,6 +82,16 @@ func (e Event) String() string {
 		return "failover"
 	case EventBadEgress:
 		return "bad-egress"
+	case EventAdmitReject:
+		return "admit-reject"
+	case EventShedLow:
+		return "shed-low"
+	case EventShedHigh:
+		return "shed-high"
+	case EventQuarantine:
+		return "quarantine"
+	case EventWorkerStall:
+		return "worker-stall"
 	}
 	return "event(?)"
 }

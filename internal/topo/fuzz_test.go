@@ -1,0 +1,30 @@
+package topo
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzTopoParse: arbitrary topology files must parse or fail with an error,
+// never panic — the DSL is operator input, and a malformed scenario file
+// must not take down the tool that loads it. (This fuzzer guards the
+// route128 padding bug class: a >16-byte hex prefix used to drive a
+// negative make() count.)
+func FuzzTopoParse(f *testing.F) {
+	f.Add("router R1\nhost H1\nlink R1:0 H1\n")
+	f.Add("router R1 cache=64 pitperport=8\nhost H1\nlink R1:0 H1 2ms loss=0.1 seed=42\n")
+	f.Add("router R1\nroute32 R1 10.0.0.0/8 1\nroute128 R1 20/8 1\nname R1 aa000000/8 1\n")
+	f.Add("host H1\nproduce H1 aa000001 \"payload\"\ninterest H1 aa000001 at 5ms\n")
+	f.Add("send H1 ipv4 10.0.0.1 10.0.0.9 \"x\" at 1ms\n")
+	f.Add("route128 R1 aabbccddeeff00112233445566778899aabb/8 1\n") // >16-byte prefix
+	f.Add("# comment\n\nrouter \"R 1\"\nlink R1:999 R1:999\n")
+	f.Add("router R1 secret=00112233445566778899aabbccddeeff\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		topo, err := Parse(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever parsed must also survive a run (events may be empty).
+		topo.Run()
+	})
+}

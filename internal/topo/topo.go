@@ -4,7 +4,7 @@
 //
 // Syntax (one directive per line, '#' comments):
 //
-//	router R1 [cache=64] [secret=<32 hex>] [hopindex=N] [requirepass]
+//	router R1 [cache=64] [secret=<32 hex>] [hopindex=N] [requirepass] [pitperport=N]
 //	host   H1
 //	link   R1:0 H1 [delay]          # bidirectional; hosts have one port
 //	link   R1:1 R2:0 2ms
@@ -202,6 +202,12 @@ func (t *Topology) addRouter(args []string) error {
 			cfg.HopIndex = uint8(n)
 		case "requirepass":
 			cfg.RequirePass = true
+		case "pitperport":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				return fmt.Errorf("pitperport wants a positive count, got %q", v)
+			}
+			cfg.PIT = pit.New[uint32](pit.WithPerPortCap[uint32](n))
 		default:
 			return fmt.Errorf("unknown router option %q", opt)
 		}
@@ -434,6 +440,11 @@ func (t *Topology) addRoute(kind string, args []string) error {
 		key, err := hex.DecodeString(prefixStr)
 		if err != nil {
 			return err
+		}
+		if len(key) > 16 {
+			// Input-reachable: padding with 16-len(key) would panic on a
+			// long prefix (fuzz-found class of bug).
+			return fmt.Errorf("route128 prefix %d bytes, max 16", len(key))
 		}
 		key = append(key, make([]byte, 16-len(key))...)
 		return rn.cfg.FIB128.Add(key, plen, nh)
