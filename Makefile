@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race vet fuzz soak clean
+.PHONY: build test check race vet fuzz soak bench benchrace clean
 
 build:
 	$(GO) build ./...
@@ -15,9 +15,27 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# Full pre-merge gate: static analysis, the race detector, and a fuzz smoke
-# sweep over every fuzz target.
-check: vet race fuzz
+# Full pre-merge gate: static analysis, the race detector, a race-mode smoke
+# of the parallel hot-path benchmarks, and a fuzz smoke sweep over every
+# fuzz target.
+check: vet race benchrace fuzz
+
+# Short benchstat-friendly run of the forwarding hot-path benchmarks
+# (compare runs with: make bench > old.txt; ...; make bench > new.txt;
+# benchstat old.txt new.txt). Longer runs: make bench BENCHTIME=2s.
+BENCHTIME ?= 100ms
+bench:
+	$(GO) test -run '^$$' -bench 'FIBLookup|FIBTxnCommit|ShardedPIT|PITSequential' \
+		-benchtime $(BENCHTIME) -count 5 ./internal/fib/ ./internal/pit/
+	$(GO) test -run '^$$' -bench 'Fig2|Ablation_FIBScale|ZeroAlloc' \
+		-benchtime $(BENCHTIME) -count 5 .
+
+# Race-mode smoke of the concurrent benchmarks: a handful of iterations is
+# enough for the detector to see lock-free lookups racing route churn and
+# sharded tables racing each other.
+benchrace:
+	$(GO) test -race -run '^$$' -bench 'FIBLookupParallel|ShardedPITParallel' \
+		-benchtime 50x -count 1 ./internal/fib/ ./internal/pit/
 
 # Smoke sweep over every fuzz target in the tree, discovered with `go test
 # -list` so new fuzzers join automatically (longer runs: make fuzz

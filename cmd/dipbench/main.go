@@ -14,25 +14,32 @@
 //
 //	dipbench                    # everything
 //	dipbench -experiment fig2   # one experiment: fig2, table2, mac,
-//	                            # parallel, fncount, fibscale, pisa
+//	                            # parallel, fncount, fibscale, pisa,
+//	                            # fiblookup, mixed
 //	dipbench -trials 1000       # per-measurement packet count (paper: 1000)
+//	dipbench -json out.json     # also write machine-readable records
+//	                            # (name, ns/op, B/op, allocs/op, GOMAXPROCS)
 package main
 
 import (
 	"bytes"
 	"encoding/binary"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 	"os"
+	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"dip"
 	"dip/internal/core"
 	"dip/internal/fib"
 	"dip/internal/ip"
+	"dip/internal/lpm"
 	"dip/internal/ndn"
 	"dip/internal/pisa"
 	"dip/internal/workload"
@@ -41,11 +48,39 @@ import (
 var (
 	trials  = flag.Int("trials", 1000, "forwarding tests per measurement (paper: 1000)")
 	rounds  = flag.Int("rounds", 31, "measurement rounds; the median is reported")
+	jsonOut = flag.String("json", "", "write benchmark records as JSON to this file")
 	packets = []int{128, 768, 1500}
 )
 
+// benchRecord is one line of the -json output; the field set mirrors what
+// `go test -bench` reports so downstream tooling can treat both alike.
+type benchRecord struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Gomaxprocs  int     `json:"gomaxprocs"`
+}
+
+var jsonRecords []benchRecord
+
+func writeJSON() {
+	if *jsonOut == "" {
+		return
+	}
+	buf, err := json.MarshalIndent(jsonRecords, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*jsonOut, buf, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d benchmark records to %s\n", len(jsonRecords), *jsonOut)
+}
+
 func main() {
-	exp := flag.String("experiment", "all", "fig2 | table2 | mac | parallel | fncount | fibscale | pisa | mixed | all")
+	exp := flag.String("experiment", "all", "fig2 | table2 | mac | parallel | fncount | fibscale | pisa | fiblookup | mixed | all")
 	flag.Parse()
 	switch *exp {
 	case "fig2":
@@ -62,6 +97,8 @@ func main() {
 		ablationFIBScale()
 	case "pisa":
 		ablationPISA()
+	case "fiblookup":
+		ablationFIBLookup()
 	case "mixed":
 		mixedTraffic()
 	case "all":
@@ -72,19 +109,23 @@ func main() {
 		ablationFNCount()
 		ablationFIBScale()
 		ablationPISA()
+		ablationFIBLookup()
 		mixedTraffic()
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+	writeJSON()
 }
 
 // measure runs fn over *trials packets per round and returns the median
-// per-packet time across rounds.
-func measure(fn func(n int)) time.Duration { return measureWithSetup(nil, fn) }
+// per-packet time across rounds. name tags the -json record.
+func measure(name string, fn func(n int)) time.Duration {
+	return measureWithSetup(name, nil, fn)
+}
 
 // measureWithSetup runs setup (untimed) before each round, then times fn.
-func measureWithSetup(setup, fn func(n int)) time.Duration {
+func measureWithSetup(name string, setup, fn func(n int)) time.Duration {
 	times := make([]time.Duration, 0, *rounds)
 	warm := *trials / 10
 	if setup != nil {
@@ -100,7 +141,28 @@ func measureWithSetup(setup, fn func(n int)) time.Duration {
 		times = append(times, time.Since(start)/time.Duration(*trials))
 	}
 	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
-	return times[len(times)/2]
+	med := times[len(times)/2]
+	if *jsonOut != "" {
+		// One extra untimed round under ReadMemStats gives B/op and
+		// allocs/op without perturbing the timed rounds above.
+		if setup != nil {
+			setup(*trials)
+		}
+		var m0, m1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+		fn(*trials)
+		runtime.ReadMemStats(&m1)
+		n := float64(*trials)
+		jsonRecords = append(jsonRecords, benchRecord{
+			Name:        name,
+			NsPerOp:     float64(med.Nanoseconds()),
+			BytesPerOp:  float64(m1.TotalAlloc-m0.TotalAlloc) / n,
+			AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / n,
+			Gomaxprocs:  runtime.GOMAXPROCS(0),
+		})
+	}
+	return med
 }
 
 type node struct {
@@ -181,7 +243,7 @@ func fig2() {
 	row := func(name string, mk func(size int) func(int)) {
 		fmt.Printf("%-14s", name)
 		for _, size := range packets {
-			fmt.Printf("%12v", measure(mk(size)))
+			fmt.Printf("%12v", measure(fmt.Sprintf("fig2/%s/%dB", name, size), mk(size)))
 		}
 		fmt.Println()
 	}
@@ -189,7 +251,7 @@ func fig2() {
 		fmt.Printf("%-14s", name)
 		for _, size := range packets {
 			setup, fn := mk(size)
-			fmt.Printf("%12v", measureWithSetup(setup, fn))
+			fmt.Printf("%12v", measureWithSetup(fmt.Sprintf("fig2/%s/%dB", name, size), setup, fn))
 		}
 		fmt.Println()
 	}
@@ -403,7 +465,7 @@ func ablationMAC() {
 			log.Fatal(err)
 		}
 		pkt, _ := dip.BuildPacket(h, nil)
-		fmt.Printf("  %-10s %v/packet\n", kind, measure(nd.runDIP(pkt)))
+		fmt.Printf("  %-10s %v/packet\n", kind, measure(fmt.Sprintf("mac/%v", kind), nd.runDIP(pkt)))
 	}
 	fmt.Println("  (the paper chose 2EM over AES for Tofino; in software the gap is\n   the AES per-packet key schedule + allocations)")
 	fmt.Println()
@@ -424,7 +486,7 @@ func ablationParallel() {
 		if parallel {
 			name = "parallel"
 		}
-		fmt.Printf("  %-10s %v/packet\n", name, measure(nd.runDIP(pkt)))
+		fmt.Printf("  %-10s %v/packet\n", name, measure("parallel/"+name, nd.runDIP(pkt)))
 	}
 	fmt.Println("  (software goroutine fan-out costs more than it saves at these op\n   sizes — the flag targets hardware module parallelism)")
 	fmt.Println()
@@ -443,7 +505,7 @@ func ablationFNCount() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		d := measure(nd.runDIP(pkt))
+		d := measure(fmt.Sprintf("fncount/%d", count), nd.runDIP(pkt))
 		delta := ""
 		if prev > 0 {
 			delta = fmt.Sprintf("  (+%v vs previous)", d-prev)
@@ -468,7 +530,7 @@ func ablationFIBScale() {
 		reg := dip.NewRouterRegistry(state.OpsConfig())
 		nd := &node{engine: core.NewEngine(reg, dip.Limits{}), state: state}
 		pkt, _ := dip.BuildPacket(dip.IPv4Profile([4]byte{1, 1, 1, 1}, [4]byte{10, 0, 0, 9}), nil)
-		fmt.Printf("  %8d routes: %v/packet\n", routes, measure(nd.runDIP(pkt)))
+		fmt.Printf("  %8d routes: %v/packet\n", routes, measure(fmt.Sprintf("fibscale/%d", routes), nd.runDIP(pkt)))
 	}
 	fmt.Println()
 }
@@ -478,7 +540,7 @@ func ablationPISA() {
 	// DIP-32 on both.
 	nd := newNode(dip.MAC2EM)
 	pkt, _ := dip.BuildPacket(dip.IPv4Profile([4]byte{1, 1, 1, 1}, [4]byte{10, 0, 0, 9}), nil)
-	fmt.Printf("  DIP-32 software: %v/packet\n", measure(nd.runDIP(pkt)))
+	fmt.Printf("  DIP-32 software: %v/packet\n", measure("pisa/software", nd.runDIP(pkt)))
 
 	state := dip.NewNodeState()
 	state.FIB32.AddUint32(0x0A000000, 8, dip.NextHop{Port: 1})
@@ -489,7 +551,7 @@ func ablationPISA() {
 	pkt2, _ := dip.BuildPacket(dip.IPv4Profile([4]byte{1, 1, 1, 1}, [4]byte{10, 0, 0, 9}), nil)
 	var phv pisa.PHV
 	var md pisa.Metadata
-	fmt.Printf("  DIP-32 pisa:     %v/packet\n", measure(func(n int) {
+	fmt.Printf("  DIP-32 pisa:     %v/packet\n", measure("pisa/pisa", func(n int) {
 		for i := 0; i < n; i++ {
 			pkt2[3] = 64
 			if _, err := pl.Process(pkt2, 0, &phv, &md); err != nil || md.Drop {
@@ -530,7 +592,7 @@ func mixedTraffic() {
 		fmt.Printf("  %-8v %5d packets\n", p, tr.Counts[p])
 	}
 	var ctx dip.ExecContext
-	per := measure(func(n int) {
+	per := measure("mixed/blend", func(n int) {
 		for i := 0; i < n; i++ {
 			p := &tr.Packets[i%len(tr.Packets)]
 			p.Rearm()
@@ -544,4 +606,84 @@ func mixedTraffic() {
 	})
 	fmt.Printf("  blended cost: %v/packet (≈ %.2f Mpps single-core)\n\n",
 		per, 1e3/float64(per.Nanoseconds()))
+}
+
+// rwmuFIB is the pre-RCU FIB design (one RWMutex around a shared trie),
+// kept here as the baseline the fiblookup experiment compares against.
+type rwmuFIB struct {
+	mu   sync.RWMutex
+	trie *lpm.BitTrie[fib.NextHop]
+}
+
+func (t *rwmuFIB) lookup(key uint32) {
+	var k [4]byte
+	k[0], k[1], k[2], k[3] = byte(key>>24), byte(key>>16), byte(key>>8), byte(key)
+	t.mu.RLock()
+	t.trie.Lookup(k[:], 32)
+	t.mu.RUnlock()
+}
+
+// ablationFIBLookup compares concurrent FIB lookup throughput of the RCU
+// snapshot table against the RWMutex baseline it replaced (E15). Workers
+// share nothing but the table, the forwarding access pattern.
+func ablationFIBLookup() {
+	fmt.Println("== E15: concurrent FIB lookup, RCU snapshots vs RWMutex ==")
+	const routes = 10_000
+	// Each measurement spawns the worker set, so the default -trials=1000
+	// (250 lookups per worker) would be dominated by goroutine spawn and
+	// futex wake costs and report noise. Amortize them over a floor of
+	// 20000 lookups per round for this experiment only.
+	saved := *trials
+	if *trials < 20_000 {
+		*trials = 20_000
+	}
+	defer func() { *trials = saved }()
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	rng := rand.New(rand.NewSource(7))
+	keys := make([]uint32, routes)
+	for i := range keys {
+		keys[i] = rng.Uint32()
+	}
+
+	fanout := func(look func(uint32)) func(int) {
+		return func(n int) {
+			per := n / workers
+			if per == 0 {
+				per = 1
+			}
+			var wg sync.WaitGroup
+			wg.Add(workers)
+			for w := 0; w < workers; w++ {
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						look(keys[(w*per+i)%routes])
+					}
+				}(w)
+			}
+			wg.Wait()
+		}
+	}
+
+	rcu := fib.New()
+	base := &rwmuFIB{trie: lpm.NewBitTrie[fib.NextHop]()}
+	for i, k := range keys {
+		rcu.AddUint32(k, 32, fib.NextHop{Port: i & 7})
+		var kb [4]byte
+		kb[0], kb[1], kb[2], kb[3] = byte(k>>24), byte(k>>16), byte(k>>8), byte(k)
+		base.trie.Insert(kb[:], 32, fib.NextHop{Port: i & 7})
+	}
+
+	dRCU := measure("fiblookup/rcu", fanout(func(k uint32) { rcu.LookupUint32(k) }))
+	dRW := measure("fiblookup/rwmutex", fanout(base.lookup))
+	fmt.Printf("  %d workers, %d routes\n", workers, routes)
+	fmt.Printf("  rcu:     %v/lookup\n", dRCU)
+	fmt.Printf("  rwmutex: %v/lookup\n", dRW)
+	if dRCU > 0 {
+		fmt.Printf("  speedup: %.2fx\n", float64(dRW)/float64(dRCU))
+	}
+	fmt.Println()
 }

@@ -35,6 +35,8 @@
 //	-admit-bulk R:B   bulk-class token bucket (control class is never
 //	                  limited by this flag)
 //	-pitperport N     per-inport pending-interest cap (flood defense)
+//	-pitshards N      PIT lock shards (power of two; scales concurrent workers)
+//	-csshards N       content store lock shards (trades exact LRU for scaling)
 //	-health D         log a guard health line every D (e.g. 10s) and dump
 //	                  new quarantine captures in dipdump-ready form
 package main
@@ -72,6 +74,8 @@ func main() {
 		admitPort = flag.String("admit-port", "", "per-inport admission rate:burst (pkts/s)")
 		admitBulk = flag.String("admit-bulk", "", "bulk-class admission rate:burst (pkts/s)")
 		pitCap    = flag.Int("pitperport", 0, "per-inport pending-interest cap (0 = off)")
+		pitShards = flag.Int("pitshards", 0, "PIT lock shards, rounded to a power of two (0 = default)")
+		csShards  = flag.Int("csshards", 0, "content store lock shards (0 = 1 shard, exact LRU)")
 		healthDur = flag.Duration("health", 0, "guard health log period (0 = off)")
 		peers     stringList
 		routes32  stringList
@@ -100,10 +104,21 @@ func main() {
 
 	state := dip.NewNodeState()
 	if *cacheSize > 0 {
-		state.EnableCache(*cacheSize)
+		if *csShards > 1 {
+			state.EnableCacheSharded(*cacheSize, *csShards)
+		} else {
+			state.EnableCache(*cacheSize)
+		}
 	}
-	if *pitCap > 0 {
-		state.PIT = pit.New[uint32](pit.WithPerPortCap[uint32](*pitCap))
+	if *pitCap > 0 || *pitShards > 0 {
+		var popts []pit.Option[uint32]
+		if *pitCap > 0 {
+			popts = append(popts, pit.WithPerPortCap[uint32](*pitCap))
+		}
+		if *pitShards > 0 {
+			popts = append(popts, pit.WithShards[uint32](*pitShards))
+		}
+		state.PIT = pit.New[uint32](popts...)
 	}
 	if *secretHex != "" {
 		secret, err := hex.DecodeString(*secretHex)

@@ -251,9 +251,18 @@ func NewNodeState() *NodeState {
 	}
 }
 
-// EnableCache attaches a content store of the given capacity.
+// EnableCache attaches a content store of the given capacity (one shard,
+// exact LRU).
 func (s *NodeState) EnableCache(capacity int) *NodeState {
 	s.ContentStore = cs.New[uint32](capacity)
+	return s
+}
+
+// EnableCacheSharded attaches a content store split into shards lock
+// domains for concurrent forwarding workers (approximate global LRU; see
+// cs.NewSharded).
+func (s *NodeState) EnableCacheSharded(capacity, shards int) *NodeState {
+	s.ContentStore = cs.NewSharded[uint32](capacity, shards)
 	return s
 }
 

@@ -169,20 +169,24 @@ func (e *Engine) processParallel(reg *Registry, ctx *ExecContext) {
 			maxStage = st
 		}
 	}
+	// waveBuf is reused across stages; like fns it lives on the stack, so
+	// selecting a stage's wave costs no heap traffic.
+	var waveBuf [MaxFNs]staged
 	for stage := minStage; stage <= maxStage && ctx.Verdict != VerdictDrop; stage++ {
-		var wave []staged
+		wn := 0
 		for i := 0; i < cnt; i++ {
 			if fns[i].stage == stage {
-				wave = append(wave, fns[i])
+				waveBuf[wn] = fns[i]
+				wn++
 			}
 		}
-		switch len(wave) {
+		switch wn {
 		case 0:
 			continue
 		case 1:
-			e.execute(reg, ctx, wave[0].fn)
+			e.execute(reg, ctx, waveBuf[0].fn)
 		default:
-			e.runWave(reg, ctx, wave)
+			e.runWave(reg, ctx, waveBuf[:wn])
 		}
 	}
 }
@@ -193,19 +197,35 @@ type staged struct {
 	stage int
 }
 
+// waveCtxs is a pooled scratch buffer of context copies for one parallel
+// wave. Pooling it keeps steady-state parallel processing from allocating a
+// fresh copy slice per wave; the slice grows to the widest wave seen and is
+// scrubbed of packet references before going back to the pool.
+type waveCtxs struct {
+	copies []ExecContext
+}
+
+var wavePool = sync.Pool{New: func() any { return &waveCtxs{} }}
+
 // runWave executes the wave's FNs concurrently on context copies, then
 // merges verdicts (by precedence), egress sets, crypto state and state-
 // budget consumption back into ctx.
 func (e *Engine) runWave(reg *Registry, ctx *ExecContext, wave []staged) {
-	copies := make([]ExecContext, len(wave))
+	wc := wavePool.Get().(*waveCtxs)
+	if cap(wc.copies) < len(wave) {
+		wc.copies = make([]ExecContext, len(wave))
+	}
+	copies := wc.copies[:len(wave)]
 	var wg sync.WaitGroup
+	wg.Add(len(wave))
 	for i := range wave {
 		copies[i] = *ctx
-		wg.Add(1)
-		go func(i int) {
+		// Pass the copy pointer and FN by value so the goroutine closure
+		// does not capture wave, whose backing array is the caller's stack.
+		go func(c *ExecContext, fn FN) {
 			defer wg.Done()
-			e.execute(reg, &copies[i], wave[i].fn)
-		}(i)
+			e.execute(reg, c, fn)
+		}(&copies[i], wave[i].fn)
 	}
 	wg.Wait()
 	consumed := 0
@@ -248,6 +268,10 @@ func (e *Engine) runWave(reg *Registry, ctx *ExecContext, wave []staged) {
 			ctx.Drop(DropStateBudget)
 		}
 	}
+	for i := range copies {
+		copies[i] = ExecContext{} // drop packet references before pooling
+	}
+	wavePool.Put(wc)
 }
 
 func (e *Engine) routerFNCount(v View) int {

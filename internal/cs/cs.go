@@ -2,16 +2,31 @@
 // paper sketches in footnote 2: "for the forwarding devices that support
 // caching, the FIB matching module can be slightly modified to first match
 // the local content store and then match the FIB".
+//
+// The store can be split into power-of-two shards keyed by name hash, each
+// with its own lock, LRU list, and capacity slice, so concurrent forwarding
+// workers only contend when their names hash together. Recency is then
+// tracked per shard: eviction is LRU within a shard and approximately LRU
+// globally, the standard trade sharded caches make. New keeps a single
+// shard (exact LRU, the right default for the small caches tests and topo
+// scenarios build); NewSharded spreads the capacity for contended routers.
 package cs
 
 import (
 	"container/list"
 	"sync"
+
+	"dip/internal/nhash"
 )
 
 // Store is a bounded LRU cache from content keys to payloads. It is safe
 // for concurrent use.
 type Store[K comparable] struct {
+	shards []csShard[K]
+	mask   uint64
+}
+
+type csShard[K comparable] struct {
 	mu    sync.Mutex
 	cap   int
 	bytes int
@@ -25,51 +40,79 @@ type item[K comparable] struct {
 	data []byte
 }
 
-// New returns a store holding at most capacity entries. capacity ≤ 0 is
-// treated as a disabled cache that stores nothing.
+// New returns a store holding at most capacity entries in one shard (exact
+// global LRU). capacity ≤ 0 is treated as a disabled cache that stores
+// nothing.
 func New[K comparable](capacity int) *Store[K] {
-	return &Store[K]{
-		cap:   capacity,
-		ll:    list.New(),
-		index: make(map[K]*list.Element),
+	return NewSharded[K](capacity, 1)
+}
+
+// NewSharded returns a store of at most capacity entries split over shards
+// lock domains (rounded down to a power of two; also capped so every shard
+// keeps at least one entry). Total capacity never exceeds the requested
+// bound; eviction is LRU per shard.
+func NewSharded[K comparable](capacity, shards int) *Store[K] {
+	n := nhash.Pow2(shards)
+	if capacity > 0 {
+		for n > 1 && capacity/n < 1 {
+			n /= 2
+		}
 	}
+	s := &Store[K]{shards: make([]csShard[K], n), mask: uint64(n - 1)}
+	for i := range s.shards {
+		s.shards[i] = csShard[K]{
+			cap:   capacity / n,
+			ll:    list.New(),
+			index: make(map[K]*list.Element),
+		}
+	}
+	return s
+}
+
+// NumShards returns the shard count (a power of two).
+func (s *Store[K]) NumShards() int { return len(s.shards) }
+
+func (s *Store[K]) shardOf(k K) *csShard[K] {
+	return &s.shards[nhash.Of(k)&s.mask]
 }
 
 // Put caches data under k, copying it so the caller's buffer stays free for
 // reuse. Existing entries are refreshed and moved to the front.
 func (s *Store[K]) Put(k K, data []byte) {
-	if s.cap <= 0 {
+	sh := s.shardOf(k)
+	if sh.cap <= 0 {
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if el, ok := s.index[k]; ok {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.index[k]; ok {
 		it := el.Value.(*item[K])
-		s.bytes += len(data) - len(it.data)
+		sh.bytes += len(data) - len(it.data)
 		it.data = append(it.data[:0], data...)
-		s.ll.MoveToFront(el)
+		sh.ll.MoveToFront(el)
 		return
 	}
 	cp := append([]byte(nil), data...)
-	el := s.ll.PushFront(&item[K]{key: k, data: cp})
-	s.index[k] = el
-	s.size++
-	s.bytes += len(cp)
-	for s.size > s.cap {
-		s.evictOldest()
+	el := sh.ll.PushFront(&item[K]{key: k, data: cp})
+	sh.index[k] = el
+	sh.size++
+	sh.bytes += len(cp)
+	for sh.size > sh.cap {
+		sh.evictOldest()
 	}
 }
 
 // Get returns the cached payload for k and refreshes its recency. The
 // returned slice is owned by the store; callers must copy before modifying.
 func (s *Store[K]) Get(k K) ([]byte, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	el, ok := s.index[k]
+	sh := s.shardOf(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.index[k]
 	if !ok {
 		return nil, false
 	}
-	s.ll.MoveToFront(el)
+	sh.ll.MoveToFront(el)
 	return el.Value.(*item[K]).data, true
 }
 
@@ -77,40 +120,51 @@ func (s *Store[K]) Get(k K) ([]byte, bool) {
 // content-poisoning response path: once F_pass flags a source, its cached
 // objects are purged.
 func (s *Store[K]) Remove(k K) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	el, ok := s.index[k]
+	sh := s.shardOf(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.index[k]
 	if !ok {
 		return false
 	}
-	s.remove(el)
+	sh.remove(el)
 	return true
 }
 
 // Len returns the number of cached entries.
 func (s *Store[K]) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.size
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += sh.size
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // Bytes returns the total cached payload bytes.
 func (s *Store[K]) Bytes() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.bytes
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += sh.bytes
+		sh.mu.Unlock()
+	}
+	return n
 }
 
-func (s *Store[K]) evictOldest() {
-	if el := s.ll.Back(); el != nil {
-		s.remove(el)
+func (sh *csShard[K]) evictOldest() {
+	if el := sh.ll.Back(); el != nil {
+		sh.remove(el)
 	}
 }
 
-func (s *Store[K]) remove(el *list.Element) {
+func (sh *csShard[K]) remove(el *list.Element) {
 	it := el.Value.(*item[K])
-	s.ll.Remove(el)
-	delete(s.index, it.key)
-	s.size--
-	s.bytes -= len(it.data)
+	sh.ll.Remove(el)
+	delete(sh.index, it.key)
+	sh.size--
+	sh.bytes -= len(it.data)
 }

@@ -3,14 +3,21 @@
 // F_32_match, F_128_match and F_FIB on 32-bit content-name IDs) and a name
 // table (component-wise LPM, backing the native NDN forwarder).
 //
-// Tables follow the read-mostly discipline: lookups take a reader lock and
-// never allocate; route churn takes the writer lock. This keeps the
-// forwarding hot path GC-free while still allowing live updates.
+// Tables follow the RCU snapshot discipline: the live trie hangs off an
+// atomic.Pointer and is immutable once published. Lookups load the pointer
+// and walk the snapshot — no locks, no fences beyond the load-acquire, no
+// allocation, and no contended cache line shared between readers. Mutations
+// serialize on a writer mutex, clone only the nodes along the affected path
+// (copy-on-write in internal/lpm), and publish the new root atomically;
+// readers that loaded the old snapshot finish on a consistent view. Batched
+// route churn goes through Txn/Commit, which publishes once for any number
+// of updates. See DESIGN.md §8 for the full concurrency model.
 package fib
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"dip/internal/lpm"
 	"dip/internal/names"
@@ -29,23 +36,31 @@ const PortLocal = -2
 // Local is the next hop meaning "deliver to this node".
 var Local = NextHop{Port: PortLocal}
 
-// Table is an LPM forwarding table over bit-string keys.
+// Table is an LPM forwarding table over bit-string keys. Lookups are
+// lock-free (they read the current immutable snapshot); mutators serialize
+// on an internal mutex and publish copy-on-write snapshots.
 type Table struct {
-	mu   sync.RWMutex
-	trie *lpm.BitTrie[NextHop]
+	mu   sync.Mutex // serializes mutators; lookups never take it
+	trie atomic.Pointer[lpm.BitTrie[NextHop]]
 }
 
 // New returns an empty table.
 func New() *Table {
-	return &Table{trie: lpm.NewBitTrie[NextHop]()}
+	t := &Table{}
+	t.trie.Store(lpm.NewBitTrie[NextHop]())
+	return t
 }
 
 // Add installs (or replaces) a route for the first plen bits of prefix.
 func (t *Table) Add(prefix []byte, plen int, nh NextHop) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	_, err := t.trie.Insert(prefix, plen, nh)
-	return err
+	nt, _, err := t.trie.Load().InsertCOW(prefix, plen, nh)
+	if err != nil {
+		return err
+	}
+	t.trie.Store(nt)
+	return nil
 }
 
 // AddUint32 installs a route keyed by the first plen bits of a 32-bit value,
@@ -63,15 +78,18 @@ func (t *Table) AddUint32(key uint32, plen int, nh NextHop) error {
 func (t *Table) Remove(prefix []byte, plen int) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.trie.Delete(prefix, plen)
+	nt, removed := t.trie.Load().DeleteCOW(prefix, plen)
+	if removed {
+		t.trie.Store(nt)
+	}
+	return removed
 }
 
 // Lookup returns the longest-prefix match for the first bits of key.
-// It never allocates.
+// It never allocates and never blocks: any number of lookups proceed
+// concurrently with each other and with route churn.
 func (t *Table) Lookup(key []byte, bits int) (NextHop, bool) {
-	t.mu.RLock()
-	nh, _, ok := t.trie.Lookup(key, bits)
-	t.mu.RUnlock()
+	nh, _, ok := t.trie.Load().Lookup(key, bits)
 	return nh, ok
 }
 
@@ -85,54 +103,127 @@ func (t *Table) LookupUint32(key uint32) (NextHop, bool) {
 
 // Len returns the number of installed routes.
 func (t *Table) Len() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.trie.Len()
+	return t.trie.Load().Len()
 }
 
-// Walk visits every route (under the reader lock; fn must not mutate).
+// Walk visits every route in the current snapshot. fn sees a consistent
+// point-in-time view; routes added or removed during the walk may or may
+// not appear.
 func (t *Table) Walk(fn func(prefix []byte, plen int, nh NextHop) bool) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	t.trie.Walk(fn)
+	t.trie.Load().Walk(fn)
 }
 
-// NameTable is an LPM forwarding table over hierarchical content names.
+// Txn is a batched update to a Table: any number of Adds and Removes built
+// on a private copy-on-write trie, published to readers atomically by a
+// single Commit. The transaction holds the table's writer lock from Txn()
+// until Commit or Abort, so exactly one is mandatory; lookups are never
+// blocked either way. This is the route-churn API: one BGP-style batch of
+// updates costs one pointer publish instead of one per route.
+type Txn struct {
+	t    *Table
+	trie *lpm.BitTrie[NextHop]
+	done bool
+}
+
+// Txn opens a batched update. The caller must finish it with Commit or
+// Abort (other writers block until then; readers do not).
+func (t *Table) Txn() *Txn {
+	t.mu.Lock()
+	return &Txn{t: t, trie: t.trie.Load()}
+}
+
+// Add stages a route. Staged updates are invisible to lookups until Commit.
+func (x *Txn) Add(prefix []byte, plen int, nh NextHop) error {
+	nt, _, err := x.trie.InsertCOW(prefix, plen, nh)
+	if err != nil {
+		return err
+	}
+	x.trie = nt
+	return nil
+}
+
+// AddUint32 stages a route keyed by the first plen bits of a 32-bit value.
+func (x *Txn) AddUint32(key uint32, plen int, nh NextHop) error {
+	if plen < 0 || plen > 32 {
+		return fmt.Errorf("fib: prefix length %d out of [0,32]", plen)
+	}
+	var k [4]byte
+	k[0], k[1], k[2], k[3] = byte(key>>24), byte(key>>16), byte(key>>8), byte(key)
+	return x.Add(k[:], plen, nh)
+}
+
+// Remove stages a route withdrawal.
+func (x *Txn) Remove(prefix []byte, plen int) bool {
+	nt, removed := x.trie.DeleteCOW(prefix, plen)
+	x.trie = nt
+	return removed
+}
+
+// Len returns the route count as staged (committed routes plus this
+// transaction's own updates).
+func (x *Txn) Len() int { return x.trie.Len() }
+
+// Commit publishes every staged update at once and releases the writer
+// lock. Lookups switch from the old snapshot to the new one at a single
+// atomic pointer store.
+func (x *Txn) Commit() {
+	if x.done {
+		return
+	}
+	x.done = true
+	x.t.trie.Store(x.trie)
+	x.t.mu.Unlock()
+}
+
+// Abort discards every staged update and releases the writer lock.
+func (x *Txn) Abort() {
+	if x.done {
+		return
+	}
+	x.done = true
+	x.t.mu.Unlock()
+}
+
+// NameTable is an LPM forwarding table over hierarchical content names,
+// following the same RCU snapshot discipline as Table.
 type NameTable struct {
-	mu   sync.RWMutex
-	trie *lpm.NameTrie[NextHop]
+	mu   sync.Mutex // serializes mutators; lookups never take it
+	trie atomic.Pointer[lpm.NameTrie[NextHop]]
 }
 
 // NewNameTable returns an empty name table.
 func NewNameTable() *NameTable {
-	return &NameTable{trie: lpm.NewNameTrie[NextHop]()}
+	t := &NameTable{}
+	t.trie.Store(lpm.NewNameTrie[NextHop]())
+	return t
 }
 
 // Add installs (or replaces) a route for the name prefix.
 func (t *NameTable) Add(prefix names.Name, nh NextHop) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.trie.Insert(prefix.Components(), nh)
+	nt, _ := t.trie.Load().InsertCOW(prefix.Components(), nh)
+	t.trie.Store(nt)
 }
 
 // Remove withdraws the exact name prefix.
 func (t *NameTable) Remove(prefix names.Name) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.trie.Delete(prefix.Components())
+	nt, removed := t.trie.Load().DeleteCOW(prefix.Components())
+	if removed {
+		t.trie.Store(nt)
+	}
+	return removed
 }
 
-// Lookup returns the longest-prefix match for name.
+// Lookup returns the longest-prefix match for name. It is lock-free.
 func (t *NameTable) Lookup(name names.Name) (NextHop, bool) {
-	t.mu.RLock()
-	nh, _, ok := t.trie.Lookup(name.Components())
-	t.mu.RUnlock()
+	nh, _, ok := t.trie.Load().Lookup(name.Components())
 	return nh, ok
 }
 
 // Len returns the number of installed name prefixes.
 func (t *NameTable) Len() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.trie.Len()
+	return t.trie.Load().Len()
 }

@@ -4,12 +4,23 @@
 // the FIB behind F_FIB when it holds numeric name IDs), and a component trie
 // over hierarchical names for NDN-style content routing.
 //
-// Both tries are deliberately not goroutine-safe; forwarding tables in this
-// codebase follow the read-mostly pattern where the control plane swaps whole
-// tables and the data plane reads without locks (see internal/fib).
+// Both tries offer two mutation disciplines. The plain Insert/Delete methods
+// mutate in place and are not goroutine-safe; they suit single-owner tables
+// and bulk loads. The InsertCOW/DeleteCOW variants never touch the receiver:
+// they copy only the nodes along the affected path and return a new trie
+// sharing every untouched subtree, so a published trie is immutable and the
+// data plane reads it without locks or fences while the control plane swaps
+// whole tables (internal/fib implements exactly that RCU discipline).
+//
+// Fragment comparison runs a byte at a time — whole-byte XOR with
+// bits.LeadingZeros8 locating the divergence — so a lookup at 10⁶ routes
+// costs ~flen/8 compares per level instead of flen.
 package lpm
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // MaxKeyBits is the widest supported key (IPv6 / 128-bit name IDs).
 const MaxKeyBits = 128
@@ -22,12 +33,21 @@ type BitTrie[V any] struct {
 }
 
 type bnode[V any] struct {
-	// frag holds this node's path fragment, MSB-aligned.
+	// frag holds this node's path fragment, MSB-aligned. Bits at and beyond
+	// flen are always zero (splitNode and mergeInto maintain this), which is
+	// what lets the comparator work in whole bytes.
 	frag  [MaxKeyBits / 8]byte
 	flen  uint16 // fragment length in bits
 	has   bool
 	val   V
 	child [2]*bnode[V]
+}
+
+// clone returns a shallow copy of n: same fragment and value, sharing the
+// child pointers. The copy-on-write paths clone every node they mutate.
+func (n *bnode[V]) clone() *bnode[V] {
+	c := *n
+	return &c
 }
 
 // NewBitTrie returns an empty trie.
@@ -55,9 +75,44 @@ func setFragBit(n *[MaxKeyBits / 8]byte, i, v int) {
 	}
 }
 
+// keyBitsAt returns up to 8 key bits starting at bit position bp,
+// MSB-aligned. Bits past nbits are unspecified; callers mask or bound them.
+// The caller guarantees bp+nbits ≤ len(key)*8, which (checked against both
+// operands' widths) keeps the second byte read in bounds.
+func keyBitsAt(key []byte, bp, nbits int) byte {
+	sh := uint(bp) & 7
+	b := key[bp>>3] << sh
+	if sh != 0 && int(sh)+nbits > 8 {
+		b |= key[bp>>3+1] >> (8 - sh)
+	}
+	return b
+}
+
+// commonBits returns how many leading bits (at most limit) of the node
+// fragment agree with key starting at bit offset depth. Whole bytes compare
+// with a single XOR and bits.LeadingZeros8 locates the divergence; only a
+// ragged tail narrower than a byte needs the masked form.
+func commonBits(frag *[MaxKeyBits / 8]byte, key []byte, depth, limit int) int {
+	n := 0
+	for n+8 <= limit {
+		if x := frag[n>>3] ^ keyBitsAt(key, depth+n, 8); x != 0 {
+			return n + bits.LeadingZeros8(x)
+		}
+		n += 8
+	}
+	if r := limit - n; r > 0 {
+		x := frag[n>>3] ^ keyBitsAt(key, depth+n, r)
+		if lz := bits.LeadingZeros8(x); lz < r {
+			return n + lz
+		}
+	}
+	return limit
+}
+
 // Insert stores v under the prefix formed by the first plen bits of key.
 // It replaces any existing value for that exact prefix and reports whether
-// the prefix was newly created.
+// the prefix was newly created. Insert mutates the trie in place; use
+// InsertCOW for the copy-on-write discipline.
 func (t *BitTrie[V]) Insert(key []byte, plen int, v V) (created bool, err error) {
 	if err := checkKey(key, plen); err != nil {
 		return false, err
@@ -66,11 +121,11 @@ func (t *BitTrie[V]) Insert(key []byte, plen int, v V) (created bool, err error)
 	depth := 0
 	for {
 		// Match this node's fragment against key[depth:plen].
-		common := 0
-		for common < int(n.flen) && depth+common < plen &&
-			fragBitAt(&n.frag, common) == bitAt(key, depth+common) {
-			common++
+		limit := plen - depth
+		if limit > int(n.flen) {
+			limit = int(n.flen)
 		}
+		common := commonBits(&n.frag, key, depth, limit)
 		if common < int(n.flen) {
 			// Split the node at `common`.
 			t.splitNode(n, common)
@@ -106,6 +161,55 @@ func (t *BitTrie[V]) Insert(key []byte, plen int, v V) (created bool, err error)
 	}
 }
 
+// InsertCOW is Insert under the copy-on-write discipline: the receiver is
+// never modified; the returned trie shares every untouched subtree with it.
+// Readers holding the old trie keep a consistent view indefinitely.
+func (t *BitTrie[V]) InsertCOW(key []byte, plen int, v V) (nt *BitTrie[V], created bool, err error) {
+	if err := checkKey(key, plen); err != nil {
+		return t, false, err
+	}
+	nt = &BitTrie[V]{root: t.root.clone(), size: t.size}
+	n := nt.root
+	depth := 0
+	for {
+		limit := plen - depth
+		if limit > int(n.flen) {
+			limit = int(n.flen)
+		}
+		common := commonBits(&n.frag, key, depth, limit)
+		if common < int(n.flen) {
+			nt.splitNode(n, common) // n is a private clone; rest shares children
+			if depth+common == plen {
+				n.has = true
+				n.val = v
+				nt.size++
+				return nt, true, nil
+			}
+			n.child[bitAt(key, depth+common)] = newLeaf[V](key, depth+common, plen, v)
+			nt.size++
+			return nt, true, nil
+		}
+		depth += int(n.flen)
+		if depth == plen {
+			if !n.has {
+				nt.size++
+				created = true
+			}
+			n.has = true
+			n.val = v
+			return nt, created, nil
+		}
+		b := bitAt(key, depth)
+		if n.child[b] == nil {
+			n.child[b] = newLeaf[V](key, depth, plen, v)
+			nt.size++
+			return nt, true, nil
+		}
+		n.child[b] = n.child[b].clone()
+		n = n.child[b]
+	}
+}
+
 // splitNode turns n (fragment F, length L) into a node with fragment F[:at]
 // whose single child carries F[at:] along with n's previous value/children.
 func (t *BitTrie[V]) splitNode(n *bnode[V], at int) {
@@ -134,7 +238,9 @@ func newLeaf[V any](key []byte, from, plen int, v V) *bnode[V] {
 }
 
 // Lookup returns the value of the longest stored prefix matching the first
-// keylen bits of key, along with that prefix's length.
+// keylen bits of key, along with that prefix's length. It touches no locks
+// and never allocates, so any number of readers may run it concurrently
+// against a published (immutable) trie.
 func (t *BitTrie[V]) Lookup(key []byte, keylen int) (v V, plen int, ok bool) {
 	if checkKey(key, keylen) != nil {
 		return v, 0, false
@@ -142,9 +248,33 @@ func (t *BitTrie[V]) Lookup(key []byte, keylen int) (v V, plen int, ok bool) {
 	n := t.root
 	depth := 0
 	for {
-		for i := 0; i < int(n.flen); i++ {
-			if depth+i >= keylen || fragBitAt(&n.frag, i) != bitAt(key, depth+i) {
+		if flen := int(n.flen); flen > 0 {
+			// A fragment longer than the remaining key can never complete;
+			// a divergence inside it ends the walk the same way — in both
+			// cases the best match so far stands. The comparison is written
+			// out here (rather than calling commonBits) because Lookup only
+			// needs a yes/no and this loop is the forwarding hot path: the
+			// first min(8,flen) bits — the whole fragment, for the short
+			// fragments dense tries are made of — cost one XOR and shift;
+			// only longer fragments enter the byte loop.
+			if keylen-depth < flen {
 				return v, plen, ok
+			}
+			m := flen
+			if m > 8 {
+				m = 8
+			}
+			if (n.frag[0]^keyBitsAt(key, depth, m))>>(8-uint(m)) != 0 {
+				return v, plen, ok
+			}
+			for nb := 8; nb < flen; nb += 8 {
+				if r := flen - nb; r < 8 {
+					if (n.frag[nb>>3]^keyBitsAt(key, depth+nb, r))>>(8-uint(r)) != 0 {
+						return v, plen, ok
+					}
+				} else if n.frag[nb>>3] != keyBitsAt(key, depth+nb, 8) {
+					return v, plen, ok
+				}
 			}
 		}
 		depth += int(n.flen)
@@ -172,7 +302,9 @@ func (t *BitTrie[V]) Get(key []byte, plen int) (v V, ok bool) {
 	return got, true
 }
 
-// Delete removes the exact prefix (key, plen) and reports whether it existed.
+// Delete removes the exact prefix (key, plen) and reports whether it
+// existed. Delete mutates the trie in place; use DeleteCOW for the
+// copy-on-write discipline.
 func (t *BitTrie[V]) Delete(key []byte, plen int) bool {
 	if checkKey(key, plen) != nil {
 		return false
@@ -182,8 +314,12 @@ func (t *BitTrie[V]) Delete(key []byte, plen int) bool {
 	n := t.root
 	depth := 0
 	for {
-		for i := 0; i < int(n.flen); i++ {
-			if depth+i >= plen || fragBitAt(&n.frag, i) != bitAt(key, depth+i) {
+		if flen := int(n.flen); flen > 0 {
+			limit := plen - depth
+			if limit > flen {
+				limit = flen
+			}
+			if commonBits(&n.frag, key, depth, limit) < flen {
 				return false
 			}
 		}
@@ -208,7 +344,41 @@ func (t *BitTrie[V]) Delete(key []byte, plen int) bool {
 	}
 }
 
+// DeleteCOW is Delete under the copy-on-write discipline: the receiver is
+// never modified. When the prefix is absent it returns the receiver itself
+// (no allocation); otherwise the returned trie shares every untouched
+// subtree with the old one.
+func (t *BitTrie[V]) DeleteCOW(key []byte, plen int) (*BitTrie[V], bool) {
+	// Probe first so a miss costs no clones. Get is read-only.
+	if _, ok := t.Get(key, plen); !ok {
+		return t, false
+	}
+	nt := &BitTrie[V]{root: t.root.clone(), size: t.size}
+	var parent *bnode[V]
+	parentBit := 0
+	n := nt.root
+	depth := 0
+	for {
+		// The probe above proved the path exists and matches exactly.
+		depth += int(n.flen)
+		if depth == plen {
+			var zero V
+			n.has = false
+			n.val = zero
+			nt.size--
+			nt.compact(parent, parentBit, n)
+			return nt, true
+		}
+		b := bitAt(key, depth)
+		parent, parentBit = n, b
+		n.child[b] = n.child[b].clone()
+		n = n.child[b]
+	}
+}
+
 // compact merges n into its single child (or removes it) after deletion.
+// n and parent are owned by the caller (freshly cloned on the COW path);
+// the absorbed child is only read, never written, so it may be shared.
 func (t *BitTrie[V]) compact(parent *bnode[V], parentBit int, n *bnode[V]) {
 	if n.has || parent == nil {
 		return
@@ -229,7 +399,8 @@ func (t *BitTrie[V]) compact(parent *bnode[V], parentBit int, n *bnode[V]) {
 	}
 }
 
-// mergeInto appends child's fragment (and state) onto n.
+// mergeInto appends child's fragment (and state) onto n. child is read-only
+// here: COW deletions pass shared children.
 func mergeInto[V any](n, child *bnode[V]) {
 	for i := 0; i < int(child.flen); i++ {
 		setFragBit(&n.frag, int(n.flen)+i, fragBitAt(&child.frag, i))

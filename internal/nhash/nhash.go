@@ -1,0 +1,66 @@
+// Package nhash hashes forwarding-state keys (content-name IDs, NDN name
+// strings) to pick shards in the sharded PIT and content store. It exists
+// because the tables are generic over comparable keys but the Go version
+// this module targets has no generic stdlib hasher; a type switch covers
+// every key type the dataplane instantiates, and anything else degrades to
+// shard 0 (correct, just unsharded).
+package nhash
+
+// Of returns a well-mixed 64-bit hash of k. Integer keys go through a
+// splitmix64 finalizer (content-name IDs are near-sequential, so identity
+// hashing would pile them onto one shard); strings use FNV-1a.
+func Of[K comparable](k K) uint64 {
+	switch v := any(k).(type) {
+	case uint32:
+		return mix64(uint64(v))
+	case uint64:
+		return mix64(v)
+	case uint:
+		return mix64(uint64(v))
+	case int:
+		return mix64(uint64(v))
+	case int32:
+		return mix64(uint64(uint32(v)))
+	case int64:
+		return mix64(uint64(v))
+	case string:
+		return fnv1a(v)
+	default:
+		return 0
+	}
+}
+
+// mix64 is the splitmix64 finalizer: full avalanche in three multiplies.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func fnv1a(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// Pow2 rounds n down to the nearest power of two, minimum 1.
+func Pow2(n int) int {
+	if n < 1 {
+		return 1
+	}
+	p := 1
+	for p*2 <= n {
+		p *= 2
+	}
+	return p
+}

@@ -1,0 +1,49 @@
+package pit
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// BenchmarkShardedPITParallel measures the create/consume cycle under
+// concurrent workers at different shard counts. One shard is the pre-shard
+// design (every worker on one mutex); DefaultShards should scale with
+// GOMAXPROCS because workers with different keys land on different locks.
+func BenchmarkShardedPITParallel(b *testing.B) {
+	for _, shards := range []int{1, DefaultShards} {
+		b.Run(map[int]string{1: "shards-1", DefaultShards: "shards-8"}[shards], func(b *testing.B) {
+			t := New[uint32](WithShards[uint32](shards), WithCapacity[uint32](1<<20))
+			var seq atomic.Uint32
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				// Each worker cycles a private key range so entries always
+				// create (miss) then consume (hit), the forwarding pattern.
+				base := seq.Add(1) << 20
+				buf := make([]int, 0, MaxPortsPerEntry)
+				i := uint32(0)
+				for pb.Next() {
+					k := base + i%4096
+					if _, err := t.AddInterest(k, int(i&7)); err == nil {
+						buf, _ = t.Consume(buf[:0], k)
+					}
+					i++
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkPITSequential pins the single-threaded create/consume cost; the
+// shard free lists keep it allocation-free.
+func BenchmarkPITSequential(b *testing.B) {
+	t := New[uint32]()
+	buf := make([]int, 0, MaxPortsPerEntry)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := uint32(i % 4096)
+		t.AddInterest(k, i&7)
+		buf, _ = t.Consume(buf[:0], k)
+	}
+}

@@ -4,7 +4,7 @@
 //
 // Syntax (one directive per line, '#' comments):
 //
-//	router R1 [cache=64] [secret=<32 hex>] [hopindex=N] [requirepass] [pitperport=N]
+//	router R1 [cache=64] [csshards=N] [secret=<32 hex>] [hopindex=N] [requirepass] [pitperport=N] [pitshards=N]
 //	host   H1
 //	link   R1:0 H1 [delay]          # bidirectional; hosts have one port
 //	link   R1:1 R2:0 2ms
@@ -173,8 +173,8 @@ func (t *Topology) addRouter(args []string) error {
 		FIB32:   fib.New(),
 		FIB128:  fib.New(),
 		NameFIB: fib.New(),
-		PIT:     pit.New[uint32](),
 	}
+	var cacheCap, csShards, pitPerPort, pitShards int
 	for _, opt := range args[1:] {
 		k, v, _ := strings.Cut(opt, "=")
 		switch k {
@@ -183,7 +183,13 @@ func (t *Topology) addRouter(args []string) error {
 			if err != nil {
 				return fmt.Errorf("cache: %v", err)
 			}
-			cfg.ContentStore = cs.New[uint32](n)
+			cacheCap = n
+		case "csshards":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				return fmt.Errorf("csshards wants a positive count, got %q", v)
+			}
+			csShards = n
 		case "secret":
 			secret, err := hex.DecodeString(v)
 			if err != nil || len(secret) != 16 {
@@ -207,9 +213,30 @@ func (t *Topology) addRouter(args []string) error {
 			if err != nil || n < 1 {
 				return fmt.Errorf("pitperport wants a positive count, got %q", v)
 			}
-			cfg.PIT = pit.New[uint32](pit.WithPerPortCap[uint32](n))
+			pitPerPort = n
+		case "pitshards":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				return fmt.Errorf("pitshards wants a positive count, got %q", v)
+			}
+			pitShards = n
 		default:
 			return fmt.Errorf("unknown router option %q", opt)
+		}
+	}
+	var popts []pit.Option[uint32]
+	if pitPerPort > 0 {
+		popts = append(popts, pit.WithPerPortCap[uint32](pitPerPort))
+	}
+	if pitShards > 0 {
+		popts = append(popts, pit.WithShards[uint32](pitShards))
+	}
+	cfg.PIT = pit.New[uint32](popts...)
+	if cacheCap > 0 {
+		if csShards > 1 {
+			cfg.ContentStore = cs.NewSharded[uint32](cacheCap, csShards)
+		} else {
+			cfg.ContentStore = cs.New[uint32](cacheCap)
 		}
 	}
 	rn := &routerNode{name: name, cfg: cfg, metrics: &telemetry.Metrics{}}

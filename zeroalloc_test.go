@@ -1,0 +1,87 @@
+package dip
+
+import (
+	"testing"
+
+	"dip/internal/core"
+)
+
+// These tests pin the hot-path allocation contract the benchmarks rely on:
+// steady-state forwarding must not touch the heap. testing.AllocsPerRun
+// turns a regression (a closure capture, an interface box, a map rehash on
+// the wrong path) into a test failure instead of a silent benchmark drift.
+
+func TestZeroAllocEngineProcess(t *testing.T) {
+	state := NewNodeState()
+	state.FIB32.AddUint32(0x0A000000, 8, NextHop{Port: 1})
+	engine := core.NewEngine(NewRouterRegistry(state.OpsConfig()), Limits{})
+	pkt, err := BuildPacket(IPv4Profile([4]byte{1, 1, 1, 1}, [4]byte{10, 0, 0, 9}), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ctx ExecContext
+	run := func() {
+		pkt[3] = 64 // restore the hop limit the previous pass decremented
+		v, err := ParsePacket(pkt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx.Reset(v, 0)
+		engine.Process(&ctx)
+	}
+	run() // warm up lazy state before counting
+	if n := testing.AllocsPerRun(100, run); n != 0 {
+		t.Fatalf("sequential Engine.Process allocates %.1f/op, want 0", n)
+	}
+}
+
+func TestZeroAllocFIBLookup(t *testing.T) {
+	state := NewNodeState()
+	for i := uint32(0); i < 1024; i++ {
+		state.FIB32.AddUint32(i<<20, 12, NextHop{Port: int(i & 7)})
+	}
+	i := uint32(0)
+	if n := testing.AllocsPerRun(1000, func() {
+		state.FIB32.LookupUint32(i << 20)
+		i = (i + 1) & 1023
+	}); n != 0 {
+		t.Fatalf("fib.Table.Lookup allocates %.1f/op, want 0", n)
+	}
+}
+
+func TestZeroAllocPITCycle(t *testing.T) {
+	p := NewNodeState().PIT
+	buf := make([]int, 0, 8)
+	k := uint32(0)
+	cycle := func() {
+		if _, err := p.AddInterest(k, int(k&3)); err != nil {
+			t.Fatal(err)
+		}
+		buf, _ = p.Consume(buf[:0], k)
+		k = (k + 1) & 4095
+	}
+	// Warm the shard maps, free lists, and per-port counters.
+	for i := 0; i < 8192; i++ {
+		cycle()
+	}
+	if n := testing.AllocsPerRun(1000, cycle); n != 0 {
+		t.Fatalf("pit create/consume allocates %.1f/op, want 0", n)
+	}
+}
+
+func TestZeroAllocContentStoreGet(t *testing.T) {
+	s := NewNodeState().EnableCache(64).ContentStore
+	payload := []byte("cached-object-payload")
+	for i := uint32(0); i < 64; i++ {
+		s.Put(i, payload)
+	}
+	i := uint32(0)
+	if n := testing.AllocsPerRun(1000, func() {
+		if _, ok := s.Get(i); !ok {
+			t.Fatal("expected hit")
+		}
+		i = (i + 1) & 63
+	}); n != 0 {
+		t.Fatalf("cs.Store.Get allocates %.1f/op, want 0", n)
+	}
+}
