@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race vet fuzz soak bench benchrace clean
+.PHONY: build test check race vet fuzz soak bench benchrace metricssmoke clean
 
 build:
 	$(GO) build ./...
@@ -16,9 +16,9 @@ race:
 	$(GO) test -race ./...
 
 # Full pre-merge gate: static analysis, the race detector, a race-mode smoke
-# of the parallel hot-path benchmarks, and a fuzz smoke sweep over every
-# fuzz target.
-check: vet race benchrace fuzz
+# of the parallel hot-path benchmarks, a fuzz smoke sweep over every fuzz
+# target, and a live scrape of the metrics endpoint.
+check: vet race benchrace fuzz metricssmoke
 
 # Short benchstat-friendly run of the forwarding hot-path benchmarks
 # (compare runs with: make bench > old.txt; ...; make bench > new.txt;
@@ -48,6 +48,38 @@ fuzz:
 			$(GO) test $$pkg -run '^$$' -fuzz "^$$f$$" -fuzztime $(FUZZTIME); \
 		done; \
 	done
+
+# Metrics-endpoint smoke: boot a real diprouter with the observability
+# listener, push traffic through it with diphost (one routable packet, one
+# no-route drop), scrape /metrics, validate the Prometheus text grammar,
+# check the key series exist, and make sure pprof answers.
+METRICS_PORT ?= 17490
+metricssmoke:
+	@set -e; \
+	tmp=$$(mktemp -d); trap 'kill $$pid 2>/dev/null; rm -rf $$tmp' EXIT; \
+	$(GO) build -o $$tmp/diprouter ./cmd/diprouter; \
+	$(GO) build -o $$tmp/diphost ./cmd/diphost; \
+	$$tmp/diprouter -listen 127.0.0.1:17400 -peer 127.0.0.1:17401 \
+		-route32 10.0.0.0/8=0 -cache 16 \
+		-metrics-addr 127.0.0.1:$(METRICS_PORT) -trace-every 1 \
+		>$$tmp/router.log 2>&1 & pid=$$!; \
+	sleep 1; \
+	$$tmp/diphost -mode send -proto ipv4 -src 1.1.1.1 -dst 10.0.0.9 \
+		-to 127.0.0.1:17400 -payload smoke >/dev/null; \
+	$$tmp/diphost -mode send -proto ipv4 -src 1.1.1.1 -dst 99.9.9.9 \
+		-to 127.0.0.1:17400 >/dev/null; \
+	sleep 0.3; \
+	curl -sf http://127.0.0.1:$(METRICS_PORT)/metrics > $$tmp/scrape; \
+	awk '!/^#/ && !/^$$/ && $$0 !~ /^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9.eE+-]+$$/ \
+		{ print "bad exposition line: " $$0; bad=1 } END { exit bad }' $$tmp/scrape; \
+	for s in 'dip_packets_received_total' 'dip_packets_total{.*verdict="forward"' \
+		'dip_drops_total{.*reason="no-route"' 'dip_op_latency_ns_bucket{.*op="F_32_match".*le=' \
+		'dip_pit_entries' 'dip_cs_entries' 'dip_trace_sampled_total'; do \
+		grep -q "^$$s" $$tmp/scrape || { echo "missing series $$s"; cat $$tmp/scrape; exit 1; }; \
+	done; \
+	curl -sf http://127.0.0.1:$(METRICS_PORT)/trace >/dev/null; \
+	curl -sf http://127.0.0.1:$(METRICS_PORT)/debug/pprof/ >/dev/null; \
+	echo "metricssmoke: exposition valid, key series present, pprof live"
 
 # Long-running soak and heavy-chaos tests are skipped under -short; this
 # target runs everything, including them.

@@ -8,11 +8,17 @@
 // lines around each hex-encoded poison packet) pipes straight in and comes
 // out dissected alongside its capture context.
 //
+// '# trace' annotations — the per-packet journey records a trace-enabled
+// router serves on its /trace endpoint — are recognized and pretty-printed
+// instead: the sampled packet's verdict, engine time, and ordered FN steps
+// with per-step latency render above the dissection of its captured bytes.
+//
 // Usage:
 //
 //	dipdump 01001140...            # hex packet as argument
 //	some-producer | dipdump        # hex packets on stdin
 //	quarantine-dump | dipdump      # poison packets with capture context
+//	curl -s $ROUTER/trace | dipdump  # sampled FN journeys, dissected
 package main
 
 import (
@@ -41,11 +47,45 @@ func main() {
 			continue
 		}
 		if strings.HasPrefix(line, "#") {
-			fmt.Println(line)
+			if !printTrace(line) {
+				fmt.Println(line)
+			}
 			continue
 		}
 		dump(line)
 	}
+}
+
+// printTrace pretty-prints a '# trace' metadata line (the form emitted by
+// trace.Record.String and served on a router's /trace endpoint). Any other
+// annotation returns false and is echoed verbatim by the caller.
+func printTrace(line string) bool {
+	rest, ok := strings.CutPrefix(line, "# trace ")
+	if !ok {
+		return false
+	}
+	kv := map[string]string{}
+	for _, tok := range strings.Fields(rest) {
+		if k, v, found := strings.Cut(tok, "="); found {
+			kv[k] = v
+		}
+	}
+	fate := kv["verdict"]
+	if fate == "drop" && kv["reason"] != "" && kv["reason"] != "none" {
+		fate += " (" + kv["reason"] + ")"
+	}
+	if e := kv["egress"]; e != "" {
+		fate += " via port " + e
+	}
+	fmt.Printf("=== trace sample %s: in-port %s, %s, engine time %s, %s wire bytes\n",
+		kv["seq"], kv["in"], fate, kv["total"], kv["pktlen"])
+	if s := kv["steps"]; s != "" {
+		fmt.Printf("    journey: %s\n", strings.ReplaceAll(s, ",", " -> "))
+	}
+	if tr := kv["truncated"]; tr != "" {
+		fmt.Printf("    (+%s further steps not retained)\n", tr)
+	}
+	return true
 }
 
 func dump(hexStr string) {

@@ -11,7 +11,9 @@
 //	diphost -mode recv -listen 127.0.0.1:7001 [-count 1]
 //
 // recv prints each received packet's disposition (delivered, rejected,
-// FN-unsupported) and payload.
+// FN-unsupported) and payload. With -metrics-addr it also serves the
+// host-side telemetry (receive verdicts, host-FN latency histograms) as
+// Prometheus text on /metrics plus Go profiling under /debug/pprof/.
 package main
 
 import (
@@ -37,6 +39,7 @@ func main() {
 		to      = flag.String("to", "", "router UDP address (send mode)")
 		listen  = flag.String("listen", "", "UDP address to bind (recv mode)")
 		count   = flag.Int("count", 0, "packets to receive before exiting (0 = forever)")
+		metrics = flag.String("metrics-addr", "", "HTTP address for /metrics and /debug/pprof (recv mode, empty = off)")
 	)
 	flag.Parse()
 
@@ -46,7 +49,7 @@ func main() {
 			log.Fatal(err)
 		}
 	case "recv":
-		if err := recv(*listen, *count); err != nil {
+		if err := recv(*listen, *count, *metrics); err != nil {
 			log.Fatal(err)
 		}
 	default:
@@ -112,7 +115,7 @@ func send(proto, src, dst, name, payload, to string) error {
 	return nil
 }
 
-func recv(listen string, count int) error {
+func recv(listen string, count int, metricsAddr string) error {
 	if listen == "" {
 		return fmt.Errorf("recv mode needs -listen")
 	}
@@ -126,6 +129,17 @@ func recv(listen string, count int) error {
 	}
 	defer conn.Close()
 	stack := dip.NewHost()
+	var m *dip.Metrics
+	if metricsAddr != "" {
+		m = &dip.Metrics{}
+		stack.SetRecorder(m)
+		bound, closeFn, err := dip.ServeMetrics(metricsAddr, dip.MetricsSource{Node: listen, Metrics: m})
+		if err != nil {
+			return fmt.Errorf("-metrics-addr: %w", err)
+		}
+		defer closeFn()
+		log.Printf("metrics on http://%v/metrics", bound)
+	}
 	log.Printf("diphost listening on %v", laddr)
 	buf := make([]byte, 65535)
 	for received := 0; count == 0 || received < count; {
@@ -135,6 +149,9 @@ func recv(listen string, count int) error {
 		}
 		received++
 		rx := stack.HandlePacket(buf[:n])
+		if m != nil {
+			m.CountVerdict(rxVerdict(rx.Kind))
+		}
 		fmt.Printf("from %v: %s", raddr, rx.Kind)
 		switch {
 		case rx.Kind.String() == "delivered":
@@ -147,6 +164,15 @@ func recv(listen string, count int) error {
 		fmt.Println()
 	}
 	return nil
+}
+
+// rxVerdict maps a host receive outcome onto the verdict counters so the
+// metrics listener reconciles (delivered / dropped) like a router's.
+func rxVerdict(k dip.RxKind) dip.Verdict {
+	if k == dip.RxDelivered {
+		return dip.VerdictDeliver
+	}
+	return dip.VerdictDrop
 }
 
 func parse4(s string) ([4]byte, error) {

@@ -39,6 +39,16 @@
 //	-csshards N       content store lock shards (trades exact LRU for scaling)
 //	-health D         log a guard health line every D (e.g. 10s) and dump
 //	                  new quarantine captures in dipdump-ready form
+//
+// Observability (the metrics/trace/pprof listener):
+//
+//	-metrics-addr A   serve Prometheus text on A/metrics, sampled packet
+//	                  traces on A/trace (dipdump-ready), and Go profiling
+//	                  under A/debug/pprof/
+//	-trace-every N    sample every Nth packet's FN journey into the trace
+//	                  ring (0 = tracing off; sampling keeps the unsampled
+//	                  forwarding path allocation-free)
+//	-trace-ring N     trace ring capacity in records (default 1024)
 package main
 
 import (
@@ -77,6 +87,9 @@ func main() {
 		pitShards = flag.Int("pitshards", 0, "PIT lock shards, rounded to a power of two (0 = default)")
 		csShards  = flag.Int("csshards", 0, "content store lock shards (0 = 1 shard, exact LRU)")
 		healthDur = flag.Duration("health", 0, "guard health log period (0 = off)")
+		metricsAt = flag.String("metrics-addr", "", "HTTP address for /metrics, /trace and /debug/pprof (empty = off)")
+		traceN    = flag.Int("trace-every", 0, "trace every Nth packet's FN journey (0 = off)")
+		traceRing = flag.Int("trace-ring", 0, "trace ring capacity in records (0 = default)")
 		peers     stringList
 		routes32  stringList
 		routes128 stringList
@@ -148,16 +161,43 @@ func main() {
 	}
 
 	metrics := &telemetry.Metrics{}
+	var tracer *dip.TraceRecorder
+	if *traceN > 0 {
+		tracer = dip.NewTraceRecorder(metrics, *traceN, *traceRing)
+	}
 	r := dip.NewRouter(state.OpsConfig(), dip.RouterOptions{
 		Name:    *listen,
 		Limits:  dip.Limits{MaxFNs: *maxFNs},
 		Metrics: metrics,
+		Trace:   tracer,
 		LocalDelivery: func(pkt []byte, inPort int) {
 			if *verbose {
 				log.Printf("delivered locally: %d bytes from port %d", len(pkt), inPort)
 			}
 		},
 	})
+
+	if *metricsAt != "" {
+		src := dip.MetricsSource{
+			Node:    *listen,
+			Metrics: metrics,
+			Health:  r.Health,
+			Trace:   tracer,
+		}
+		// Interface fields must stay nil-free: a typed nil *pit.Table or
+		// *cs.Store inside the interface would be dereferenced on scrape.
+		if state.PIT != nil {
+			src.PIT = state.PIT
+		}
+		if state.ContentStore != nil {
+			src.CS = state.ContentStore
+		}
+		bound, _, err := dip.ServeMetrics(*metricsAt, src)
+		if err != nil {
+			log.Fatalf("-metrics-addr: %v", err)
+		}
+		log.Printf("metrics on http://%v/metrics (trace: /trace, pprof: /debug/pprof/)", bound)
+	}
 
 	portOf := map[string]int{}
 	for i, p := range peers {

@@ -4,6 +4,7 @@
 //
 //	diptopo scenario.topo
 //	diptopo -q scenario.topo      # deliveries only, no event log
+//	diptopo -sample 10ms x.topo   # also print per-interval counter deltas
 //
 // Example file:
 //
@@ -26,12 +27,14 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 
 	"dip/internal/topo"
 )
 
 func main() {
 	quiet := flag.Bool("q", false, "suppress the event log")
+	sample := flag.Duration("sample", 0, "snapshot router counters every interval of virtual time (0 = off)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: diptopo [-q] <file.topo>")
@@ -52,11 +55,44 @@ func main() {
 			fmt.Printf(format+"\n", args...)
 		}
 	}
-	deliveries := t.Run()
+	deliveries, series := t.RunSampled(*sample)
 	fmt.Printf("\n%d deliveries:\n", len(deliveries))
 	for _, d := range deliveries {
 		fmt.Printf("  [%8v] %-8s %-8s %q\n", d.At, d.Host, d.Profile, d.Payload)
 	}
 	fmt.Println()
 	t.Report(os.Stdout)
+	if len(series) > 1 {
+		printSeries(series)
+	}
+}
+
+// printSeries renders each sampling interval's counter deltas, one line per
+// router that saw traffic in that interval.
+func printSeries(series []topo.Sample) {
+	names := make([]string, 0, len(series[0].Routers))
+	for n := range series[0].Routers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Println("time series (per-interval deltas):")
+	for i := 1; i < len(series); i++ {
+		for _, n := range names {
+			d := series[i].Routers[n].Delta(series[i-1].Routers[n])
+			if d.Received == 0 && len(d.Events) == 0 {
+				continue
+			}
+			fmt.Printf("  [%8v] %-8s +recv=%d +fwd=%d +deliver=%d +absorb=%d +drop=%d",
+				series[i].At, n, d.Received, d.Forwarded, d.Delivered, d.Absorbed, d.Dropped)
+			events := make([]string, 0, len(d.Events))
+			for e, c := range d.Events {
+				events = append(events, fmt.Sprintf(" +%s=%d", e, c))
+			}
+			sort.Strings(events)
+			for _, e := range events {
+				fmt.Print(e)
+			}
+			fmt.Println()
+		}
+	}
 }

@@ -35,12 +35,14 @@
 package dip
 
 import (
+	"net"
 	"time"
 
 	"dip/internal/bootstrap"
 	"dip/internal/core"
 	"dip/internal/cs"
 	"dip/internal/drkey"
+	"dip/internal/export"
 	"dip/internal/fib"
 	"dip/internal/guard"
 	"dip/internal/host"
@@ -52,6 +54,7 @@ import (
 	"dip/internal/profiles"
 	"dip/internal/router"
 	"dip/internal/telemetry"
+	"dip/internal/trace"
 	"dip/internal/xia"
 )
 
@@ -142,6 +145,14 @@ type (
 	RxKind = host.RxKind
 	// Metrics collects forwarding telemetry.
 	Metrics = telemetry.Metrics
+	// MetricsSnapshot is a point-in-time copy of a node's counters.
+	MetricsSnapshot = telemetry.Snapshot
+	// TraceRecorder samples per-packet FN journeys into a lock-free ring.
+	TraceRecorder = trace.Recorder
+	// TraceRecord is one sampled packet's journey.
+	TraceRecord = trace.Record
+	// MetricsSource bundles what one node exposes over its metrics listener.
+	MetricsSource = export.Source
 	// Fetcher retransmits NDN interests with backoff until data arrives
 	// (end-to-end recovery over lossy paths).
 	Fetcher = host.Fetcher
@@ -332,6 +343,23 @@ const (
 
 // NewHost builds a DIP host stack (session store + host-side engine).
 func NewHost() *Host { return host.NewStack() }
+
+// NewTraceRecorder builds a 1-in-every packet trace sampler over a ring of
+// the given record capacity, forwarding aggregate telemetry to inner
+// (typically the node's *Metrics). Install it via RouterOptions.Trace.
+func NewTraceRecorder(inner *Metrics, every, ring int) *TraceRecorder {
+	if inner == nil {
+		return trace.NewRecorder(nil, every, ring)
+	}
+	return trace.NewRecorder(inner, every, ring)
+}
+
+// ServeMetrics binds addr and serves src's observability surface (/metrics
+// in Prometheus text format, /trace in dipdump-ready form, /debug/pprof)
+// on a background goroutine, returning the bound address and a closer.
+func ServeMetrics(addr string, src MetricsSource) (net.Addr, func() error, error) {
+	return export.Serve(addr, src)
+}
 
 // NewFetcher builds an interest retransmitter sending through send, with
 // timeouts armed on clock (the netsim Simulator, or any real-time shim).

@@ -131,6 +131,12 @@ type ExecContext struct {
 	// deadline (security limit, paper §2.4).
 	Deadline time.Time
 
+	// Trace, when non-nil, receives this packet's per-FN execution events:
+	// the packet was selected by a sampling PacketRecorder's BeginPacket.
+	// Nil (the overwhelmingly common case) costs the engine one pointer
+	// check per executed FN and nothing else.
+	Trace TraceSink
+
 	stateBudget int // remaining per-packet state bytes; <0 means unlimited
 }
 
@@ -149,6 +155,7 @@ func (c *ExecContext) Reset(v View, inPort int) {
 	c.SignalUnsupported = false
 	c.UnsupportedKey = 0
 	c.Deadline = time.Time{}
+	c.Trace = nil
 	c.stateBudget = -1
 }
 

@@ -27,6 +27,29 @@ type Recorder interface {
 	RecordDrop(r DropReason)
 }
 
+// PacketRecorder is an optional extension of Recorder with per-packet
+// bracket hooks. When the recorder installed via SetRecorder implements it,
+// the engine calls BeginPacket once before any FN of a packet executes and
+// EndPacket exactly once after the verdict is final — the seam a sampled
+// per-packet tracer hangs off (internal/trace). BeginPacket decides whether
+// this packet is traced; if so it attaches a TraceSink to the context, and
+// the engine reports each executed FN to that sink. Both hooks must be safe
+// for concurrent use and must not allocate on the unsampled path, which is
+// held to the zero-alloc forwarding baseline.
+type PacketRecorder interface {
+	Recorder
+	BeginPacket(ctx *ExecContext)
+	EndPacket(ctx *ExecContext)
+}
+
+// TraceSink receives the per-FN execution events of one sampled packet. It
+// is attached to an ExecContext by a PacketRecorder's BeginPacket and
+// cleared by Reset. Step may be called concurrently for FNs inside one
+// parallel wave, so implementations claim slots atomically.
+type TraceSink interface {
+	Step(k Key, d time.Duration)
+}
+
 // Engine executes Algorithm 1 of the paper: iterate the packet's FNs,
 // skip host-tagged ones, and dispatch the rest to the operation modules in
 // the registry. The engine is stateless across packets and safe for
@@ -35,7 +58,11 @@ type Engine struct {
 	reg    atomic.Pointer[Registry]
 	limits Limits
 	rec    Recorder
-	host   bool
+	// prec is rec when it also implements the per-packet hooks, asserted
+	// once at SetRecorder so the hot path pays a nil check, not a type
+	// assertion, per packet.
+	prec PacketRecorder
+	host bool
 }
 
 // NewEngine builds a router-side engine over reg with the given limits: it
@@ -58,8 +85,13 @@ func NewHostEngine(reg *Registry, limits Limits) *Engine {
 	return e
 }
 
-// SetRecorder installs a telemetry sink. Must be called before packets flow.
-func (e *Engine) SetRecorder(r Recorder) { e.rec = r }
+// SetRecorder installs a telemetry sink. Must be called before packets
+// flow. A recorder that also implements PacketRecorder additionally gets
+// the per-packet begin/end bracket (sampled tracing).
+func (e *Engine) SetRecorder(r Recorder) {
+	e.rec = r
+	e.prec, _ = r.(PacketRecorder)
+}
 
 // Registry returns the engine's current dispatch table.
 func (e *Engine) Registry() *Registry { return e.reg.Load() }
@@ -84,16 +116,19 @@ func (e *Engine) Process(ctx *ExecContext) {
 	if e.limits.Deadline > 0 {
 		ctx.Deadline = time.Now().Add(e.limits.Deadline)
 	}
+	if e.prec != nil {
+		e.prec.BeginPacket(ctx)
+	}
 	n := ctx.View.FNNum()
 	if e.routerFNCount(ctx.View) > e.limits.MaxFNs {
 		ctx.Drop(DropOpBudget)
-		e.recordDrop(ctx)
+		e.finish(ctx)
 		return
 	}
 	reg := e.reg.Load()
 	if ctx.View.Parallel() && n > 1 {
 		e.processParallel(reg, ctx)
-		e.recordDrop(ctx)
+		e.finish(ctx)
 		return
 	}
 	for i := 0; i < n; i++ {
@@ -105,7 +140,7 @@ func (e *Engine) Process(ctx *ExecContext) {
 			break
 		}
 	}
-	e.recordDrop(ctx)
+	e.finish(ctx)
 }
 
 // execute dispatches one FN and reports whether processing should continue.
@@ -127,7 +162,11 @@ func (e *Engine) execute(reg *Registry, ctx *ExecContext, fn FN) bool {
 	if e.rec != nil {
 		start := time.Now()
 		err := op.Execute(ctx, uint(fn.Loc), uint(fn.Len))
-		e.rec.RecordOp(fn.Key, time.Since(start))
+		d := time.Since(start)
+		e.rec.RecordOp(fn.Key, d)
+		if ctx.Trace != nil {
+			ctx.Trace.Step(fn.Key, d)
+		}
 		if err != nil {
 			ctx.Drop(DropOpError)
 		}
@@ -284,8 +323,14 @@ func (e *Engine) routerFNCount(v View) int {
 	return n
 }
 
-func (e *Engine) recordDrop(ctx *ExecContext) {
+// finish records the packet's terminal telemetry: the drop reason when it
+// dropped, and the per-packet end bracket when a PacketRecorder is
+// installed. Called exactly once per Process invocation.
+func (e *Engine) finish(ctx *ExecContext) {
 	if e.rec != nil && ctx.Verdict == VerdictDrop {
 		e.rec.RecordDrop(ctx.Reason)
+	}
+	if e.prec != nil {
+		e.prec.EndPacket(ctx)
 	}
 }

@@ -1,0 +1,272 @@
+// Package export renders a node's observability surface over HTTP: the
+// telemetry counters as Prometheus text format on /metrics, the sampled
+// per-packet trace ring as dipdump-ready text on /trace, and the standard
+// net/http/pprof profiling endpoints under /debug/pprof — one listener a
+// fleet scraper (or an operator with curl) points at per diprouter/diphost
+// process. Rendering walks snapshots, never live state, so a scrape can
+// never serialize the data plane.
+//
+// Metric names follow Prometheus conventions: dip_<subsystem>_<unit>_total
+// for counters, bare gauges for occupancy, and classic cumulative
+// histograms (dip_op_latency_ns_bucket{le=...}) derived from telemetry's
+// log2 buckets, whose inclusive upper edges become the le boundaries.
+package export
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+
+	"dip/internal/core"
+	"dip/internal/router"
+	"dip/internal/telemetry"
+	"dip/internal/trace"
+)
+
+// PITStats is the slice of pit.Table a scraper needs (satisfied by
+// *pit.Table[K]).
+type PITStats interface {
+	Len() int
+	PortCapRejections() int64
+	ExpiredTotal() int64
+}
+
+// CSStats is the slice of cs.Store a scraper needs (satisfied by
+// *cs.Store[K]).
+type CSStats interface {
+	Len() int
+	Bytes() int
+}
+
+// Source bundles everything one node exposes. Any field may be nil/zero;
+// the corresponding series are simply absent.
+type Source struct {
+	// Node labels every series (node="..."); empty omits the label.
+	Node string
+	// Metrics supplies verdict/drop/event counters and op histograms.
+	Metrics *telemetry.Metrics
+	// Health supplies the ingress guard snapshot; ok=false (not serving)
+	// omits the guard series.
+	Health func() (router.Health, bool)
+	// PIT and CS supply table occupancy.
+	PIT PITStats
+	CS  CSStats
+	// Trace supplies ring sample/drop counters and the /trace dump.
+	Trace *trace.Recorder
+}
+
+// WriteMetrics renders the full Prometheus text exposition to w.
+func (s Source) WriteMetrics(w io.Writer) {
+	label := s.labels()
+	if s.Metrics != nil {
+		snap := s.Metrics.Snapshot()
+		writeHeader(w, "dip_packets_received_total", "counter", "Packets counted by verdict accounting.")
+		writeSample(w, "dip_packets_received_total", label, float64(snap.Received))
+		writeHeader(w, "dip_packets_total", "counter", "Packets by final verdict.")
+		for _, v := range []struct {
+			verdict string
+			n       int64
+		}{
+			{"forward", snap.Forwarded},
+			{"deliver", snap.Delivered},
+			{"absorb", snap.Absorbed},
+			{"no-action", snap.NoAction},
+			{"drop", snap.Dropped},
+		} {
+			writeSample(w, "dip_packets_total", join(label, `verdict=`+quote(v.verdict)), float64(v.n))
+		}
+		writeHeader(w, "dip_drops_total", "counter", "Dropped packets by reason.")
+		for _, r := range sortedDropReasons(snap.Drops) {
+			writeSample(w, "dip_drops_total", join(label, `reason=`+quote(r.String())), float64(snap.Drops[r]))
+		}
+		writeHeader(w, "dip_events_total", "counter", "Recovery and degradation events.")
+		for _, e := range sortedEvents(snap.Events) {
+			writeSample(w, "dip_events_total", join(label, `event=`+quote(e.String())), float64(snap.Events[e]))
+		}
+		if len(snap.Ops) > 0 {
+			writeHeader(w, "dip_op_executions_total", "counter", "FN operation executions.")
+			for _, op := range snap.Ops {
+				writeSample(w, "dip_op_executions_total", join(label, `op=`+quote(op.Key.String())), float64(op.Count))
+			}
+			writeHeader(w, "dip_op_latency_ns_total", "counter", "Cumulative FN execution time in nanoseconds.")
+			for _, op := range snap.Ops {
+				writeSample(w, "dip_op_latency_ns_total", join(label, `op=`+quote(op.Key.String())), float64(op.TotalNs))
+			}
+			writeHeader(w, "dip_op_latency_ns", "histogram", "FN execution latency histogram (log2 buckets, nanoseconds).")
+			for _, op := range snap.Ops {
+				opLabel := join(label, `op=`+quote(op.Key.String()))
+				var cum int64
+				for b := 0; b < telemetry.HistBuckets; b++ {
+					if op.Hist[b] == 0 {
+						continue
+					}
+					cum += op.Hist[b]
+					le := fmt.Sprintf("%d", int64(telemetry.BucketUpper(b)))
+					writeSample(w, "dip_op_latency_ns_bucket", join(opLabel, `le=`+quote(le)), float64(cum))
+				}
+				writeSample(w, "dip_op_latency_ns_bucket", join(opLabel, `le="+Inf"`), float64(op.Count))
+				writeSample(w, "dip_op_latency_ns_sum", opLabel, float64(op.TotalNs))
+				writeSample(w, "dip_op_latency_ns_count", opLabel, float64(op.Count))
+			}
+		}
+	}
+	if s.Health != nil {
+		if h, ok := s.Health(); ok {
+			writeHeader(w, "dip_guard_workers", "gauge", "Forwarding worker pool size (0 = pump mode).")
+			writeSample(w, "dip_guard_workers", label, float64(h.Workers))
+			writeHeader(w, "dip_guard_workers_stalled", "gauge", "Workers busy on one packet beyond the stall threshold.")
+			writeSample(w, "dip_guard_workers_stalled", label, float64(h.Stalled))
+			writeHeader(w, "dip_guard_queue_depth", "gauge", "Ingress queue occupancy per class.")
+			writeSample(w, "dip_guard_queue_depth", join(label, `class="control"`), float64(h.HighDepth))
+			writeSample(w, "dip_guard_queue_depth", join(label, `class="bulk"`), float64(h.LowDepth))
+			writeHeader(w, "dip_guard_queue_capacity", "gauge", "Ingress queue bound per class.")
+			writeSample(w, "dip_guard_queue_capacity", join(label, `class="control"`), float64(h.HighCap))
+			writeSample(w, "dip_guard_queue_capacity", join(label, `class="bulk"`), float64(h.LowCap))
+			writeHeader(w, "dip_guard_shed_total", "counter", "Queue-full drops per class.")
+			writeSample(w, "dip_guard_shed_total", join(label, `class="control"`), float64(h.ShedHigh))
+			writeSample(w, "dip_guard_shed_total", join(label, `class="bulk"`), float64(h.ShedLow))
+			writeHeader(w, "dip_guard_admit_rejected_total", "counter", "Admission-control refusals.")
+			writeSample(w, "dip_guard_admit_rejected_total", label, float64(h.AdmitRejected))
+			writeHeader(w, "dip_guard_quarantined_total", "counter", "Packets captured after panicking a worker.")
+			writeSample(w, "dip_guard_quarantined_total", label, float64(h.Quarantined))
+			writeHeader(w, "dip_guard_processed_total", "counter", "Packets handed to the pipeline by the guard layer.")
+			writeSample(w, "dip_guard_processed_total", label, float64(h.Processed))
+		}
+	}
+	if s.PIT != nil {
+		writeHeader(w, "dip_pit_entries", "gauge", "Pending interest table occupancy.")
+		writeSample(w, "dip_pit_entries", label, float64(s.PIT.Len()))
+		writeHeader(w, "dip_pit_portcap_rejected_total", "counter", "Interests refused by the per-port flood cap.")
+		writeSample(w, "dip_pit_portcap_rejected_total", label, float64(s.PIT.PortCapRejections()))
+		writeHeader(w, "dip_pit_expired_total", "counter", "PIT entries removed by TTL expiry.")
+		writeSample(w, "dip_pit_expired_total", label, float64(s.PIT.ExpiredTotal()))
+	}
+	if s.CS != nil {
+		writeHeader(w, "dip_cs_entries", "gauge", "Content store occupancy.")
+		writeSample(w, "dip_cs_entries", label, float64(s.CS.Len()))
+		writeHeader(w, "dip_cs_bytes", "gauge", "Content store cached payload bytes.")
+		writeSample(w, "dip_cs_bytes", label, float64(s.CS.Bytes()))
+	}
+	if s.Trace != nil {
+		writeHeader(w, "dip_trace_seen_total", "counter", "Packets that passed the trace sampling decision.")
+		writeSample(w, "dip_trace_seen_total", label, float64(s.Trace.Seen()))
+		writeHeader(w, "dip_trace_sampled_total", "counter", "Packets traced into the ring.")
+		writeSample(w, "dip_trace_sampled_total", label, float64(s.Trace.Sampled()))
+		writeHeader(w, "dip_trace_overwritten_total", "counter", "Trace records lost to ring wrap-around.")
+		writeSample(w, "dip_trace_overwritten_total", label, float64(s.Trace.Overwritten()))
+		writeHeader(w, "dip_trace_ring_records", "gauge", "Trace ring capacity in records.")
+		writeSample(w, "dip_trace_ring_records", label, float64(s.Trace.RingSize()))
+		writeHeader(w, "dip_trace_sample_every", "gauge", "Trace sampling divisor N (1-in-N).")
+		writeSample(w, "dip_trace_sample_every", label, float64(s.Trace.SampleEvery()))
+	}
+}
+
+// Handler returns the node's observability mux: /metrics, /trace, and the
+// pprof family under /debug/pprof/.
+func (s Source) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.WriteMetrics(w)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if s.Trace == nil {
+			fmt.Fprintln(w, "# tracing disabled (run with -trace-every N)")
+			return
+		}
+		s.Trace.Dump(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve binds addr (":0" picks a free port) and serves the observability
+// mux on a background goroutine. It returns the bound address and a close
+// function. Serving errors after close are swallowed; the caller owns the
+// process lifetime.
+func Serve(addr string, s Source) (bound net.Addr, closeFn func() error, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr(), srv.Close, nil
+}
+
+// labels renders the constant label set (node=...) or "".
+func (s Source) labels() string {
+	if s.Node == "" {
+		return ""
+	}
+	return "node=" + quote(s.Node)
+}
+
+// quote escapes a label value per the Prometheus text format.
+func quote(v string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
+func join(labels ...string) string {
+	parts := labels[:0:0]
+	for _, l := range labels {
+		if l != "" {
+			parts = append(parts, l)
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+func writeHeader(w io.Writer, name, typ, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+func writeSample(w io.Writer, name, labels string, v float64) {
+	if labels == "" {
+		fmt.Fprintf(w, "%s %g\n", name, v)
+		return
+	}
+	fmt.Fprintf(w, "%s{%s} %g\n", name, labels, v)
+}
+
+func sortedDropReasons(m map[core.DropReason]int64) []core.DropReason {
+	out := make([]core.DropReason, 0, len(m))
+	for r := range m {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortedEvents(m map[telemetry.Event]int64) []telemetry.Event {
+	out := make([]telemetry.Event, 0, len(m))
+	for e := range m {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

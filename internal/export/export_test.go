@@ -1,0 +1,230 @@
+package export
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"dip/internal/core"
+	"dip/internal/telemetry"
+	"dip/internal/trace"
+)
+
+func scrapeSource(t *testing.T) (Source, *telemetry.Metrics, *trace.Recorder) {
+	t.Helper()
+	m := &telemetry.Metrics{}
+	tr := trace.NewRecorder(m, 1, 8)
+	m.RecordOp(core.KeyFIB, 300*time.Nanosecond)
+	m.RecordOp(core.KeyFIB, 5*time.Microsecond)
+	m.RecordOp(core.KeyPIT, time.Microsecond)
+	m.RecordDrop(core.DropNoRoute)
+	m.RecordEvent(telemetry.EventRetransmit)
+	m.CountVerdict(core.VerdictForward)
+	m.CountVerdict(core.VerdictDeliver)
+	m.CountVerdict(core.VerdictDrop)
+	return Source{Node: "r1", Metrics: m, Trace: tr}, m, tr
+}
+
+// parsePromText validates the exposition line grammar and returns the
+// samples as metric{labels} → value.
+func parsePromText(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	samples := map[string]float64{}
+	for i, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("line %d has no value separator: %q", i+1, line)
+		}
+		key, valStr := line[:sp], line[sp+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("line %d value %q: %v", i+1, valStr, err)
+		}
+		name := key
+		if br := strings.IndexByte(key, '{'); br >= 0 {
+			if !strings.HasSuffix(key, "}") {
+				t.Fatalf("line %d has unbalanced label braces: %q", i+1, line)
+			}
+			name = key[:br]
+		}
+		for _, r := range name {
+			if !(r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')) {
+				t.Fatalf("line %d metric name %q has invalid rune %q", i+1, name, r)
+			}
+		}
+		if _, dup := samples[key]; dup {
+			t.Fatalf("duplicate sample %q", key)
+		}
+		samples[key] = val
+	}
+	return samples
+}
+
+func TestWriteMetricsRendersAllFamilies(t *testing.T) {
+	src, _, _ := scrapeSource(t)
+	var b strings.Builder
+	src.WriteMetrics(&b)
+	samples := parsePromText(t, b.String())
+
+	for key, want := range map[string]float64{
+		`dip_packets_received_total{node="r1"}`:                3,
+		`dip_packets_total{node="r1",verdict="forward"}`:       1,
+		`dip_packets_total{node="r1",verdict="deliver"}`:       1,
+		`dip_packets_total{node="r1",verdict="drop"}`:          1,
+		`dip_drops_total{node="r1",reason="no-route"}`:         1,
+		`dip_events_total{node="r1",event="retransmit"}`:       1,
+		`dip_op_executions_total{node="r1",op="F_FIB"}`:        2,
+		`dip_op_latency_ns_count{node="r1",op="F_FIB"}`:        2,
+		`dip_op_latency_ns_bucket{node="r1",op="F_FIB",le="+Inf"}`: 2,
+		`dip_trace_sample_every{node="r1"}`:                    1,
+		`dip_trace_ring_records{node="r1"}`:                    8,
+	} {
+		if got, ok := samples[key]; !ok {
+			t.Errorf("missing sample %s", key)
+		} else if got != want {
+			t.Errorf("%s = %g, want %g", key, got, want)
+		}
+	}
+
+	// Histogram buckets are cumulative and le edges are the inclusive log2
+	// upper bounds: 300ns lands in le="511", 5µs in a later bucket.
+	b511 := `dip_op_latency_ns_bucket{node="r1",op="F_FIB",le="511"}`
+	if got := samples[b511]; got != 1 {
+		t.Errorf("%s = %g, want 1 (300ns sample)", b511, got)
+	}
+	var prev float64
+	for bkt := 0; bkt < telemetry.HistBuckets; bkt++ {
+		key := `dip_op_latency_ns_bucket{node="r1",op="F_FIB",le="` +
+			strconv.FormatInt(int64(telemetry.BucketUpper(bkt)), 10) + `"}`
+		if got, ok := samples[key]; ok {
+			if got < prev {
+				t.Fatalf("histogram not cumulative at %s: %g < %g", key, got, prev)
+			}
+			prev = got
+		}
+	}
+}
+
+func TestWriteMetricsOmitsAbsentSubsystems(t *testing.T) {
+	var b strings.Builder
+	Source{Node: "bare"}.WriteMetrics(&b)
+	if out := b.String(); out != "" {
+		t.Fatalf("empty source rendered %d bytes:\n%s", len(out), out)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	m := &telemetry.Metrics{}
+	m.CountVerdict(core.VerdictForward)
+	var b strings.Builder
+	Source{Node: `wei"rd\node` + "\n", Metrics: m}.WriteMetrics(&b)
+	want := `node="wei\"rd\\node\n"`
+	if !strings.Contains(b.String(), want) {
+		t.Fatalf("output lacks escaped label %s:\n%s", want, b.String())
+	}
+}
+
+func TestHandlerMetricsEndpoint(t *testing.T) {
+	src, _, _ := scrapeSource(t)
+	srv := httptest.NewServer(src.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := parsePromText(t, string(body))
+	if len(samples) == 0 {
+		t.Fatal("scrape returned no samples")
+	}
+}
+
+func TestHandlerTraceEndpoint(t *testing.T) {
+	src, _, _ := scrapeSource(t)
+	srv := httptest.NewServer(src.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /trace: %s", resp.Status)
+	}
+	// Ring is empty (no packets processed) so the dump is empty but served.
+	if len(body) != 0 {
+		t.Fatalf("empty ring dumped %q", body)
+	}
+
+	// Tracing disabled → explanatory comment, still dipdump-safe ('#').
+	srv2 := httptest.NewServer(Source{}.Handler())
+	defer srv2.Close()
+	resp2, err := http.Get(srv2.URL + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body2, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if !strings.HasPrefix(string(body2), "#") {
+		t.Fatalf("disabled-trace body is not a comment: %q", body2)
+	}
+}
+
+func TestHandlerPprofEndpoint(t *testing.T) {
+	src, _, _ := scrapeSource(t)
+	srv := httptest.NewServer(src.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/pprof/: %s", resp.Status)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "goroutine") {
+		t.Fatal("pprof index does not list profiles")
+	}
+}
+
+func TestServeBindsAndCloses(t *testing.T) {
+	src, _, _ := scrapeSource(t)
+	addr, closeFn, err := Serve("127.0.0.1:0", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr.String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if err := closeFn(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + addr.String() + "/metrics"); err == nil {
+		t.Fatal("listener still serving after close")
+	}
+}

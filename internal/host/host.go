@@ -96,6 +96,11 @@ func NewStack() *Stack {
 	return s
 }
 
+// SetRecorder installs rec as the host engine's telemetry sink (per-op
+// latency and drop accounting for the host-tagged FNs). A sampling trace
+// recorder works here exactly as on a router.
+func (s *Stack) SetRecorder(rec core.Recorder) { s.engine.SetRecorder(rec) }
+
 // HandlePacket processes one received packet through the host side of
 // Algorithm 1 (only host-tagged FNs execute).
 func (s *Stack) HandlePacket(pkt []byte) Rx {

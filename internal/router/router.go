@@ -13,6 +13,7 @@ import (
 	"dip/internal/core"
 	"dip/internal/profiles"
 	"dip/internal/telemetry"
+	"dip/internal/trace"
 )
 
 // Port is an attachment point packets leave through. Send must not retain
@@ -35,6 +36,12 @@ type Config struct {
 	Limits core.Limits
 	// Metrics, when set, receives per-op and per-verdict telemetry.
 	Metrics *telemetry.Metrics
+	// Trace, when set, is installed as the engine's recorder instead of
+	// Metrics directly: it samples per-packet FN journeys into its ring and
+	// forwards aggregate telemetry to its inner recorder. Construct it with
+	// trace.NewRecorder(cfg.Metrics, every, ring) so the counters keep
+	// flowing; Metrics stays the verdict-counting sink either way.
+	Trace *trace.Recorder
 	// LocalDelivery receives packets whose verdict is Deliver (this node
 	// is the destination or the local producer). The buffer is only valid
 	// during the call.
@@ -57,7 +64,9 @@ type Router struct {
 // New builds a router over the operation registry.
 func New(reg *core.Registry, cfg Config) *Router {
 	e := core.NewEngine(reg, cfg.Limits)
-	if cfg.Metrics != nil {
+	if cfg.Trace != nil {
+		e.SetRecorder(cfg.Trace)
+	} else if cfg.Metrics != nil {
 		e.SetRecorder(cfg.Metrics)
 	}
 	return &Router{engine: e, cfg: cfg}
@@ -144,6 +153,7 @@ var ctxPool = sync.Pool{New: func() any { return new(core.ExecContext) }}
 func releaseCtx(ctx *core.ExecContext) {
 	ctx.Cached = nil       // drop the content-store reference
 	ctx.View = core.View{} // drop the packet buffer reference
+	ctx.Trace = nil        // drop any trace-ring slot reference
 	ctxPool.Put(ctx)
 }
 

@@ -8,6 +8,7 @@ package telemetry
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync/atomic"
@@ -16,8 +17,25 @@ import (
 	"dip/internal/core"
 )
 
-// histBuckets is the number of log2 latency buckets (1ns … ~32s).
-const histBuckets = 36
+// HistBuckets is the number of log2 latency buckets (1ns … ~32s). Bucket b
+// holds samples whose nanosecond latency lies in [2^b, 2^(b+1)−1] (bucket 0
+// additionally absorbs 0ns samples); BucketUpper gives the inclusive upper
+// edge exporters should publish as a histogram boundary.
+const HistBuckets = 36
+
+// histBuckets is the internal alias predating the exported constant.
+const histBuckets = HistBuckets
+
+// BucketUpper returns the inclusive upper bound of log2 bucket b.
+func BucketUpper(b int) time.Duration {
+	if b < 0 {
+		b = 0
+	}
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return time.Duration(int64(1)<<uint(b+1) - 1)
+}
 
 type opStat struct {
 	count   atomic.Int64
@@ -106,6 +124,7 @@ type Metrics struct {
 	delivered atomic.Int64
 	absorbed  atomic.Int64
 	noAction  atomic.Int64
+	dropped   atomic.Int64
 	received  atomic.Int64
 }
 
@@ -143,8 +162,10 @@ func (m *Metrics) RecordDrop(r core.DropReason) {
 	}
 }
 
-// CountVerdict tallies a packet's final fate (drops are counted by
-// RecordDrop, wired through the engine).
+// CountVerdict tallies a packet's final fate. Dropped packets land in the
+// dropped total here (the per-reason breakdown comes from RecordDrop, wired
+// through the engine), so received always reconciles against the sum of the
+// verdict buckets.
 func (m *Metrics) CountVerdict(v core.Verdict) {
 	m.received.Add(1)
 	switch v {
@@ -154,6 +175,8 @@ func (m *Metrics) CountVerdict(v core.Verdict) {
 		m.delivered.Add(1)
 	case core.VerdictAbsorb:
 		m.absorbed.Add(1)
+	case core.VerdictDrop:
+		m.dropped.Add(1)
 	case core.VerdictContinue:
 		// Every FN ran but none chose an egress: the packet completes with
 		// no action (e.g. a pure authentication composition with no match
@@ -171,11 +194,13 @@ func bucketOf(ns int64) int {
 	return b
 }
 
-// OpSnapshot is one operation's aggregate statistics.
+// OpSnapshot is one operation's aggregate statistics. Hist is the log2
+// latency histogram (see BucketUpper for bucket edges).
 type OpSnapshot struct {
 	Key     core.Key
 	Count   int64
 	TotalNs int64
+	Hist    [HistBuckets]int64
 }
 
 // Mean returns the mean execution time.
@@ -196,6 +221,7 @@ type Snapshot struct {
 	Delivered int64
 	Absorbed  int64
 	NoAction  int64
+	Dropped   int64
 }
 
 // Snapshot captures current counters (concurrent-safe, monotone).
@@ -203,7 +229,11 @@ func (m *Metrics) Snapshot() Snapshot {
 	s := Snapshot{Drops: map[core.DropReason]int64{}, Events: map[Event]int64{}}
 	for k := core.Key(1); k <= core.MaxKey; k++ {
 		if c := m.ops[k].count.Load(); c > 0 {
-			s.Ops = append(s.Ops, OpSnapshot{Key: k, Count: c, TotalNs: m.ops[k].totalNs.Load()})
+			op := OpSnapshot{Key: k, Count: c, TotalNs: m.ops[k].totalNs.Load()}
+			for b := 0; b < histBuckets; b++ {
+				op.Hist[b] = m.ops[k].hist[b].Load()
+			}
+			s.Ops = append(s.Ops, op)
 		}
 	}
 	for r := 0; r < core.NumDropReasons; r++ {
@@ -221,40 +251,98 @@ func (m *Metrics) Snapshot() Snapshot {
 	s.Delivered = m.delivered.Load()
 	s.Absorbed = m.absorbed.Load()
 	s.NoAction = m.noAction.Load()
+	s.Dropped = m.dropped.Load()
 	return s
 }
 
-// Percentile estimates the p-quantile (0 < p ≤ 1) of an operation's
-// execution time from its log2 histogram, returning the bucket's upper
-// bound. Zero when the operation never ran.
+// Delta returns the difference s − prev: what happened between two
+// snapshots of the same Metrics. Dividing by the wall (or virtual) time
+// separating the snapshots turns the monotone totals into rates — the form
+// a fleet scraper (or a netsim time series) wants. Ops/Drops/Events present
+// in s but absent from prev delta against zero; entries whose delta is zero
+// are omitted, mirroring Snapshot's sparse maps.
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	d := Snapshot{
+		Drops:     map[core.DropReason]int64{},
+		Events:    map[Event]int64{},
+		Received:  s.Received - prev.Received,
+		Forwarded: s.Forwarded - prev.Forwarded,
+		Delivered: s.Delivered - prev.Delivered,
+		Absorbed:  s.Absorbed - prev.Absorbed,
+		NoAction:  s.NoAction - prev.NoAction,
+		Dropped:   s.Dropped - prev.Dropped,
+	}
+	prevOps := map[core.Key]OpSnapshot{}
+	for _, op := range prev.Ops {
+		prevOps[op.Key] = op
+	}
+	for _, op := range s.Ops {
+		p := prevOps[op.Key]
+		dd := OpSnapshot{Key: op.Key, Count: op.Count - p.Count, TotalNs: op.TotalNs - p.TotalNs}
+		for b := range op.Hist {
+			dd.Hist[b] = op.Hist[b] - p.Hist[b]
+		}
+		if dd.Count != 0 {
+			d.Ops = append(d.Ops, dd)
+		}
+	}
+	for r, c := range s.Drops {
+		if dc := c - prev.Drops[r]; dc != 0 {
+			d.Drops[r] = dc
+		}
+	}
+	for e, c := range s.Events {
+		if dc := c - prev.Events[e]; dc != 0 {
+			d.Events[e] = dc
+		}
+	}
+	return d
+}
+
+// Percentile estimates the p-quantile of an operation's execution time
+// from its log2 histogram, returning the inclusive upper bound of the
+// bucket the quantile falls in: a sample of 3ns reports 3ns (bucket
+// [2,3]), never the lower edge 2ns, so the estimate bounds the true
+// quantile from above instead of undershooting it by up to 2×. The
+// contract for p: NaN or p ≤ 0 returns 0, p > 1 clamps to 1 (the maximum
+// recorded bucket's upper bound). Zero when the operation never ran.
 func (m *Metrics) Percentile(k core.Key, p float64) time.Duration {
 	if k > core.MaxKey {
 		return 0
+	}
+	if math.IsNaN(p) || p <= 0 {
+		return 0
+	}
+	if p > 1 {
+		p = 1
 	}
 	s := &m.ops[k]
 	total := s.count.Load()
 	if total == 0 {
 		return 0
 	}
-	target := int64(float64(total) * p)
+	target := int64(math.Ceil(float64(total) * p))
 	if target < 1 {
 		target = 1
+	}
+	if target > total {
+		target = total
 	}
 	var cum int64
 	for b := 0; b < histBuckets; b++ {
 		cum += s.hist[b].Load()
 		if cum >= target {
-			return time.Duration(int64(1) << uint(b))
+			return BucketUpper(b)
 		}
 	}
-	return time.Duration(int64(1) << (histBuckets - 1))
+	return BucketUpper(histBuckets - 1)
 }
 
 // String renders a human-readable report.
 func (s Snapshot) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "packets: received=%d forwarded=%d delivered=%d absorbed=%d no-action=%d\n",
-		s.Received, s.Forwarded, s.Delivered, s.Absorbed, s.NoAction)
+	fmt.Fprintf(&b, "packets: received=%d forwarded=%d delivered=%d absorbed=%d no-action=%d dropped=%d\n",
+		s.Received, s.Forwarded, s.Delivered, s.Absorbed, s.NoAction, s.Dropped)
 	for _, op := range s.Ops {
 		fmt.Fprintf(&b, "  %-12s count=%-8d mean=%v\n", op.Key, op.Count, op.Mean())
 	}

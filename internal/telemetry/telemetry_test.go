@@ -1,6 +1,8 @@
 package telemetry
 
 import (
+	"math"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -22,11 +24,11 @@ func TestRecordAndSnapshot(t *testing.T) {
 	m.CountVerdict(core.VerdictContinue)
 
 	s := m.Snapshot()
-	if s.Received != 5 || s.Forwarded != 1 || s.Delivered != 1 || s.Absorbed != 1 || s.NoAction != 1 {
+	if s.Received != 5 || s.Forwarded != 1 || s.Delivered != 1 || s.Absorbed != 1 || s.NoAction != 1 || s.Dropped != 1 {
 		t.Errorf("verdicts: %+v", s)
 	}
 	// Conservation: every received packet lands in exactly one bucket.
-	if s.Forwarded+s.Delivered+s.Absorbed+s.NoAction+1 /* drop */ != s.Received {
+	if s.Forwarded+s.Delivered+s.Absorbed+s.NoAction+s.Dropped != s.Received {
 		t.Errorf("buckets do not reconcile: %+v", s)
 	}
 	if len(s.Ops) != 2 {
@@ -84,6 +86,153 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+// TestPercentileBucketEdges pins the doc contract exactly: the estimate is
+// the inclusive *upper* bound of the log2 bucket the quantile falls in.
+// bucketOf puts ns ∈ [2^b, 2^(b+1)−1] in bucket b, so 2ns and 3ns share
+// bucket 1 (upper bound 3ns) while 4ns opens bucket 2 (upper bound 7ns).
+// The pre-fix implementation returned the lower bound 1<<b and fails here:
+// a 3ns sample reported 2ns, biasing every quantile low by up to 2×.
+func TestPercentileBucketEdges(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want time.Duration
+	}{
+		{1, 1},  // bucket 0: [0,1]
+		{2, 3},  // bucket 1: [2,3] — upper bound, not the lower edge 2
+		{3, 3},  // same bucket as 2ns, same bound
+		{4, 7},  // bucket 2: [4,7] — must differ from 2ns/3ns
+		{7, 7},  //
+		{8, 15}, // bucket 3
+	}
+	for _, c := range cases {
+		m := &Metrics{}
+		m.RecordOp(core.KeyFIB, time.Duration(c.ns))
+		if got := m.Percentile(core.KeyFIB, 1); got != c.want {
+			t.Errorf("Percentile of a single %dns sample = %v, want %v (bucket upper bound)", c.ns, got, c.want)
+		}
+	}
+	// 2ns and 3ns land in the same bucket and must report the same bound; 4ns must not.
+	m2, m3, m4 := &Metrics{}, &Metrics{}, &Metrics{}
+	m2.RecordOp(core.KeyFIB, 2)
+	m3.RecordOp(core.KeyFIB, 3)
+	m4.RecordOp(core.KeyFIB, 4)
+	b2, b3, b4 := m2.Percentile(core.KeyFIB, 1), m3.Percentile(core.KeyFIB, 1), m4.Percentile(core.KeyFIB, 1)
+	if b2 != b3 {
+		t.Errorf("2ns and 3ns report different bounds: %v vs %v", b2, b3)
+	}
+	if b4 == b2 {
+		t.Errorf("4ns reports the same bound as 2ns (%v): bucket edge misplaced", b4)
+	}
+}
+
+// TestPercentileArgumentContract pins the p-domain contract: NaN and p ≤ 0
+// return 0 (previously they silently meant "first non-empty bucket"), and
+// p > 1 clamps to 1 rather than falling off the histogram.
+func TestPercentileArgumentContract(t *testing.T) {
+	m := &Metrics{}
+	m.RecordOp(core.KeyFIB, 100*time.Nanosecond)
+	m.RecordOp(core.KeyFIB, 100*time.Microsecond)
+	for _, p := range []float64{0, -0.5, math.NaN(), math.Inf(-1)} {
+		if got := m.Percentile(core.KeyFIB, p); got != 0 {
+			t.Errorf("Percentile(p=%v) = %v, want 0", p, got)
+		}
+	}
+	max := m.Percentile(core.KeyFIB, 1)
+	if max < 100*time.Microsecond {
+		t.Errorf("Percentile(1) = %v, want ≥ the max sample", max)
+	}
+	for _, p := range []float64{1.5, 100, math.Inf(1)} {
+		if got := m.Percentile(core.KeyFIB, p); got != max {
+			t.Errorf("Percentile(p=%v) = %v, want clamp to Percentile(1) = %v", p, got, max)
+		}
+	}
+}
+
+// TestSnapshotReconciliation asserts the summary-line identity the report
+// prints: received = forwarded + delivered + absorbed + no-action + dropped,
+// including when drops occurred.
+func TestSnapshotReconciliation(t *testing.T) {
+	m := &Metrics{}
+	for i := 0; i < 7; i++ {
+		m.CountVerdict(core.VerdictForward)
+	}
+	for i := 0; i < 3; i++ {
+		m.CountVerdict(core.VerdictDeliver)
+	}
+	for i := 0; i < 2; i++ {
+		m.CountVerdict(core.VerdictAbsorb)
+	}
+	m.CountVerdict(core.VerdictContinue)
+	for i := 0; i < 5; i++ {
+		m.RecordDrop(core.DropNoRoute) // reason breakdown
+		m.CountVerdict(core.VerdictDrop)
+	}
+	s := m.Snapshot()
+	if s.Received != 18 {
+		t.Fatalf("received = %d, want 18", s.Received)
+	}
+	if sum := s.Forwarded + s.Delivered + s.Absorbed + s.NoAction + s.Dropped; sum != s.Received {
+		t.Errorf("received=%d does not reconcile with verdict sum %d: %+v", s.Received, sum, s)
+	}
+	if s.Dropped != 5 || s.Drops[core.DropNoRoute] != 5 {
+		t.Errorf("dropped=%d drops=%v, want 5 and 5", s.Dropped, s.Drops)
+	}
+	out := s.String()
+	if !strings.Contains(out, "dropped=5") {
+		t.Errorf("summary line missing dropped= total:\n%s", out)
+	}
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	m := &Metrics{}
+	m.RecordOp(core.KeyFIB, 100*time.Nanosecond)
+	m.CountVerdict(core.VerdictForward)
+	m.RecordEvent(EventRetransmit)
+	prev := m.Snapshot()
+
+	m.RecordOp(core.KeyFIB, 300*time.Nanosecond)
+	m.RecordOp(core.KeyMAC, time.Microsecond)
+	m.CountVerdict(core.VerdictForward)
+	m.RecordDrop(core.DropNoRoute)
+	m.CountVerdict(core.VerdictDrop)
+	m.RecordEvent(EventRetransmit)
+	m.RecordEvent(EventRetransmit)
+
+	d := m.Snapshot().Delta(prev)
+	if d.Received != 2 || d.Forwarded != 1 || d.Dropped != 1 {
+		t.Errorf("verdict deltas: %+v", d)
+	}
+	if len(d.Ops) != 2 {
+		t.Fatalf("op deltas: %+v", d.Ops)
+	}
+	for _, op := range d.Ops {
+		switch op.Key {
+		case core.KeyFIB:
+			if op.Count != 1 || op.TotalNs != 300 {
+				t.Errorf("FIB delta: %+v", op)
+			}
+		case core.KeyMAC:
+			if op.Count != 1 || op.TotalNs != 1000 {
+				t.Errorf("MAC delta: %+v", op)
+			}
+		default:
+			t.Errorf("unexpected op delta: %+v", op)
+		}
+	}
+	if d.Drops[core.DropNoRoute] != 1 {
+		t.Errorf("drop delta: %v", d.Drops)
+	}
+	if d.Events[EventRetransmit] != 2 {
+		t.Errorf("event delta: %v", d.Events)
+	}
+	// A delta against itself is all-zero with empty sparse maps.
+	s := m.Snapshot()
+	z := s.Delta(s)
+	if z.Received != 0 || len(z.Ops) != 0 || len(z.Drops) != 0 || len(z.Events) != 0 {
+		t.Errorf("self-delta not zero: %+v", z)
+	}
+}
+
 func TestSnapshotString(t *testing.T) {
 	m := &Metrics{}
 	m.RecordOp(core.KeyFIB, time.Microsecond)
@@ -114,6 +263,72 @@ func TestConcurrentRecording(t *testing.T) {
 	s := m.Snapshot()
 	if s.Ops[0].Count != 8000 || s.Forwarded != 8000 {
 		t.Errorf("lost updates: %+v", s)
+	}
+}
+
+// TestConcurrentSnapshotDeltaStress drives every recording entry point from
+// GOMAXPROCS goroutines while Snapshot and Delta run concurrently, asserting
+// the counters only ever move forward (run under -race to catch unsynchronized
+// access; the atomics make torn or regressing reads a real bug, not noise).
+func TestConcurrentSnapshotDeltaStress(t *testing.T) {
+	m := &Metrics{}
+	workers := runtime.GOMAXPROCS(0)
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				m.RecordOp(core.KeyFIB, time.Duration(i%1000)*time.Nanosecond)
+				m.RecordEvent(EventRetransmit)
+				m.CountVerdict(core.VerdictForward)
+				if i%5 == 0 {
+					m.RecordDrop(core.DropNoRoute)
+					m.CountVerdict(core.VerdictDrop)
+				}
+			}
+		}(w)
+	}
+	// Reader goroutine: snapshots must be monotone and deltas non-negative.
+	var rg sync.WaitGroup
+	rg.Add(1)
+	go func() {
+		defer rg.Done()
+		prev := m.Snapshot()
+		for {
+			s := m.Snapshot()
+			d := s.Delta(prev)
+			if d.Received < 0 || d.Forwarded < 0 || d.Dropped < 0 {
+				t.Errorf("counters regressed between snapshots: %+v", d)
+				return
+			}
+			for _, op := range d.Ops {
+				if op.Count < 0 || op.TotalNs < 0 {
+					t.Errorf("op counters regressed: %+v", op)
+					return
+				}
+			}
+			prev = s
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+
+	total := int64(workers * perWorker)
+	s := m.Snapshot()
+	if s.Ops[0].Count != total || s.Forwarded != total {
+		t.Errorf("lost updates: ops=%d forwarded=%d want %d", s.Ops[0].Count, s.Forwarded, total)
+	}
+	if sum := s.Forwarded + s.Delivered + s.Absorbed + s.NoAction + s.Dropped; sum != s.Received {
+		t.Errorf("verdict buckets do not reconcile under concurrency: sum=%d received=%d", sum, s.Received)
 	}
 }
 

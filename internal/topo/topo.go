@@ -622,6 +622,44 @@ func (t *Topology) Run() []Delivery {
 	return t.Deliveries
 }
 
+// Sample is one periodic observation of every router's counters during a
+// sampled run. Rates derive from adjacent samples: Routers[n].Delta(prev)
+// over the sampling interval.
+type Sample struct {
+	// At is the virtual-time tick boundary the sample was taken at.
+	At time.Duration
+	// Routers maps router name to its counter snapshot at At.
+	Routers map[string]telemetry.Snapshot
+}
+
+// RunSampled runs the scenario like Run but additionally snapshots every
+// router's telemetry at each interval boundary of virtual time, returning
+// the series (starting with a t=0 baseline). The time series is what chaos
+// assertions hang on — e.g. that a drop or retransmit *rate* decays to zero
+// after an impaired link heals, which final totals cannot show.
+func (t *Topology) RunSampled(interval time.Duration) ([]Delivery, []Sample) {
+	if interval <= 0 {
+		return t.Run(), nil
+	}
+	for _, e := range t.events {
+		t.sim.Schedule(e.at, e.fn)
+	}
+	t.events = nil
+	snap := func(at time.Duration) Sample {
+		s := Sample{At: at, Routers: make(map[string]telemetry.Snapshot, len(t.routers))}
+		for n, rn := range t.routers {
+			s.Routers[n] = rn.metrics.Snapshot()
+		}
+		return s
+	}
+	series := []Sample{snap(0)}
+	for next := interval; t.sim.Pending() > 0; next += interval {
+		t.sim.RunUntil(next)
+		series = append(series, snap(next))
+	}
+	return t.Deliveries, series
+}
+
 // Report summarizes router telemetry and link fault counters after a run.
 func (t *Topology) Report(w io.Writer) {
 	names := make([]string, 0, len(t.routers))

@@ -141,3 +141,89 @@ func TestTokenize(t *testing.T) {
 		t.Errorf("got %q", got)
 	}
 }
+
+// A sampled run turns a scenario into a counter time series: a burst of
+// IPv4 sends must appear as per-interval received deltas at the right
+// ticks, and the series must reconcile with the final totals.
+func TestRunSampledTimeSeries(t *testing.T) {
+	const burstTopo = `
+router R1
+host   H1
+host   H2
+link H1 R1:0
+link R1:1 H2
+route32 R1 10.0.0.0/8 1
+
+send H1 ipv4 1.1.1.1 10.0.0.9 "a" at 1ms
+send H1 ipv4 1.1.1.1 10.0.0.9 "b" at 2ms
+send H1 ipv4 1.1.1.1 10.0.0.9 "c" at 25ms
+`
+	tp, err := Parse(strings.NewReader(burstTopo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deliveries, series := tp.RunSampled(10 * time.Millisecond)
+	if len(deliveries) != 3 {
+		t.Fatalf("deliveries: %+v", deliveries)
+	}
+	if len(series) < 3 {
+		t.Fatalf("only %d samples for a 25ms scenario at 10ms intervals", len(series))
+	}
+	if series[0].At != 0 || series[0].Routers["R1"].Received != 0 {
+		t.Fatalf("missing zero baseline: %+v", series[0])
+	}
+	// Interval (0,10ms]: the 1ms and 2ms packets; (20ms,30ms]: the 25ms one.
+	d1 := series[1].Routers["R1"].Delta(series[0].Routers["R1"])
+	if d1.Received != 2 || d1.Forwarded != 2 {
+		t.Errorf("first interval delta %+v, want 2 received/forwarded", d1)
+	}
+	last := series[len(series)-1].Routers["R1"]
+	if last.Received != 3 || last.Forwarded != 3 {
+		t.Errorf("final sample %+v, want 3 received/forwarded", last)
+	}
+	// Ticks are regular interval boundaries, monotone, with monotone counts.
+	for i := 1; i < len(series); i++ {
+		if series[i].At != time.Duration(i)*10*time.Millisecond {
+			t.Errorf("sample %d at %v, want a 10ms boundary", i, series[i].At)
+		}
+		if series[i].Routers["R1"].Received < series[i-1].Routers["R1"].Received {
+			t.Error("received count not monotone across samples")
+		}
+	}
+}
+
+// With a down window on the consumer link, the time series localizes the
+// loss: dropped-in-flight packets show up only in the window's intervals.
+func TestRunSampledLocalizesDownWindow(t *testing.T) {
+	const downTopo = `
+router R1
+host   H1
+host   H2
+link H1 R1:0 1ms down=5ms-15ms seed=3
+link R1:1 H2
+route32 R1 10.0.0.0/8 1
+
+send H1 ipv4 1.1.1.1 10.0.0.9 "early" at 1ms
+send H1 ipv4 1.1.1.1 10.0.0.9 "lost" at 8ms
+send H1 ipv4 1.1.1.1 10.0.0.9 "late" at 20ms
+`
+	tp, err := Parse(strings.NewReader(downTopo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deliveries, series := tp.RunSampled(10 * time.Millisecond)
+	if len(deliveries) != 2 {
+		t.Fatalf("want the 8ms send eaten by the down window: %+v", deliveries)
+	}
+	// The router never received the lost packet, so its receive deltas are
+	// 1 in the first interval and 1 after the link healed — never 2.
+	for i := 1; i < len(series); i++ {
+		d := series[i].Routers["R1"].Delta(series[i-1].Routers["R1"])
+		if d.Received > 1 {
+			t.Errorf("interval ending %v received %d packets through a down link", series[i].At, d.Received)
+		}
+	}
+	if final := series[len(series)-1].Routers["R1"]; final.Received != 2 {
+		t.Errorf("router received %d total, want 2 (one eaten)", final.Received)
+	}
+}

@@ -1,0 +1,264 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"dip/internal/core"
+	"dip/internal/fib"
+	"dip/internal/ops"
+	"dip/internal/profiles"
+	"dip/internal/telemetry"
+)
+
+// buildIPv4 returns a parsed IPv4-profile packet and its engine-ready view.
+func buildIPv4(t *testing.T) []byte {
+	t.Helper()
+	h := profiles.IPv4([4]byte{1, 1, 1, 1}, [4]byte{10, 0, 0, 9})
+	pkt, err := h.AppendTo(make([]byte, 0, h.WireSize()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkt
+}
+
+func routerEngine(t *testing.T, rec core.Recorder) *core.Engine {
+	t.Helper()
+	cfg := ops.Config{FIB32: fib32(t)}
+	e := core.NewEngine(ops.NewRouterRegistry(cfg), core.Limits{})
+	e.SetRecorder(rec)
+	return e
+}
+
+func process(t *testing.T, e *core.Engine, pkt []byte) core.ExecContext {
+	t.Helper()
+	pkt[3] = 64 // re-arm hop limit across runs
+	v, err := core.ParseView(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ctx core.ExecContext
+	ctx.Reset(v, 3)
+	e.Process(&ctx)
+	return ctx
+}
+
+func TestEveryPacketSampled(t *testing.T) {
+	m := &telemetry.Metrics{}
+	r := NewRecorder(m, 1, 8)
+	e := routerEngine(t, r)
+	pkt := buildIPv4(t)
+	for i := 0; i < 5; i++ {
+		process(t, e, pkt)
+	}
+	if got := r.Sampled(); got != 5 {
+		t.Fatalf("sampled %d, want 5", got)
+	}
+	recs := r.Snapshot()
+	if len(recs) != 5 {
+		t.Fatalf("snapshot has %d records, want 5", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.Seq != uint64(i) {
+			t.Errorf("record %d has seq %d", i, rec.Seq)
+		}
+		if rec.InPort != 3 {
+			t.Errorf("in-port %d, want 3", rec.InPort)
+		}
+		if rec.Verdict != core.VerdictForward {
+			t.Errorf("verdict %v, want forward", rec.Verdict)
+		}
+		if rec.NSteps == 0 {
+			t.Error("no steps recorded")
+		}
+		if rec.Steps[0].Key != core.KeyMatch32 {
+			t.Errorf("first step %v, want F_32_match", rec.Steps[0].Key)
+		}
+		if rec.NEgr != 1 || rec.Egress[0] != 1 {
+			t.Errorf("egress %v[:%d], want [1]", rec.Egress, rec.NEgr)
+		}
+		if int(rec.PktLen) != len(buildIPv4(t)) || int(rec.PktTotal) != len(buildIPv4(t)) {
+			t.Errorf("capture %d/%d bytes, want full %d-byte packet", rec.PktLen, rec.PktTotal, len(buildIPv4(t)))
+		}
+	}
+	// The aggregate recorder saw every op even though only samples ring.
+	if s := m.Snapshot(); len(s.Ops) == 0 {
+		t.Error("inner metrics recorded nothing")
+	}
+}
+
+func TestSamplingDivisor(t *testing.T) {
+	r := NewRecorder(nil, 10, 64)
+	e := routerEngine(t, r)
+	pkt := buildIPv4(t)
+	const n = 200
+	for i := 0; i < n; i++ {
+		process(t, e, pkt)
+	}
+	// All packets run on one goroutine → one stripe → exactly n/10 samples.
+	if got := r.Sampled(); got != n/10 {
+		t.Fatalf("sampled %d of %d at 1-in-10, want %d", got, n, n/10)
+	}
+	if seen := r.Seen(); seen != n {
+		t.Fatalf("seen %d, want %d", seen, n)
+	}
+}
+
+func TestRingOverwrite(t *testing.T) {
+	r := NewRecorder(nil, 1, 4)
+	e := routerEngine(t, r)
+	pkt := buildIPv4(t)
+	for i := 0; i < 10; i++ {
+		process(t, e, pkt)
+	}
+	if got := r.Overwritten(); got != 6 {
+		t.Fatalf("overwritten %d, want 6", got)
+	}
+	recs := r.Snapshot()
+	if len(recs) != 4 {
+		t.Fatalf("ring holds %d records, want 4", len(recs))
+	}
+	if recs[0].Seq != 6 || recs[3].Seq != 9 {
+		t.Fatalf("ring retains seqs %d..%d, want 6..9", recs[0].Seq, recs[3].Seq)
+	}
+}
+
+func TestDropReasonTraced(t *testing.T) {
+	r := NewRecorder(nil, 1, 8)
+	// No route for the destination → no-route drop.
+	cfg := ops.Config{FIB32: emptyFIB(t)}
+	e := core.NewEngine(ops.NewRouterRegistry(cfg), core.Limits{})
+	e.SetRecorder(r)
+	pkt := buildIPv4(t)
+	process(t, e, pkt)
+	recs := r.Snapshot()
+	if len(recs) != 1 {
+		t.Fatalf("want 1 record, got %d", len(recs))
+	}
+	if recs[0].Verdict != core.VerdictDrop || recs[0].Reason != core.DropNoRoute {
+		t.Fatalf("traced %v/%v, want drop/no-route", recs[0].Verdict, recs[0].Reason)
+	}
+}
+
+func TestRecordStringDumpFormat(t *testing.T) {
+	r := NewRecorder(nil, 1, 8)
+	e := routerEngine(t, r)
+	process(t, e, buildIPv4(t))
+	var b strings.Builder
+	if err := r.Dump(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("dump of one record has %d lines, want metadata + hex:\n%s", len(lines), out)
+	}
+	for _, want := range []string{"# trace seq=0", "verdict=forward", "in=3", "steps=", "F_32_match:", "egress=1"} {
+		if !strings.Contains(lines[0], want) {
+			t.Errorf("metadata line missing %q: %s", want, lines[0])
+		}
+	}
+	if strings.ContainsAny(lines[1], "# ") || len(lines[1])%2 != 0 {
+		t.Errorf("second line is not bare hex: %q", lines[1])
+	}
+}
+
+func TestConcurrentSampling(t *testing.T) {
+	r := NewRecorder(&telemetry.Metrics{}, 2, 256)
+	e := routerEngine(t, r)
+	var wg sync.WaitGroup
+	const workers, per = 8, 500
+	base := buildIPv4(t)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pkt := append([]byte(nil), base...)
+			v, err := core.ParseView(pkt)
+			if err != nil {
+				panic(err)
+			}
+			var ctx core.ExecContext
+			for i := 0; i < per; i++ {
+				pkt[3] = 64
+				ctx.Reset(v, 0)
+				e.Process(&ctx)
+			}
+		}()
+	}
+	wg.Wait()
+	if seen := r.Seen(); seen != workers*per {
+		t.Fatalf("seen %d, want %d", seen, workers*per)
+	}
+	// Striped counters sample per stripe, so the global rate is approximate;
+	// with a worker count far below the per-stripe period it stays near 1/2.
+	sampled := r.Sampled()
+	if sampled < workers*per/4 || sampled > workers*per {
+		t.Fatalf("sampled %d of %d at 1-in-2: striping broke the rate", sampled, workers*per)
+	}
+	// Every stable snapshot record is internally consistent.
+	for _, rec := range r.Snapshot() {
+		if rec.Verdict != core.VerdictForward || rec.NSteps == 0 {
+			t.Fatalf("torn record: %+v", rec)
+		}
+	}
+}
+
+// TestUnsampledZeroAlloc pins the contract the whole design hangs on: with
+// tracing installed and sampling enabled, the unsampled path allocates
+// nothing. (The sampled path is also allocation-free; the root
+// zeroalloc_test covers the mixed case end to end.)
+func TestUnsampledZeroAlloc(t *testing.T) {
+	r := NewRecorder(&telemetry.Metrics{}, 1<<30, 8) // effectively never samples
+	e := routerEngine(t, r)
+	pkt := buildIPv4(t)
+	v, err := core.ParseView(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ctx core.ExecContext
+	run := func() {
+		pkt[3] = 64
+		ctx.Reset(v, 0)
+		e.Process(&ctx)
+	}
+	run()
+	if n := testing.AllocsPerRun(200, run); n != 0 {
+		t.Fatalf("unsampled traced path allocates %.1f/op, want 0", n)
+	}
+}
+
+func TestSampledZeroAlloc(t *testing.T) {
+	r := NewRecorder(&telemetry.Metrics{}, 1, 64) // sample every packet
+	e := routerEngine(t, r)
+	pkt := buildIPv4(t)
+	v, err := core.ParseView(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ctx core.ExecContext
+	run := func() {
+		pkt[3] = 64
+		ctx.Reset(v, 0)
+		e.Process(&ctx)
+	}
+	run()
+	if n := testing.AllocsPerRun(200, run); n != 0 {
+		t.Fatalf("sampled trace path allocates %.1f/op, want 0", n)
+	}
+}
+
+func fib32(t *testing.T) *fib.Table {
+	t.Helper()
+	f := fib.New()
+	if err := f.AddUint32(0x0A000000, 8, fib.NextHop{Port: 1}); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func emptyFIB(t *testing.T) *fib.Table {
+	t.Helper()
+	return fib.New()
+}

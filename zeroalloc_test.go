@@ -35,6 +35,36 @@ func TestZeroAllocEngineProcess(t *testing.T) {
 	}
 }
 
+// TestZeroAllocTracedEngineProcess repeats the engine contract with the
+// full observability stack installed: a sampling trace recorder (1-in-N)
+// wrapping live metrics. Both the unsampled and the sampled (ring-writing)
+// packets must stay off the heap.
+func TestZeroAllocTracedEngineProcess(t *testing.T) {
+	state := NewNodeState()
+	state.FIB32.AddUint32(0x0A000000, 8, NextHop{Port: 1})
+	engine := core.NewEngine(NewRouterRegistry(state.OpsConfig()), Limits{})
+	engine.SetRecorder(NewTraceRecorder(&Metrics{}, 8, 64))
+	pkt, err := BuildPacket(IPv4Profile([4]byte{1, 1, 1, 1}, [4]byte{10, 0, 0, 9}), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ctx ExecContext
+	run := func() {
+		pkt[3] = 64
+		v, err := ParsePacket(pkt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx.Reset(v, 0)
+		engine.Process(&ctx)
+	}
+	run()
+	// 160 runs at 1-in-8 sampling exercise the ring-writing path ~20 times.
+	if n := testing.AllocsPerRun(160, run); n != 0 {
+		t.Fatalf("traced Engine.Process allocates %.1f/op, want 0", n)
+	}
+}
+
 func TestZeroAllocFIBLookup(t *testing.T) {
 	state := NewNodeState()
 	for i := uint32(0); i < 1024; i++ {
