@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race vet fuzz soak bench benchrace metricssmoke clean
+.PHONY: build test check race vet fuzz soak bench benchrace metricssmoke journeysmoke benchguard clean
 
 build:
 	$(GO) build ./...
@@ -18,7 +18,7 @@ race:
 # Full pre-merge gate: static analysis, the race detector, a race-mode smoke
 # of the parallel hot-path benchmarks, a fuzz smoke sweep over every fuzz
 # target, and a live scrape of the metrics endpoint.
-check: vet race benchrace fuzz metricssmoke
+check: vet race benchrace fuzz metricssmoke journeysmoke
 
 # Short benchstat-friendly run of the forwarding hot-path benchmarks
 # (compare runs with: make bench > old.txt; ...; make bench > new.txt;
@@ -80,6 +80,22 @@ metricssmoke:
 	curl -sf http://127.0.0.1:$(METRICS_PORT)/trace >/dev/null; \
 	curl -sf http://127.0.0.1:$(METRICS_PORT)/debug/pprof/ >/dev/null; \
 	echo "metricssmoke: exposition valid, key series present, pprof live"
+
+# Journey-stitching smoke: run the canned 3-hop scenario with journey
+# tracing on and check the collector stitched at least one complete journey
+# that crossed all three routers, end to end, with the expected hop count.
+journeysmoke:
+	@set -e; \
+	out=$$($(GO) run ./cmd/diptopo -q -journeys testdata/journey3hop.topo); \
+	echo "$$out" | grep -q 'routers=3 complete=true' \
+		|| { echo "journeysmoke: no complete 3-router journey"; echo "$$out"; exit 1; }; \
+	n=$$(echo "$$out" | grep -c 'routers=3 complete=true'); \
+	echo "journeysmoke: $$n complete 3-hop journeys stitched"
+
+# Hot-path benchmark regression gate: compare this PR's dipbench records
+# against the previous baseline (see scripts/benchguard.sh for knobs).
+benchguard:
+	sh scripts/benchguard.sh BENCH_5.json BENCH_3.json 15
 
 # Long-running soak and heavy-chaos tests are skipped under -short; this
 # target runs everything, including them.

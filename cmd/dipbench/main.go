@@ -39,9 +39,11 @@ import (
 	"dip/internal/core"
 	"dip/internal/fib"
 	"dip/internal/ip"
+	"dip/internal/journey"
 	"dip/internal/lpm"
 	"dip/internal/ndn"
 	"dip/internal/pisa"
+	"dip/internal/telemetry"
 	"dip/internal/workload"
 )
 
@@ -80,7 +82,7 @@ func writeJSON() {
 }
 
 func main() {
-	exp := flag.String("experiment", "all", "fig2 | table2 | mac | parallel | fncount | fibscale | pisa | fiblookup | mixed | all")
+	exp := flag.String("experiment", "all", "fig2 | table2 | mac | parallel | fncount | fibscale | pisa | fiblookup | mixed | journey | all")
 	flag.Parse()
 	switch *exp {
 	case "fig2":
@@ -101,6 +103,8 @@ func main() {
 		ablationFIBLookup()
 	case "mixed":
 		mixedTraffic()
+	case "journey":
+		journeyOverhead()
 	case "all":
 		table2()
 		fig2()
@@ -111,6 +115,7 @@ func main() {
 		ablationPISA()
 		ablationFIBLookup()
 		mixedTraffic()
+		journeyOverhead()
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -626,6 +631,40 @@ func (t *rwmuFIB) lookup(key uint32) {
 // ablationFIBLookup compares concurrent FIB lookup throughput of the RCU
 // snapshot table against the RWMutex baseline it replaced (E15). Workers
 // share nothing but the table, the forwarding access pattern.
+// journeyOverhead measures what journey tracing costs the forwarding hot
+// path: the same DIP-32 forwarding loop with journeys off (the plain
+// telemetry recorder every router runs), sampled 1-in-1024 (the production
+// setting), and always-on (every packet spanned). The off/sampled gap is
+// the per-packet tax of the tap's stripe counter; off must stay 0 allocs/op
+// (pinned by TestZeroAllocJourneyTapUnsampled).
+func journeyOverhead() {
+	fmt.Println("== E17: journey tracing overhead on the forwarding path ==")
+	pktFor := func() ([]byte, *node) {
+		nd := newNode(dip.MAC2EM)
+		pkt, _ := dip.BuildPacket(dip.IPv4Profile([4]byte{1, 1, 1, 1}, [4]byte{10, 0, 0, 9}), nil)
+		return pkt, nd
+	}
+
+	pkt, nd := pktFor()
+	nd.engine.SetRecorder(&telemetry.Metrics{})
+	dOff := measure("journey/off", nd.runDIP(pkt))
+
+	pkt, nd = pktFor()
+	sink := journey.NewEmitter(4096)
+	nd.engine.SetRecorder(journey.NewRouterTap("bench", sink, &telemetry.Metrics{}, 1024, nil))
+	dSampled := measure("journey/1in1024", nd.runDIP(pkt))
+
+	pkt, nd = pktFor()
+	sink = journey.NewEmitter(4096)
+	nd.engine.SetRecorder(journey.NewRouterTap("bench", sink, &telemetry.Metrics{}, 1, nil))
+	dAlways := measure("journey/always", nd.runDIP(pkt))
+
+	fmt.Printf("  journeys off:     %v/packet\n", dOff)
+	fmt.Printf("  sampled 1-in-1024: %v/packet (+%v)\n", dSampled, dSampled-dOff)
+	fmt.Printf("  always-on:        %v/packet (+%v)\n", dAlways, dAlways-dOff)
+	fmt.Println()
+}
+
 func ablationFIBLookup() {
 	fmt.Println("== E15: concurrent FIB lookup, RCU snapshots vs RWMutex ==")
 	const routes = 10_000

@@ -13,12 +13,19 @@
 // instead: the sampled packet's verdict, engine time, and ordered FN steps
 // with per-step latency render above the dissection of its captured bytes.
 //
+// '# journey' and '# span' annotations — the stitched cross-hop journey
+// summaries diptopo -journeys prints (and flight-recorder dumps embed) and
+// the raw span lines a live process serves on /journeys — are likewise
+// pretty-printed, so journey files render offline.
+//
 // Usage:
 //
 //	dipdump 01001140...            # hex packet as argument
 //	some-producer | dipdump        # hex packets on stdin
 //	quarantine-dump | dipdump      # poison packets with capture context
 //	curl -s $ROUTER/trace | dipdump  # sampled FN journeys, dissected
+//	curl -s $ROUTER/journeys | dipdump  # raw spans, rendered
+//	diptopo -journeys x.topo | dipdump  # stitched waterfalls, rendered
 package main
 
 import (
@@ -29,6 +36,7 @@ import (
 	"strings"
 
 	"dip/internal/dissect"
+	"dip/internal/journey"
 )
 
 func main() {
@@ -47,9 +55,15 @@ func main() {
 			continue
 		}
 		if strings.HasPrefix(line, "#") {
-			if !printTrace(line) {
+			if !printTrace(line) && !printJourney(line) && !printSpan(line) {
 				fmt.Println(line)
 			}
+			continue
+		}
+		if strings.HasPrefix(line, "+") {
+			// Journey waterfall rows (indented "+<offset> <kind> <node>"
+			// lines under a '# journey' header) pass through verbatim.
+			fmt.Println("    " + line)
 			continue
 		}
 		dump(line)
@@ -85,6 +99,71 @@ func printTrace(line string) bool {
 	if tr := kv["truncated"]; tr != "" {
 		fmt.Printf("    (+%s further steps not retained)\n", tr)
 	}
+	return true
+}
+
+// printJourney pretty-prints a '# journey' summary line (journey.Journey's
+// text form: diptopo -journeys output, frozen flight-recorder dumps).
+func printJourney(line string) bool {
+	rest, ok := strings.CutPrefix(line, "# journey ")
+	if !ok {
+		return false
+	}
+	kv := map[string]string{}
+	for _, tok := range strings.Fields(rest) {
+		if k, v, found := strings.Cut(tok, "="); found {
+			kv[k] = v
+		}
+	}
+	state := "complete"
+	if kv["complete"] != "true" {
+		state = "in flight"
+	}
+	if kv["incomplete"] == "1" {
+		state = "INCOMPLETE (evicted before a terminal span)"
+	}
+	fmt.Printf("=== journey %s: %s hops over %s, %s, total %s\n",
+		kv["trace"], kv["routers"], kv["path"], state, kv["total"])
+	if at := kv["dropped-at"]; at != "" {
+		cause := kv["cause"]
+		if cause == "" {
+			cause = "drop verdict"
+		}
+		fmt.Printf("    DROPPED at %s (%s)\n", at, cause)
+	}
+	fmt.Printf("    time split: fn=%s queue=%s wire=%s pitwait=%s (router cpu %s)\n",
+		kv["fn"], kv["queue"], kv["wire"], kv["pitwait"], kv["cpu"])
+	return true
+}
+
+// printSpan pretty-prints a '# span' line (journey.Span's text form, the
+// /journeys endpoint body).
+func printSpan(line string) bool {
+	sp, err := journey.ParseSpan(line)
+	if err != nil {
+		return false
+	}
+	desc := ""
+	switch sp.Kind {
+	case journey.SpanLink:
+		desc = fmt.Sprintf("queue %dns + wire %dns", sp.QueueNs, sp.WireNs)
+	case journey.SpanRouter:
+		desc = fmt.Sprintf("verdict %s, cpu %dns", sp.Verdict, sp.CPUNs)
+	}
+	if sp.Dropped {
+		if desc != "" {
+			desc += ", "
+		}
+		desc += "DROPPED"
+		if sp.Cause != "" {
+			desc += " (" + sp.Cause + ")"
+		}
+	}
+	if desc != "" {
+		desc = ": " + desc
+	}
+	fmt.Printf("--- span %016x %-10s %-14s at +%dns%s\n",
+		uint64(sp.Trace), sp.Kind, sp.Node, sp.Start, desc)
 	return true
 }
 

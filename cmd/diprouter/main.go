@@ -49,6 +49,10 @@
 //	                  ring (0 = tracing off; sampling keeps the unsampled
 //	                  forwarding path allocation-free)
 //	-trace-ring N     trace ring capacity in records (default 1024)
+//	-journey-every N  emit a cross-hop journey span for every Nth packet
+//	                  onto A/journeys (0 = off); a central collector (or
+//	                  dipdump) stitches spans from every process
+//	-journey-ring N   journey span ring capacity (default 4096)
 package main
 
 import (
@@ -90,6 +94,8 @@ func main() {
 		metricsAt = flag.String("metrics-addr", "", "HTTP address for /metrics, /trace and /debug/pprof (empty = off)")
 		traceN    = flag.Int("trace-every", 0, "trace every Nth packet's FN journey (0 = off)")
 		traceRing = flag.Int("trace-ring", 0, "trace ring capacity in records (0 = default)")
+		journeyN  = flag.Int("journey-every", 0, "emit a journey span for every Nth packet (0 = off)")
+		journeyRg = flag.Int("journey-ring", 0, "journey span ring capacity (0 = default)")
 		peers     stringList
 		routes32  stringList
 		routes128 stringList
@@ -177,12 +183,26 @@ func main() {
 		},
 	})
 
+	// Journey spans wrap whatever recorder the router got (trace sampler or
+	// bare metrics) — the tap forwards everything to it, so /metrics and
+	// /trace are unchanged while /journeys fills with spans.
+	var journeys *dip.JourneyEmitter
+	if *journeyN > 0 {
+		journeys = dip.NewJourneyEmitter(*journeyRg)
+		var inner dip.Recorder = metrics
+		if tracer != nil {
+			inner = tracer
+		}
+		r.SetRecorder(dip.NewRouterJourneyTap(*listen, journeys, inner, *journeyN, nil))
+	}
+
 	if *metricsAt != "" {
 		src := dip.MetricsSource{
-			Node:    *listen,
-			Metrics: metrics,
-			Health:  r.Health,
-			Trace:   tracer,
+			Node:     *listen,
+			Metrics:  metrics,
+			Health:   r.Health,
+			Trace:    tracer,
+			Journeys: journeys,
 		}
 		// Interface fields must stay nil-free: a typed nil *pit.Table or
 		// *cs.Store inside the interface would be dereferenced on scrape.
@@ -196,7 +216,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("-metrics-addr: %v", err)
 		}
-		log.Printf("metrics on http://%v/metrics (trace: /trace, pprof: /debug/pprof/)", bound)
+		log.Printf("metrics on http://%v/metrics (trace: /trace, journeys: /journeys, pprof: /debug/pprof/)", bound)
 	}
 
 	portOf := map[string]int{}

@@ -5,6 +5,8 @@
 //	diptopo scenario.topo
 //	diptopo -q scenario.topo      # deliveries only, no event log
 //	diptopo -sample 10ms x.topo   # also print per-interval counter deltas
+//	diptopo -journeys x.topo      # stitched per-packet journey waterfalls
+//	diptopo -journeys -journey-every 8 x.topo  # sample 1-in-8 per router
 //
 // Example file:
 //
@@ -29,12 +31,15 @@ import (
 	"os"
 	"sort"
 
+	"dip/internal/journey"
 	"dip/internal/topo"
 )
 
 func main() {
 	quiet := flag.Bool("q", false, "suppress the event log")
 	sample := flag.Duration("sample", 0, "snapshot router counters every interval of virtual time (0 = off)")
+	journeys := flag.Bool("journeys", false, "stitch and print per-packet journey waterfalls")
+	journeyEvery := flag.Int("journey-every", 1, "journey-sample every Nth packet per router (with -journeys)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: diptopo [-q] <file.topo>")
@@ -55,6 +60,9 @@ func main() {
 			fmt.Printf(format+"\n", args...)
 		}
 	}
+	if *journeys {
+		t.EnableJourneys(*journeyEvery)
+	}
 	deliveries, series := t.RunSampled(*sample)
 	fmt.Printf("\n%d deliveries:\n", len(deliveries))
 	for _, d := range deliveries {
@@ -64,6 +72,37 @@ func main() {
 	t.Report(os.Stdout)
 	if len(series) > 1 {
 		printSeries(series)
+	}
+	if c := t.Journeys(); c != nil {
+		printJourneys(c)
+	}
+}
+
+// printJourneys renders each stitched journey's summary line and waterfall
+// (internal/journey's own text form, so dipdump re-renders the output),
+// then the anomaly flight recorder and the per-path aggregates.
+func printJourneys(c *journey.Collector) {
+	all := c.Journeys()
+	fmt.Printf("journeys (%d stitched):\n", len(all))
+	for _, j := range all {
+		fmt.Print(j.String())
+	}
+	if frozen := c.Flight().Entries(); len(frozen) > 0 {
+		fmt.Printf("\nflight recorder (%d anomalies retained):\n", len(frozen))
+		for _, e := range frozen {
+			fmt.Print(e.String())
+		}
+	}
+	st := c.Stats()
+	fmt.Printf("\njourney stats: spans=%d complete=%d incomplete=%d frozen=%d duplicates=%d\n",
+		st.Spans, st.Complete, st.Incomplete, st.Frozen, st.Duplicates)
+	for _, ps := range st.Paths {
+		mean := int64(0)
+		if ps.Count > 0 {
+			mean = (ps.FNNs + ps.QueueNs + ps.WireNs + ps.PITWaitNs) / ps.Count
+		}
+		fmt.Printf("  path %-30s proto=%-12s n=%-5d mean=%dns (fn=%dns queue=%dns wire=%dns pitwait=%dns)\n",
+			ps.Path, ps.Proto, ps.Count, mean, ps.FNNs, ps.QueueNs, ps.WireNs, ps.PITWaitNs)
 	}
 }
 

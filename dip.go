@@ -46,6 +46,7 @@ import (
 	"dip/internal/fib"
 	"dip/internal/guard"
 	"dip/internal/host"
+	"dip/internal/journey"
 	"dip/internal/ndn"
 	"dip/internal/ops"
 	"dip/internal/opt"
@@ -147,10 +148,34 @@ type (
 	Metrics = telemetry.Metrics
 	// MetricsSnapshot is a point-in-time copy of a node's counters.
 	MetricsSnapshot = telemetry.Snapshot
+	// Recorder is the engine telemetry sink interface (Metrics and
+	// TraceRecorder both satisfy it; journey taps wrap one).
+	Recorder = core.Recorder
 	// TraceRecorder samples per-packet FN journeys into a lock-free ring.
 	TraceRecorder = trace.Recorder
 	// TraceRecord is one sampled packet's journey.
 	TraceRecord = trace.Record
+	// JourneyCollector stitches cross-element spans into per-packet
+	// journeys with latency decomposition and an anomaly flight recorder.
+	JourneyCollector = journey.Collector
+	// JourneySpan is one element's observation of one packet.
+	JourneySpan = journey.Span
+	// Journey is one packet instance's stitched span sequence.
+	Journey = journey.Journey
+	// JourneyEmitter buffers spans for /journeys export from live processes.
+	JourneyEmitter = journey.Emitter
+	// JourneyStats is a collector aggregate snapshot.
+	JourneyStats = journey.Stats
+	// FlightRecorder is the bounded ring of frozen anomalous journeys.
+	FlightRecorder = journey.FlightRecorder
+	// FrozenJourney is one flight-recorder entry.
+	FrozenJourney = journey.FrozenJourney
+	// JourneyTraceID correlates spans from different elements into one
+	// journey (explicit TraceCtx FN, or the packet content fingerprint).
+	JourneyTraceID = journey.TraceID
+	// JourneySpanSink receives spans (JourneyCollector and JourneyEmitter
+	// both satisfy it).
+	JourneySpanSink = journey.SpanSink
 	// MetricsSource bundles what one node exposes over its metrics listener.
 	MetricsSource = export.Source
 	// Fetcher retransmits NDN interests with backoff until data arrives
@@ -352,6 +377,44 @@ func NewTraceRecorder(inner *Metrics, every, ring int) *TraceRecorder {
 		return trace.NewRecorder(nil, every, ring)
 	}
 	return trace.NewRecorder(inner, every, ring)
+}
+
+// NewJourneyCollector builds a span-stitching collector with default
+// bounds (4096 live journeys, 64-entry flight recorder).
+func NewJourneyCollector() *JourneyCollector {
+	return journey.NewCollector(journey.Config{})
+}
+
+// NewJourneyEmitter builds a span ring for live-process /journeys export
+// (size < 1 selects the default 4096).
+func NewJourneyEmitter(size int) *JourneyEmitter { return journey.NewEmitter(size) }
+
+// NewRouterJourneyTap wraps a router's recorder so every every-th packet
+// emits a journey span to sink; install via Router.SetRecorder. inner
+// keeps receiving all telemetry (pass the node's *Metrics or a
+// *TraceRecorder); now is the span clock (nil = wall time).
+func NewRouterJourneyTap(node string, sink journey.SpanSink, inner core.Recorder, every int, now func() int64) *journey.RouterTap {
+	return journey.NewRouterTap(node, sink, inner, every, now)
+}
+
+// JourneyTraceOf derives a packet's journey trace ID (explicit TraceCtx FN
+// when carried, content fingerprint otherwise; 0 for non-DIP bytes).
+func JourneyTraceOf(pkt []byte) JourneyTraceID { return journey.TraceOf(pkt) }
+
+// WithJourneyTrace appends a host-tagged TraceCtx FN carrying an explicit
+// trace ID, so the journey survives payload rewrites that would change the
+// content fingerprint. Routers skip it (host tag); taps read it.
+func WithJourneyTrace(h *Header, id JourneyTraceID) *Header {
+	return journey.WithTraceCtx(h, id)
+}
+
+// NewFetcherJourneyTap builds a host.FetchObserver emitting send/retx/
+// satisfy/dead-letter spans; set as FetchConfig.Observer. (Link and
+// tunnel taps live with their substrates — journey.NewLinkTap and
+// journey.NewTunnelTap — which diptopo wires up; the facade exposes no
+// netsim/tunnel surface to install them on.)
+func NewFetcherJourneyTap(node string, sink JourneySpanSink, now func() int64) host.FetchObserver {
+	return journey.NewFetcherTap(node, sink, now)
 }
 
 // ServeMetrics binds addr and serves src's observability surface (/metrics

@@ -52,6 +52,13 @@ const (
 	// KeyPass — F_pass: source-label verification (content-poisoning defense,
 	// paper §2.4).
 	KeyPass Key = 12
+	// KeyTraceCtx — F_trace: an extension FN (not in the paper's Table 1)
+	// whose operand carries an explicit 64-bit trace identifier for
+	// end-to-end journey tracing (internal/journey). It is host-tagged and
+	// passive: routers skip it per Algorithm 1, hosts without a module fall
+	// through to PolicyIgnore, so carrying it is always safe — exactly the
+	// §2.4 extensibility story (new FNs deploy without touching routers).
+	KeyTraceCtx Key = 13
 )
 
 // MaxKey is the largest key the dense dispatch table supports. Wire keys
@@ -74,6 +81,7 @@ var keyNames = map[Key]string{
 	KeyDAG:      "F_DAG",
 	KeyIntent:   "F_intent",
 	KeyPass:     "F_pass",
+	KeyTraceCtx: "F_trace",
 }
 
 // String returns the paper's notation for well-known keys and "key(n)"

@@ -38,7 +38,31 @@ type FetchConfig struct {
 	MaxRetx int
 	// Metrics, when set, receives EventRetransmit / EventDeadLetter.
 	Metrics *telemetry.Metrics
+	// Observer, when set, receives every fetch lifecycle event (journey
+	// tracing). Called outside the Fetcher's lock; must not block.
+	Observer FetchObserver
 }
+
+// FetchEvent classifies one fetch lifecycle action.
+type FetchEvent uint8
+
+// Fetch lifecycle events.
+const (
+	// FetchSend: first transmission of a name's interest.
+	FetchSend FetchEvent = iota
+	// FetchRetx: a retransmission of a pending name's interest.
+	FetchRetx
+	// FetchSatisfy: data arrived for a pending name.
+	FetchSatisfy
+	// FetchDeadLetter: the name was abandoned after the retransmission cap
+	// (pkt is nil — there is no packet, which is the point).
+	FetchDeadLetter
+)
+
+// FetchObserver receives fetch lifecycle events. pkt is the interest just
+// sent (FetchSend/FetchRetx) or the data packet that satisfied the name
+// (FetchSatisfy); it is valid only during the call.
+type FetchObserver func(ev FetchEvent, name uint32, pkt []byte)
 
 func (c *FetchConfig) fill() {
 	if c.Timeout == 0 {
@@ -124,6 +148,9 @@ func (f *Fetcher) Fetch(name uint32) error {
 		return err
 	}
 	f.send(pkt)
+	if f.cfg.Observer != nil {
+		f.cfg.Observer(FetchSend, name, pkt)
+	}
 	f.clock.Schedule(timeout, func() { f.onTimeout(name, gen) })
 	return nil
 }
@@ -144,6 +171,9 @@ func (f *Fetcher) onTimeout(name uint32, gen uint64) {
 		if f.cfg.Metrics != nil {
 			f.cfg.Metrics.RecordEvent(telemetry.EventDeadLetter)
 		}
+		if f.cfg.Observer != nil {
+			f.cfg.Observer(FetchDeadLetter, name, nil)
+		}
 		if cb != nil {
 			cb(name)
 		}
@@ -163,6 +193,9 @@ func (f *Fetcher) onTimeout(name uint32, gen uint64) {
 	}
 	if pkt, err := BuildPacket(profiles.NDNInterest(name), nil); err == nil {
 		f.send(pkt)
+		if f.cfg.Observer != nil {
+			f.cfg.Observer(FetchRetx, name, pkt)
+		}
 	}
 	f.clock.Schedule(timeout, func() { f.onTimeout(name, gen) })
 }
@@ -188,6 +221,9 @@ func (f *Fetcher) HandleData(pkt []byte) (name uint32, matched bool) {
 	f.completed++
 	cb := f.OnComplete
 	f.mu.Unlock()
+	if f.cfg.Observer != nil {
+		f.cfg.Observer(FetchSatisfy, name, pkt)
+	}
 	if cb != nil {
 		cb(name, v.Payload())
 	}

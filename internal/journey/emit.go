@@ -1,0 +1,99 @@
+package journey
+
+import (
+	"bufio"
+	"io"
+	"strings"
+	"sync"
+)
+
+// DefaultEmitRing is the Emitter's span capacity when given n < 1.
+const DefaultEmitRing = 4096
+
+// Emitter is the live-deployment half of journey collection: it implements
+// SpanSink by buffering spans in a bounded ring that Dump renders as
+// '# span' text lines — the /journeys endpoint's body. A central Collector
+// (or dipdump) re-ingests the lines from every process and stitches across
+// them, the same split /trace uses for records.
+type Emitter struct {
+	mu      sync.Mutex
+	ring    []Span
+	next    int
+	added   uint64
+	dropped uint64
+}
+
+// NewEmitter builds an emitter retaining the newest size spans.
+func NewEmitter(size int) *Emitter {
+	if size < 1 {
+		size = DefaultEmitRing
+	}
+	return &Emitter{ring: make([]Span, 0, size)}
+}
+
+// AddSpan implements SpanSink.
+func (e *Emitter) AddSpan(sp Span) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.added++
+	sp.Seq = e.added
+	if len(e.ring) < cap(e.ring) {
+		e.ring = append(e.ring, sp)
+		return
+	}
+	e.ring[e.next] = sp
+	e.next = (e.next + 1) % cap(e.ring)
+	e.dropped++
+}
+
+// Added returns how many spans the emitter has seen; Dropped how many were
+// lost to ring wrap (spans a remote collector will flag as incomplete
+// journeys rather than mis-stitch).
+func (e *Emitter) Added() uint64   { e.mu.Lock(); defer e.mu.Unlock(); return e.added }
+func (e *Emitter) Dropped() uint64 { e.mu.Lock(); defer e.mu.Unlock(); return e.dropped }
+
+// Snapshot copies out the buffered spans, oldest first.
+func (e *Emitter) Snapshot() []Span {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Span, 0, len(e.ring))
+	if len(e.ring) == cap(e.ring) {
+		out = append(out, e.ring[e.next:]...)
+		out = append(out, e.ring[:e.next]...)
+	} else {
+		out = append(out, e.ring...)
+	}
+	return out
+}
+
+// Dump writes the buffered spans to w, one '# span' line each.
+func (e *Emitter) Dump(w io.Writer) error {
+	for _, sp := range e.Snapshot() {
+		if _, err := io.WriteString(w, sp.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Ingest feeds '# span' lines from r into the collector, skipping
+// everything else (so a whole dipdump-style mixed stream can be piped in).
+// Returns the number of spans ingested.
+func (c *Collector) Ingest(r io.Reader) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	n := 0
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(strings.TrimSpace(line), "# span ") {
+			continue
+		}
+		sp, err := ParseSpan(line)
+		if err != nil {
+			continue
+		}
+		c.AddSpan(sp)
+		n++
+	}
+	return n, sc.Err()
+}

@@ -116,6 +116,8 @@ type Endpoint struct {
 	// impair, when set, applies the seeded fault model to every packet
 	// (see impair.go). Nil means a perfect link, exactly as before.
 	impair *Impairment
+	// obs, when set, receives every transit's fate (see observe.go).
+	obs TransitObserver
 }
 
 // Pipe creates an endpoint that delivers into dst's dstPort with the given
@@ -139,16 +141,18 @@ func (e *Endpoint) Impair() *Impairment { return e.impair }
 func (e *Endpoint) Send(pkt []byte) {
 	e.Sent++
 	e.Bytes += int64(len(pkt))
+	now := e.sim.Now()
 	if e.Dropped {
+		e.observeDrop(pkt, now, now, "link-down")
 		return
 	}
-	now := e.sim.Now()
 	start := now
 	if e.bps > 0 && e.busyUntil > start {
 		start = e.busyUntil
 	}
 	if e.QueueLimit > 0 && start-now > e.QueueLimit {
 		e.TailDrops++
+		e.observeDrop(pkt, now, start, "tail-drop")
 		return
 	}
 	var tx time.Duration
@@ -158,9 +162,19 @@ func (e *Endpoint) Send(pkt []byte) {
 	}
 	arrival := start - now + tx + e.delay
 	copies := 1
+	corrupted := false
+	orig := pkt
 	if im := e.impair; im != nil {
 		v := im.decide(now, len(pkt))
 		if v.drop {
+			// decide does not say which fault fired, but DownAt is pure
+			// (no RNG), so re-checking it attributes the drop without
+			// perturbing the deterministic fault sequence.
+			cause := "loss"
+			if im.DownAt(now) {
+				cause = "down"
+			}
+			e.observeDrop(pkt, now, start, cause)
 			return
 		}
 		arrival += v.extraDelay
@@ -172,7 +186,22 @@ func (e *Endpoint) Send(pkt []byte) {
 			copy(cp, pkt)
 			cp[v.corruptAt] ^= 0x01
 			pkt = cp
+			corrupted = true
 		}
+	}
+	if e.obs != nil {
+		// Report the pre-corruption bytes so content-derived correlation
+		// (journey fingerprints) matches the sender's view of the packet.
+		e.obs(Transit{
+			Pkt:       orig,
+			Offered:   now,
+			Start:     start,
+			Arrival:   now + arrival,
+			Queue:     start - now,
+			Wire:      arrival - (start - now),
+			Copies:    copies,
+			Corrupted: corrupted,
+		})
 	}
 	dst, port := e.dst, e.dstPort
 	sim := e.sim
@@ -193,4 +222,21 @@ func (e *Endpoint) Send(pkt []byte) {
 			dst.Receive(cp, port)
 		})
 	}
+}
+
+// observeDrop reports a transit that died on this link. Queue covers the
+// time the packet would have waited before the fault killed it (nonzero
+// only for tail drops, which are decided by queue depth).
+func (e *Endpoint) observeDrop(pkt []byte, now, start time.Duration, cause string) {
+	if e.obs == nil {
+		return
+	}
+	e.obs(Transit{
+		Pkt:     pkt,
+		Offered: now,
+		Start:   start,
+		Queue:   start - now,
+		Dropped: true,
+		Cause:   cause,
+	})
 }

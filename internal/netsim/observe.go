@@ -1,0 +1,52 @@
+// Link transit observation: a per-endpoint hook that reports every offered
+// packet's fate — delivered (with the queueing vs wire-time split the
+// simulator already computes) or dropped (with the cause) — to an observer.
+// internal/journey adapts this into per-link spans; the hook is generic so
+// tests and other telemetry can use it too.
+package netsim
+
+import "time"
+
+// Transit describes one packet's passage through (or death on) one link
+// direction. Times are absolute virtual timestamps except Queue and Wire,
+// which decompose the transit: Queue is time spent waiting behind earlier
+// packets (serialization occupancy), Wire is serialization + propagation +
+// any impairment-injected delay, and for delivered packets
+// Arrival - Offered == Queue + Wire exactly.
+type Transit struct {
+	// Pkt is the offered packet (pre-corruption, so content-derived
+	// correlation survives bit flips). Valid only during the observer call;
+	// do not retain.
+	Pkt []byte
+	// Offered is when the sender handed the packet to the link.
+	Offered time.Duration
+	// Start is when transmission began (Offered + Queue).
+	Start time.Duration
+	// Arrival is when the packet reaches the far end (zero if dropped).
+	Arrival time.Duration
+	// Queue and Wire decompose the transit (see type comment).
+	Queue, Wire time.Duration
+	// Dropped marks a packet that never arrives; Cause says why:
+	// "link-down" (Endpoint.Dropped black-hole), "tail-drop" (queue limit),
+	// "down" (impairment down window), "loss" (impairment random loss).
+	Dropped bool
+	Cause   string
+	// Copies is the delivered copy count (2 when fault-duplicated).
+	Copies int
+	// Corrupted marks a delivery with one bit flipped in flight.
+	Corrupted bool
+}
+
+// TransitObserver receives every transit on an observed link direction. It
+// runs synchronously on the simulator goroutine and must not block or
+// retain Transit.Pkt.
+type TransitObserver func(Transit)
+
+// WithTransitObserver attaches a transit observer at link creation.
+func WithTransitObserver(obs TransitObserver) LinkOption {
+	return func(e *Endpoint) { e.obs = obs }
+}
+
+// SetObserver attaches (or, with nil, removes) the transit observer on an
+// existing endpoint — how topo wires journey taps onto already-built links.
+func (e *Endpoint) SetObserver(obs TransitObserver) { e.obs = obs }

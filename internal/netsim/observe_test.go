@@ -1,0 +1,108 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestTransitObserverIdentity pins the decomposition contract: for every
+// delivered packet, Arrival - Offered == Queue + Wire exactly, with Queue
+// nonzero only when a packet waits behind an earlier one.
+func TestTransitObserverIdentity(t *testing.T) {
+	s := New()
+	var transits []Transit
+	rx := ReceiverFunc(func([]byte, int) {})
+	// 8000 bits/s: a 125-byte packet serializes in 125ms; 1ms propagation.
+	e := s.Pipe(rx, 0, time.Millisecond, 8000)
+	e.SetObserver(func(tr Transit) { transits = append(transits, tr) })
+	pkt := make([]byte, 125)
+	e.Send(pkt) // starts at 0
+	e.Send(pkt) // queues 125ms behind the first
+	s.Run()
+	if len(transits) != 2 {
+		t.Fatalf("observed %d transits, want 2", len(transits))
+	}
+	for i, tr := range transits {
+		if tr.Dropped {
+			t.Fatalf("transit %d dropped: %+v", i, tr)
+		}
+		if got, want := tr.Arrival-tr.Offered, tr.Queue+tr.Wire; got != want {
+			t.Fatalf("transit %d identity broken: arrival-offered=%v queue+wire=%v", i, got, want)
+		}
+		if tr.Start != tr.Offered+tr.Queue {
+			t.Fatalf("transit %d: start=%v, want offered+queue=%v", i, tr.Start, tr.Offered+tr.Queue)
+		}
+		if tr.Copies != 1 || tr.Corrupted {
+			t.Fatalf("transit %d: copies=%d corrupted=%v", i, tr.Copies, tr.Corrupted)
+		}
+	}
+	if transits[0].Queue != 0 {
+		t.Errorf("first packet queued %v, want 0", transits[0].Queue)
+	}
+	if want := 125 * time.Millisecond; transits[1].Queue != want {
+		t.Errorf("second packet queued %v, want %v", transits[1].Queue, want)
+	}
+	if want := 126 * time.Millisecond; transits[0].Wire != want {
+		t.Errorf("wire time %v, want serialization+propagation %v", transits[0].Wire, want)
+	}
+}
+
+// TestTransitObserverDropCauses checks each drop path reports its cause.
+func TestTransitObserverDropCauses(t *testing.T) {
+	rx := ReceiverFunc(func([]byte, int) {})
+
+	t.Run("link-down", func(t *testing.T) {
+		s := New()
+		var tr Transit
+		e := s.Pipe(rx, 0, 0, 0, WithTransitObserver(func(x Transit) { tr = x }))
+		e.Dropped = true
+		e.Send([]byte{1})
+		s.Run()
+		if !tr.Dropped || tr.Cause != "link-down" {
+			t.Fatalf("got %+v, want dropped cause=link-down", tr)
+		}
+	})
+
+	t.Run("tail-drop", func(t *testing.T) {
+		s := New()
+		var drops []Transit
+		e := s.Pipe(rx, 0, 0, 8000, WithTransitObserver(func(x Transit) {
+			if x.Dropped {
+				drops = append(drops, x)
+			}
+		}))
+		e.QueueLimit = 130 * time.Millisecond
+		pkt := make([]byte, 125)
+		for i := 0; i < 5; i++ {
+			e.Send(pkt)
+		}
+		s.Run()
+		if len(drops) != 3 {
+			t.Fatalf("observed %d tail drops, want 3", len(drops))
+		}
+		for _, d := range drops {
+			if d.Cause != "tail-drop" {
+				t.Fatalf("cause = %q, want tail-drop", d.Cause)
+			}
+		}
+	})
+
+	t.Run("loss", func(t *testing.T) {
+		s := New()
+		var causes []string
+		im := NewImpairment(1)
+		im.DropProb = 1
+		e := s.Pipe(rx, 0, 0, 0,
+			WithImpairment(im),
+			WithTransitObserver(func(x Transit) {
+				if x.Dropped {
+					causes = append(causes, x.Cause)
+				}
+			}))
+		e.Send([]byte{1})
+		s.Run()
+		if len(causes) != 1 || causes[0] != "loss" {
+			t.Fatalf("causes = %v, want [loss]", causes)
+		}
+	})
+}

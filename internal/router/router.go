@@ -72,6 +72,12 @@ func New(reg *core.Registry, cfg Config) *Router {
 	return &Router{engine: e, cfg: cfg}
 }
 
+// SetRecorder replaces the engine's telemetry recorder. Call before
+// packets flow — it is how journey taps wrap the recorder Config
+// installed (the tap forwards to the wrapped recorder, so metrics and
+// traces keep working underneath).
+func (r *Router) SetRecorder(rec core.Recorder) { r.engine.SetRecorder(rec) }
+
 // Registry exposes the router's current operation catalog (bootstrap
 // advertises it).
 func (r *Router) Registry() *core.Registry { return r.engine.Registry() }

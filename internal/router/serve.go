@@ -34,6 +34,11 @@ type ServeConfig struct {
 	// Quarantine receives poison-packet captures from recovered worker
 	// panics. Nil allocates a default-sized ring.
 	Quarantine *guard.Quarantine
+	// OnQuarantine, when set, is called with the poison packet's bytes
+	// after a recovered panic is captured — the hook journey tracing uses
+	// to freeze the packet's journey. Runs on the worker goroutine; must
+	// not block and must not retain the slice.
+	OnQuarantine func(pkt []byte)
 	// StallAfter is how long a worker may chew on one packet before Health
 	// counts it stalled (default 1s).
 	StallAfter time.Duration
@@ -201,6 +206,9 @@ func (in *Ingress) safeHandle(q queuedPacket) {
 				Stack:  string(debug.Stack()),
 			})
 			in.event(telemetry.EventQuarantine)
+			if in.cfg.OnQuarantine != nil {
+				in.cfg.OnQuarantine(cp)
+			}
 		}
 	}()
 	in.r.HandlePacket(q.pkt, q.inPort)

@@ -1,0 +1,125 @@
+package topo
+
+import (
+	"strings"
+	"testing"
+
+	"dip/internal/journey"
+)
+
+const journeyTopo = `
+router R1
+router R2
+router R3
+host   C
+host   P
+
+link C R1:0
+link R1:1 R2:0 1ms down=6.5ms-7.5ms seed=3
+link R2:1 R3:0
+link R3:1 P
+
+name R1 aa000000/8 1
+name R2 aa000000/8 1
+name R3 aa000000/8 1
+
+produce P aa000001 "the bits"
+produce P aa000002 "the bits"
+interest C aa000001 at 0ms
+interest C aa000002 at 6ms
+`
+
+func runJourneyTopo(t *testing.T) (*Topology, *journey.Collector, []Delivery) {
+	t.Helper()
+	tp, err := Parse(strings.NewReader(journeyTopo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := tp.EnableJourneys(1)
+	if tp.EnableJourneys(1) != c {
+		t.Fatal("EnableJourneys not idempotent")
+	}
+	return tp, c, tp.Run()
+}
+
+func TestEnableJourneysStitchesAndAttributes(t *testing.T) {
+	_, c, deliveries := runJourneyTopo(t)
+	// Interest 2 dies in the R1->R2 down window; interest 1 round-trips.
+	if len(deliveries) != 1 {
+		t.Fatalf("deliveries %+v, want exactly the first interest's data", deliveries)
+	}
+
+	var interest, data *journey.Journey
+	for _, j := range c.Journeys() {
+		switch j.Path() {
+		case "C>R1>R2>R3>P":
+			if j.Complete() && j.DroppedAt() == nil {
+				interest = j
+			}
+		case "P>R3>R2>R1>C":
+			data = j
+		}
+	}
+	if interest == nil || data == nil {
+		t.Fatalf("missing journeys: interest=%v data=%v", interest, data)
+	}
+	for _, j := range []*journey.Journey{interest, data} {
+		if j.Hops() != 3 {
+			t.Fatalf("journey %s has %d router hops, want 3", j.Path(), j.Hops())
+		}
+		d := j.Decompose()
+		if sum := d.FNNs + d.QueueNs + d.WireNs + d.PITWaitNs; sum != d.TotalNs {
+			t.Fatalf("journey %s decomposition does not sum: %+v", j.Path(), d)
+		}
+		// Four 1ms links, infinite bandwidth: the whole 4ms is wire time.
+		if d.TotalNs != 4_000_000 || d.WireNs != 4_000_000 {
+			t.Fatalf("journey %s total=%dns wire=%dns, want 4ms wire-only", j.Path(), d.TotalNs, d.WireNs)
+		}
+		if d.CPUNs <= 0 {
+			t.Fatalf("journey %s has no router CPU time", j.Path())
+		}
+	}
+
+	// The flight recorder froze the dropped interest with the fault pinned
+	// to the impaired link, not a neighboring hop.
+	entries := c.Flight().Entries()
+	if len(entries) != 1 {
+		t.Fatalf("flight recorder has %d entries, want 1: %+v", len(entries), entries)
+	}
+	e := entries[0]
+	if e.Reason != journey.FreezeDrop {
+		t.Fatalf("freeze reason %s, want drop", e.Reason)
+	}
+	dropped := e.Journey.DroppedAt()
+	if dropped == nil {
+		t.Fatal("frozen journey has no dropped span")
+	}
+	if dropped.Node != "R1->R2" || dropped.Cause != "down" {
+		t.Fatalf("drop attributed to %q cause %q, want R1->R2/down", dropped.Node, dropped.Cause)
+	}
+
+	st := c.Stats()
+	if st.Complete < 2 || st.Frozen != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestEnableJourneysDeterministic(t *testing.T) {
+	_, c1, _ := runJourneyTopo(t)
+	_, c2, _ := runJourneyTopo(t)
+	j1, j2 := c1.Journeys(), c2.Journeys()
+	if len(j1) != len(j2) {
+		t.Fatalf("journey counts differ: %d vs %d", len(j1), len(j2))
+	}
+	for i := range j1 {
+		d1, d2 := j1[i].Decompose(), j2[i].Decompose()
+		// CPUNs is wall clock and legitimately varies; everything on the
+		// virtual clock must be bit-identical across runs.
+		if j1[i].Trace != j2[i].Trace || j1[i].Path() != j2[i].Path() ||
+			d1.TotalNs != d2.TotalNs || d1.WireNs != d2.WireNs ||
+			d1.QueueNs != d2.QueueNs || d1.PITWaitNs != d2.PITWaitNs {
+			t.Fatalf("journey %d differs across runs:\n %s %+v\n %s %+v",
+				i, j1[i].Path(), d1, j2[i].Path(), d2)
+		}
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"dip/internal/cs"
 	"dip/internal/drkey"
 	"dip/internal/fib"
+	"dip/internal/journey"
 	"dip/internal/netsim"
 	"dip/internal/ops"
 	"dip/internal/pit"
@@ -55,6 +56,8 @@ type Topology struct {
 	hosts      map[string]*hostNode
 	events     []event
 	faulty     []faultyLink
+	links      []topoLink
+	journeys   *journey.Collector
 	Deliveries []Delivery
 	// Log receives a line per notable event; nil discards.
 	Log func(format string, args ...any)
@@ -63,6 +66,11 @@ type Topology struct {
 type faultyLink struct {
 	label string
 	im    *netsim.Impairment
+}
+
+type topoLink struct {
+	label string
+	pipe  *netsim.Endpoint
 }
 
 type routerNode struct {
@@ -403,6 +411,9 @@ func (t *Topology) addLink(args []string) error {
 	}
 	abPipe := t.sim.Pipe(recvOf(bName, bHost, bPort), bPort, delay, 0, abOpts...)
 	baPipe := t.sim.Pipe(recvOf(aName, aHost, aPort), aPort, delay, 0, baOpts...)
+	t.links = append(t.links,
+		topoLink{label: aName + "->" + bName, pipe: abPipe},
+		topoLink{label: bName + "->" + aName, pipe: baPipe})
 	attach := func(name string, isHost bool, port int, pipe *netsim.Endpoint) error {
 		if isHost {
 			t.hosts[name].port = pipe
@@ -564,7 +575,52 @@ func (t *Topology) addSend(args []string) error {
 	return nil
 }
 
+// EnableJourneys turns on end-to-end journey tracing for the run: every
+// every-th packet per router gets a span (1 traces everything), every link
+// transit and host send/receive is observed, and all spans are stitched by
+// the returned Collector. All span timestamps come from the simulator's
+// virtual clock — the same time source RunSampled's series ticks on — so
+// spans, samples, and deliveries are mutually comparable. Call after Parse,
+// before Run.
+func (t *Topology) EnableJourneys(every int) *journey.Collector {
+	if t.journeys != nil {
+		return t.journeys
+	}
+	c := journey.NewCollector(journey.Config{})
+	now := func() int64 { return int64(t.sim.Now()) }
+	for _, rn := range t.routers {
+		rn.r.SetRecorder(journey.NewRouterTap(rn.name, c, rn.metrics, every, now))
+	}
+	for _, l := range t.links {
+		l.pipe.SetObserver(journey.NewLinkTap(l.label, c))
+	}
+	t.journeys = c
+	return c
+}
+
+// Journeys returns the collector installed by EnableJourneys, or nil.
+func (t *Topology) Journeys() *journey.Collector { return t.journeys }
+
+// hostSpan files a host-edge span when journey tracing is on.
+func (h *hostNode) hostSpan(kind journey.SpanKind, pkt []byte) {
+	c := h.topo.journeys
+	if c == nil {
+		return
+	}
+	id := journey.TraceOf(pkt)
+	if id == 0 {
+		return
+	}
+	at := int64(h.topo.sim.Now())
+	sp := journey.Span{Trace: id, Kind: kind, Node: h.name, Start: at, End: at}
+	if v, err := core.ParseView(pkt); err == nil {
+		sp.Proto = journey.ProtoOf(v)
+	}
+	c.AddSpan(sp)
+}
+
 func (h *hostNode) send(pkt []byte) {
+	h.hostSpan(journey.SpanHostSend, pkt)
 	if h.port != nil {
 		h.port.Send(pkt)
 	}
@@ -572,6 +628,7 @@ func (h *hostNode) send(pkt []byte) {
 
 func (h *hostNode) receive(pkt []byte) {
 	t := h.topo
+	h.hostSpan(journey.SpanHostRecv, pkt)
 	v, err := core.ParseView(pkt)
 	if err != nil {
 		return

@@ -65,8 +65,16 @@ type Step struct {
 // Record is one sampled packet's journey. Egress mirrors the context's
 // replication bound (maxEgress = 8).
 type Record struct {
-	// Seq is the global sample sequence number (dense, starts at 0).
+	// Seq is the global sample sequence number (dense, starts at 0). It is
+	// this recorder's monotonic capture sequence: records from one router
+	// always sort correctly by Seq regardless of clock quality.
 	Seq uint64
+	// At is the capture timestamp on the recorder's clock: wall nanoseconds
+	// by default, or the shared virtual clock when SetClock installs one.
+	// Stitching records from several routers sorts by (At, Seq); with a
+	// shared clock that order is exact even when the routers' wall clocks
+	// diverge, which per-router wall stamps cannot guarantee.
+	At int64
 	// InPort is the ingress port the packet arrived on.
 	InPort int32
 	// Verdict and Reason are the packet's final fate.
@@ -130,6 +138,9 @@ type Recorder struct {
 	slots   []slot
 	seq     atomic.Uint64 // next sample sequence number
 	counter [stripes]paddedCounter
+	// clock stamps Record.At; nil means wall time. Set before traffic flows
+	// (SetClock), so the hot path reads it without synchronization.
+	clock func() int64
 }
 
 // NewRecorder builds a sampling trace recorder: every-th packet is traced
@@ -153,6 +164,20 @@ func NewRecorder(inner core.Recorder, every int, ring int) *Recorder {
 		mask:  uint64(size - 1),
 		slots: make([]slot, size),
 	}
+}
+
+// SetClock installs the capture-timestamp source (nanoseconds on any
+// monotonic scale — a netsim Simulator's virtual clock in simulations, so
+// records from every router in one run share one time base). Must be called
+// before packets flow; nil restores wall time. TotalNs stays a wall-clock
+// measurement either way: At orders records, TotalNs meters the engine.
+func (r *Recorder) SetClock(clock func() int64) { r.clock = clock }
+
+func (r *Recorder) nowStamp() int64 {
+	if r.clock != nil {
+		return r.clock()
+	}
+	return time.Now().UnixNano()
 }
 
 // RecordOp implements core.Recorder by forwarding to the inner recorder.
@@ -185,7 +210,7 @@ func (r *Recorder) BeginPacket(ctx *core.ExecContext) {
 	sl.ver.Add(1) // odd: under construction
 	sl.steps.Store(0)
 	sl.start = time.Now().UnixNano()
-	sl.rec = Record{Seq: seq, InPort: int32(ctx.InPort)}
+	sl.rec = Record{Seq: seq, At: r.nowStamp(), InPort: int32(ctx.InPort)}
 	pkt := ctx.View.Packet()
 	sl.rec.PktTotal = uint16(min(len(pkt), 1<<16-1))
 	n := copy(sl.rec.Pkt[:], pkt)
@@ -288,8 +313,8 @@ func (r *Recorder) Snapshot() []Record {
 // dissects like any capture.
 func (rec Record) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "# trace seq=%d in=%d verdict=%s reason=%s total=%s",
-		rec.Seq, rec.InPort, rec.Verdict, rec.Reason, time.Duration(rec.TotalNs))
+	fmt.Fprintf(&b, "# trace seq=%d at=%d in=%d verdict=%s reason=%s total=%s",
+		rec.Seq, rec.At, rec.InPort, rec.Verdict, rec.Reason, time.Duration(rec.TotalNs))
 	if rec.NEgr > 0 {
 		b.WriteString(" egress=")
 		for i := uint8(0); i < rec.NEgr; i++ {

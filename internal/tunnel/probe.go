@@ -84,12 +84,18 @@ func (e *Endpoint) StartProbing(clock Clock, interval time.Duration, missThresho
 			if e.Metrics != nil {
 				e.Metrics.RecordEvent(telemetry.EventProbeMiss)
 			}
+			if e.Observer != nil {
+				e.Observer(EventProbeMiss, nil)
+			}
 			if e.misses >= missThreshold && e.Backup != ([4]byte{}) {
 				e.Remote, e.Backup = e.Backup, e.Remote
 				e.Failovers++
 				e.misses = 0
 				if e.Metrics != nil {
 					e.Metrics.RecordEvent(telemetry.EventFailover)
+				}
+				if e.Observer != nil {
+					e.Observer(EventFailover, nil)
 				}
 			}
 		}

@@ -53,6 +53,27 @@ type CarrierFunc func(pkt []byte)
 // Send implements Carrier.
 func (f CarrierFunc) Send(pkt []byte) { f(pkt) }
 
+// Event classifies one observable action of a tunnel endpoint.
+type Event uint8
+
+// Tunnel endpoint events.
+const (
+	// EventEncap: a DIP packet was wrapped and handed to the carrier.
+	EventEncap Event = iota
+	// EventDecap: an inbound carrier packet was unwrapped and delivered.
+	EventDecap
+	// EventProbeMiss: a liveness probe went unanswered.
+	EventProbeMiss
+	// EventFailover: the endpoint swapped Remote and Backup.
+	EventFailover
+)
+
+// Observer receives tunnel events as they happen. dipPkt is the inner DIP
+// packet for encap/decap and nil for probe-miss/failover (those concern the
+// tunnel, not one packet); it is valid only during the call. Observers run
+// synchronously and must not block.
+type Observer func(ev Event, dipPkt []byte)
+
 // Endpoint is one end of a tunnel: a router.Port that encapsulates
 // outbound DIP packets onto the carrier, plus a receive hook that
 // decapsulates inbound carrier packets into the local router. With a
@@ -74,6 +95,8 @@ type Endpoint struct {
 	Deliver func(dipPkt []byte)
 	// Metrics, when set, receives EventProbeMiss / EventFailover.
 	Metrics *telemetry.Metrics
+	// Observer, when set, receives every tunnel event (journey tracing).
+	Observer Observer
 	// Sent and Received count tunneled data packets.
 	Sent, Received int64
 	// ProbesSent, ProbesAcked, ProbeMisses and Failovers count the
@@ -92,6 +115,9 @@ func (e *Endpoint) Send(dipPkt []byte) {
 		return
 	}
 	e.Sent++
+	if e.Observer != nil {
+		e.Observer(EventEncap, dipPkt)
+	}
 	e.Carrier.Send(outer)
 }
 
@@ -108,6 +134,9 @@ func (e *Endpoint) Receive(outer []byte) error {
 		return e.handleProbe(h)
 	case ip.ProtoDIP:
 		e.Received++
+		if e.Observer != nil {
+			e.Observer(EventDecap, h.Payload())
+		}
 		if e.Deliver != nil {
 			e.Deliver(h.Payload())
 		}

@@ -1,0 +1,51 @@
+#!/bin/sh
+# benchguard: fail when the current benchmark records regress against the
+# previous PR's baseline. Compares ns_per_op for every benchmark name both
+# files share (the journey-era BENCH_5.json overlaps BENCH_3.json on the
+# fig2/ forwarding rows and the fiblookup/ ablation) and exits nonzero when
+# any hot-path row slows down by more than the tolerance.
+#
+# Usage: scripts/benchguard.sh [new.json] [old.json] [tolerance-%]
+set -eu
+
+NEW=${1:-BENCH_5.json}
+OLD=${2:-BENCH_3.json}
+TOL=${3:-15}
+
+[ -f "$NEW" ] || { echo "benchguard: missing $NEW (run: go run ./cmd/dipbench -json $NEW)"; exit 1; }
+[ -f "$OLD" ] || { echo "benchguard: missing baseline $OLD"; exit 1; }
+
+# Flatten each JSON array to "name ns_per_op" lines. The records are written
+# by cmd/dipbench with a fixed field order; parse with python3 for robustness
+# (no jq in the image).
+flatten() {
+	python3 -c '
+import json, sys
+for r in json.load(open(sys.argv[1])):
+    print(r["name"], r["ns_per_op"])
+' "$1"
+}
+
+flatten "$NEW" | sort > /tmp/benchguard.new.$$
+flatten "$OLD" | sort > /tmp/benchguard.old.$$
+trap 'rm -f /tmp/benchguard.new.$$ /tmp/benchguard.old.$$' EXIT
+
+# Guard the forwarding hot path (Engine.Process under fig2/) and the FIB
+# lookup ablation. The fig2 IPv4/IPv6 -baseline rows are raw ip.Forwarder
+# comparators, not DIP code, and at 13-36ns they are too noise-prone to
+# gate on; other experiments (mac, pisa, journey) are informational and
+# change on purpose as features land.
+join /tmp/benchguard.old.$$ /tmp/benchguard.new.$$ | awk -v tol="$TOL" '
+$1 ~ /^(fig2|fiblookup)\// && $1 !~ /-baseline\// {
+	old = $2; new = $3
+	if (old <= 0) next
+	delta = (new - old) * 100.0 / old
+	printf "  %-32s %10.0fns -> %10.0fns  %+6.1f%%\n", $1, old, new, delta
+	if (delta > tol) { bad = bad "\n  REGRESSION " $1 sprintf(" +%.1f%% (tolerance %s%%)", delta, tol) }
+	n++
+}
+END {
+	if (n == 0) { print "benchguard: no overlapping hot-path records"; exit 1 }
+	if (bad != "") { print bad; exit 1 }
+	printf "benchguard: %d hot-path rows within %s%%\n", n, tol
+}'

@@ -65,6 +65,39 @@ func TestZeroAllocTracedEngineProcess(t *testing.T) {
 	}
 }
 
+// TestZeroAllocJourneyTapUnsampled pins the journeys-off cost of a
+// journey.RouterTap on the forwarding path: with a sampling rate so sparse
+// no packet in the run is spanned, the tap must add only its stripe-counter
+// bump — no heap traffic.
+func TestZeroAllocJourneyTapUnsampled(t *testing.T) {
+	state := NewNodeState()
+	state.FIB32.AddUint32(0x0A000000, 8, NextHop{Port: 1})
+	engine := core.NewEngine(NewRouterRegistry(state.OpsConfig()), Limits{})
+	sink := NewJourneyEmitter(64)
+	engine.SetRecorder(NewRouterJourneyTap("R", sink, &Metrics{}, 1<<30, nil))
+	pkt, err := BuildPacket(IPv4Profile([4]byte{1, 1, 1, 1}, [4]byte{10, 0, 0, 9}), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ctx ExecContext
+	run := func() {
+		pkt[3] = 64
+		v, err := ParsePacket(pkt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx.Reset(v, 0)
+		engine.Process(&ctx)
+	}
+	run()
+	if n := testing.AllocsPerRun(160, run); n != 0 {
+		t.Fatalf("journey-tapped Engine.Process allocates %.1f/op, want 0", n)
+	}
+	if sink.Added() != 0 {
+		t.Fatalf("unsampled run emitted %d spans, want 0", sink.Added())
+	}
+}
+
 func TestZeroAllocFIBLookup(t *testing.T) {
 	state := NewNodeState()
 	for i := uint32(0); i < 1024; i++ {
