@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race vet fuzz soak bench benchrace metricssmoke journeysmoke benchguard clean
+.PHONY: build test check race vet fuzz soak bench benchrace metricssmoke journeysmoke burstsmoke benchguard clean
 
 build:
 	$(GO) build ./...
@@ -17,8 +17,9 @@ race:
 
 # Full pre-merge gate: static analysis, the race detector, a race-mode smoke
 # of the parallel hot-path benchmarks, a fuzz smoke sweep over every fuzz
-# target, and a live scrape of the metrics endpoint.
-check: vet race benchrace fuzz metricssmoke journeysmoke
+# target, a live scrape of the metrics endpoint, and a smoke of the batched
+# dataplane (ordering/zero-alloc tests plus a short scaling run).
+check: vet race benchrace fuzz metricssmoke journeysmoke burstsmoke
 
 # Short benchstat-friendly run of the forwarding hot-path benchmarks
 # (compare runs with: make bench > old.txt; ...; make bench > new.txt;
@@ -92,10 +93,20 @@ journeysmoke:
 	n=$$(echo "$$out" | grep -c 'routers=3 complete=true'); \
 	echo "journeysmoke: $$n complete 3-hop journeys stitched"
 
+# Batched-dataplane smoke: the flow-pinning ordering property, burst
+# lifecycle/chaos tests, the zero-alloc pins, and a short run of the E18
+# multicore scaling experiment (full version: make benchguard after
+# regenerating BENCH_6.json).
+burstsmoke:
+	$(GO) test -run 'FlowPinning|FlowDispatch|Burst' ./internal/router/ .
+	@set -e; out=$$($(GO) run ./cmd/dipbench -experiment burst -rounds 5); \
+	echo "$$out"; echo "$$out" | grep -q 'speedup' \
+		|| { echo "burstsmoke: scaling run produced no speedup line"; exit 1; }
+
 # Hot-path benchmark regression gate: compare this PR's dipbench records
 # against the previous baseline (see scripts/benchguard.sh for knobs).
 benchguard:
-	sh scripts/benchguard.sh BENCH_5.json BENCH_3.json 15
+	sh scripts/benchguard.sh BENCH_6.json BENCH_5.json 15
 
 # Long-running soak and heavy-chaos tests are skipped under -short; this
 # target runs everything, including them.

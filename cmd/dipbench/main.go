@@ -15,7 +15,7 @@
 //	dipbench                    # everything
 //	dipbench -experiment fig2   # one experiment: fig2, table2, mac,
 //	                            # parallel, fncount, fibscale, pisa,
-//	                            # fiblookup, mixed
+//	                            # fiblookup, mixed, journey, burst
 //	dipbench -trials 1000       # per-measurement packet count (paper: 1000)
 //	dipbench -json out.json     # also write machine-readable records
 //	                            # (name, ns/op, B/op, allocs/op, GOMAXPROCS)
@@ -82,7 +82,7 @@ func writeJSON() {
 }
 
 func main() {
-	exp := flag.String("experiment", "all", "fig2 | table2 | mac | parallel | fncount | fibscale | pisa | fiblookup | mixed | journey | all")
+	exp := flag.String("experiment", "all", "fig2 | table2 | mac | parallel | fncount | fibscale | pisa | fiblookup | mixed | journey | burst | all")
 	flag.Parse()
 	switch *exp {
 	case "fig2":
@@ -105,6 +105,8 @@ func main() {
 		mixedTraffic()
 	case "journey":
 		journeyOverhead()
+	case "burst":
+		burstScaling()
 	case "all":
 		table2()
 		fig2()
@@ -116,6 +118,7 @@ func main() {
 		ablationFIBLookup()
 		mixedTraffic()
 		journeyOverhead()
+		burstScaling()
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -724,5 +727,133 @@ func ablationFIBLookup() {
 	if dRCU > 0 {
 		fmt.Printf("  speedup: %.2fx\n", float64(dRW)/float64(dRCU))
 	}
+	fmt.Println()
+}
+
+// burstScaling measures the batched run-to-completion dataplane end to end:
+// GOMAXPROCS concurrent producers (one per simulated RX queue) feed packets
+// through Ingress.Submit/SubmitBurst, the flow-dispatch table pins each flow
+// to one forwarding goroutine, and forwarders run bursts to completion. The
+// grid is GOMAXPROCS x batch {1, 64}; the claim pinned by benchguard is
+// that batching amortizes the per-packet costs (queue lock + futex wake per
+// Submit, one pooled context and one sampling-counter update per packet)
+// into per-burst costs, so batch=64 sustains >=1.5x the packet rate of
+// batch=1 on the same producer and forwarder count.
+func burstScaling() {
+	fmt.Println("== E18: multicore burst scaling, batch=1 vs batch=64 ==")
+	// Each round spawns only GOMAXPROCS producer goroutines, but each
+	// packet at batch=1 is a full submit/wake/forward cycle; amortize
+	// spawn and scheduler noise over a floor of 20000 packets per round
+	// for this experiment only.
+	saved := *trials
+	if *trials < 20_000 {
+		*trials = 20_000
+	}
+	defer func() { *trials = saved }()
+
+	// Distinct source addresses give every packet a distinct FN-locations
+	// region, so the dispatch hash spreads flows across all forwarders.
+	// Reusing a buffer before it drains is safe here: flow pinning routes
+	// both submissions to the same forwarder queue, which processes them
+	// sequentially (the hop limit just decrements once per pass).
+	const pool = 16384
+	pkts := make([][]byte, pool)
+	for i := range pkts {
+		p, err := dip.BuildPacket(dip.IPv4Profile(
+			[4]byte{10, byte(i >> 8), byte(i), 1}, [4]byte{2, 2, 2, 2}), nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pkts[i] = p
+	}
+
+	run := func(procs, batch int) time.Duration {
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+
+		state := dip.NewNodeState()
+		state.FIB32.AddUint32(0, 0, dip.Local)
+		r := dip.NewRouter(state.OpsConfig(), dip.RouterOptions{
+			LocalDelivery: func([]byte, int) {},
+		})
+		// Queues deep enough to hold an entire round: producers never hit
+		// backpressure, so a round measures pure pipeline work (submit +
+		// dispatch + forward) instead of producer/forwarder timing races
+		// on a time-shared CPU.
+		in := r.ServeGuarded(dip.ServeConfig{
+			Workers:   procs,
+			Batch:     batch,
+			HighDepth: 64,
+			LowDepth:  8192,
+		})
+		defer in.Close()
+
+		// Each producer owns a disjoint slice of the pool (its RX queue's
+		// packets), so rearming and resubmission never share buffers
+		// across producers. At batch=1 every packet is an individual
+		// Submit — per-packet queue lock and wake; at batch=64 producers
+		// hand the ingress NIC-style rx windows via SubmitBurst.
+		per := pool / procs
+		fn := func(n int) {
+			// The previous round drained fully, so nothing is in flight
+			// and the hop limits can be rearmed in place.
+			for _, p := range pkts {
+				p[3] = 64
+			}
+			start := in.Processed()
+			each := n / procs
+			var wg sync.WaitGroup
+			wg.Add(procs)
+			for w := 0; w < procs; w++ {
+				go func(w int) {
+					defer wg.Done()
+					own := pkts[w*per : (w+1)*per]
+					if batch == 1 {
+						for i := 0; i < each; i++ {
+							for !in.Submit(own[i%per], w) {
+								runtime.Gosched() // safety valve; queues are sized to never fill
+							}
+						}
+						return
+					}
+					for off := 0; off < each; {
+						end := off + batch
+						if end > each {
+							end = each
+						}
+						lo, hi := off%per, off%per+(end-off)
+						if hi > per {
+							hi = per // clip the window at the slice boundary
+						}
+						chunk := own[lo:hi]
+						for len(chunk) > 0 {
+							chunk = chunk[in.SubmitBurst(chunk, w):]
+							if len(chunk) > 0 {
+								runtime.Gosched() // safety valve; queues are sized to never fill
+							}
+						}
+						off += hi - lo
+					}
+				}(w)
+			}
+			wg.Wait()
+			for in.Processed()-start < int64(procs*each) {
+				time.Sleep(20 * time.Microsecond)
+			}
+		}
+		return measure(fmt.Sprintf("burst/batch%d/gmp%d", batch, procs), fn)
+	}
+
+	fmt.Printf("%-10s%14s%14s%10s\n", "gomaxprocs", "batch=1", "batch=64", "speedup")
+	for _, procs := range []int{1, 2, 4} {
+		d1 := run(procs, 1)
+		d64 := run(procs, 64)
+		speedup := 0.0
+		if d64 > 0 {
+			speedup = float64(d1) / float64(d64)
+		}
+		fmt.Printf("%-10d%14v%14v%9.2fx\n", procs, d1, d64, speedup)
+	}
+	fmt.Println("  speedup = batch1 ns / batch64 ns at equal GOMAXPROCS")
 	fmt.Println()
 }

@@ -27,10 +27,16 @@
 //
 // Overload hardening (the ingress guard layer):
 //
-//	-workers N        drain packets through N guarded workers instead of
+//	-workers N        drain packets through N guarded forwarders instead of
 //	                  inline (enables the priority queues, admission
-//	                  control, and panic quarantine)
-//	-queue N          per-class queue depth (default 256)
+//	                  control, and panic quarantine); each flow is pinned
+//	                  to one forwarder by a hash of its FN locations
+//	-queue N          per-class queue depth per forwarder (default 256)
+//	-batch N          run-to-completion burst size: each forwarder takes up
+//	                  to N packets per queue visit and runs them all before
+//	                  returning (default 64; 1 = packet at a time)
+//	-dispatch-shards N  flow-dispatch table size, rounded to a power of two
+//	                  (default 256)
 //	-admit-port R:B   per-inport token bucket: R pkts/s, burst B
 //	-admit-bulk R:B   bulk-class token bucket (control class is never
 //	                  limited by this flag)
@@ -85,6 +91,8 @@ func main() {
 		verbose   = flag.Bool("v", false, "log packets")
 		workers   = flag.Int("workers", 0, "guarded forwarding workers (0 = handle inline)")
 		queueLen  = flag.Int("queue", 256, "per-class ingress queue depth")
+		batchSize = flag.Int("batch", 0, "run-to-completion burst size per forwarder (0 = default 64)")
+		dispatch  = flag.Int("dispatch-shards", 0, "flow-dispatch table size, power of two (0 = default 256)")
 		admitPort = flag.String("admit-port", "", "per-inport admission rate:burst (pkts/s)")
 		admitBulk = flag.String("admit-bulk", "", "bulk-class admission rate:burst (pkts/s)")
 		pitCap    = flag.Int("pitperport", 0, "per-inport pending-interest cap (0 = off)")
@@ -262,10 +270,12 @@ func main() {
 			admission = dip.NewAdmission(policy, nil)
 		}
 		in := r.ServeGuarded(dip.ServeConfig{
-			Workers:   *workers,
-			HighDepth: *queueLen,
-			LowDepth:  *queueLen,
-			Admission: admission,
+			Workers:        *workers,
+			HighDepth:      *queueLen,
+			LowDepth:       *queueLen,
+			Batch:          *batchSize,
+			DispatchShards: *dispatch,
+			Admission:      admission,
 		})
 		defer in.Close()
 		handle = func(pkt []byte, inPort int) {

@@ -41,7 +41,7 @@ const (
 	gcAttackerPort = 2
 )
 
-func runGuardChaos(t *testing.T, nFetch int) guardChaosOutcome {
+func runGuardChaos(t *testing.T, nFetch, batch int) guardChaosOutcome {
 	t.Helper()
 	sim := netsim.New()
 
@@ -68,6 +68,7 @@ func runGuardChaos(t *testing.T, nFetch int) guardChaosOutcome {
 	}, sim.Now)
 	in := r.ServeGuarded(ServeConfig{
 		Workers:   0, // pump mode: deterministic inline drain under virtual time
+		Batch:     batch,
 		HighDepth: 16,
 		LowDepth:  4,
 		Admission: adm,
@@ -179,7 +180,10 @@ func runGuardChaos(t *testing.T, nFetch int) guardChaosOutcome {
 
 func TestGuardChaosFloodSharesRouterWithConsumer(t *testing.T) {
 	const n = 10
-	out := runGuardChaos(t, n)
+	// Batch 1 is the packet-at-a-time discipline E14 was originally run
+	// under; TestGuardChaosFloodBatch64 repeats the scenario at the batched
+	// default.
+	out := runGuardChaos(t, n, 1)
 
 	// The well-behaved consumer is unharmed: every fetch completes and the
 	// guards never touched its port.
@@ -226,12 +230,58 @@ func TestGuardChaosFloodSharesRouterWithConsumer(t *testing.T) {
 	}
 
 	// Deterministic: an identical run reproduces every counter and time.
-	again := runGuardChaos(t, n)
+	again := runGuardChaos(t, n, 1)
 	if !reflect.DeepEqual(out, again) {
 		t.Fatalf("guard chaos run not deterministic:\n run1: %+v\n run2: %+v", out, again)
 	}
 
 	t.Logf("guard chaos: %d fetches ok; attacker: %d admit-rejected, %d shed, %d PIT-capped; %s",
+		n, out.AttackerRejected, out.Health.ShedLow, out.PortCapHits, out.Health)
+}
+
+// TestGuardChaosFloodBatch64 re-runs the E14 flood-vs-consumer scenario
+// with the batched run-to-completion dataplane at its default burst size:
+// the fairness outcome must survive batching. Control-class traffic still
+// preempts queued bulk (ShedHigh stays zero while the bulk queue sheds),
+// the attacker is contained by the same three guards, every consumer
+// fetch completes, and the run is still deterministic.
+func TestGuardChaosFloodBatch64(t *testing.T) {
+	const n = 10
+	out := runGuardChaos(t, n, 64)
+
+	if out.Stats.Completed != n || len(out.CompletedAt) != n {
+		t.Fatalf("consumer completed %d/%d fetches under batch=64 (dead-lettered %d, pending %d)",
+			out.Stats.Completed, n, out.Stats.DeadLettered, out.Stats.Pending)
+	}
+	if out.ConsumerRejected != 0 {
+		t.Errorf("admission rejected %d consumer packets", out.ConsumerRejected)
+	}
+	if out.AttackerRejected == 0 {
+		t.Error("admission control never rejected the flooding port")
+	}
+	if out.Health.ShedLow == 0 {
+		t.Error("bulk queue never shed under the flood")
+	}
+	if out.Health.ShedHigh != 0 {
+		t.Errorf("control queue shed %d at batch=64 — bulk bursts starved the control class",
+			out.Health.ShedHigh)
+	}
+	if out.PortCapHits == 0 {
+		t.Error("PIT per-port cap never engaged")
+	}
+	if out.ConsumerPending != 0 {
+		t.Errorf("%d consumer PIT entries leaked", out.ConsumerPending)
+	}
+	if out.Quarantined != 1 {
+		t.Fatalf("quarantined %d packets, want 1", out.Quarantined)
+	}
+
+	again := runGuardChaos(t, n, 64)
+	if !reflect.DeepEqual(out, again) {
+		t.Fatalf("batched guard chaos run not deterministic:\n run1: %+v\n run2: %+v", out, again)
+	}
+
+	t.Logf("guard chaos batch=64: %d fetches ok; attacker: %d admit-rejected, %d shed, %d PIT-capped; %s",
 		n, out.AttackerRejected, out.Health.ShedLow, out.PortCapHits, out.Health)
 }
 

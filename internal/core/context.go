@@ -88,6 +88,21 @@ type CryptoState struct {
 	HopIndex uint8    // this router's position in the validation chain
 }
 
+// SampleHint is a pre-made per-packet tracing decision carried on the
+// ExecContext. Batched dataplanes take the 1-in-N sampling decision once
+// per burst (see BurstSampler) and stamp the outcome here, so the
+// PacketRecorder's BeginPacket skips its striped-counter arithmetic for
+// every packet of the burst.
+type SampleHint int8
+
+// Sampling hints. The zero value means "no pre-made decision": the
+// recorder samples per packet as it always has.
+const (
+	SampleAuto  SampleHint = 0  // recorder decides (packet-at-a-time path)
+	SampleForce SampleHint = 1  // burst plan chose this packet; trace it
+	SampleSkip  SampleHint = -1 // burst plan passed over this packet
+)
+
 // ExecContext carries one packet through the engine. Contexts are owned by
 // the caller and reused across packets via Reset, keeping the forwarding
 // path allocation-free.
@@ -137,6 +152,11 @@ type ExecContext struct {
 	// check per executed FN and nothing else.
 	Trace TraceSink
 
+	// Sample is the burst dataplane's pre-made tracing decision for this
+	// packet (see SampleHint). Reset restores SampleAuto; burst callers
+	// stamp their hint after Reset, before Process.
+	Sample SampleHint
+
 	stateBudget int // remaining per-packet state bytes; <0 means unlimited
 }
 
@@ -156,6 +176,7 @@ func (c *ExecContext) Reset(v View, inPort int) {
 	c.UnsupportedKey = 0
 	c.Deadline = time.Time{}
 	c.Trace = nil
+	c.Sample = SampleAuto
 	c.stateBudget = -1
 }
 

@@ -42,6 +42,35 @@ type PacketRecorder interface {
 	EndPacket(ctx *ExecContext)
 }
 
+// BurstSampler is an optional extension of PacketRecorder for batched
+// run-to-completion dataplanes. Instead of paying a striped atomic
+// counter update in BeginPacket for every packet, a forwarder goroutine
+// asks the recorder for a private BurstPlan once and then consults it
+// with plain local arithmetic, charging the shared counters once per
+// burst. Only the outermost recorder installed on an engine may be
+// consulted for burst plans: a wrapping recorder (journey taps) that
+// forwards BeginPacket to an inner recorder must NOT implement
+// BurstSampler, or the hints it honours would silently distort the inner
+// recorder's sampling rate.
+type BurstSampler interface {
+	PacketRecorder
+	// NewBurstPlan returns a plan private to one forwarding goroutine.
+	// Plans are not safe for concurrent use.
+	NewBurstPlan() BurstPlan
+}
+
+// BurstPlan is one forwarder's amortized sampling state. The forwarder
+// brackets each burst with BeginBurst(n) and then calls Hint once per
+// packet, stamping the result on the ExecContext before Process.
+type BurstPlan interface {
+	// BeginBurst accounts a burst of n packets against the recorder's
+	// shared observation counters in one step.
+	BeginBurst(n int)
+	// Hint returns the pre-made decision for the next packet of the
+	// burst: SampleForce selects it for tracing, SampleSkip passes it by.
+	Hint() SampleHint
+}
+
 // TraceSink receives the per-FN execution events of one sampled packet. It
 // is attached to an ExecContext by a PacketRecorder's BeginPacket and
 // cleared by Reset. Step may be called concurrently for FNs inside one
@@ -92,6 +121,11 @@ func (e *Engine) SetRecorder(r Recorder) {
 	e.rec = r
 	e.prec, _ = r.(PacketRecorder)
 }
+
+// Recorder returns the telemetry sink installed via SetRecorder (nil when
+// none). Batched ingress paths use it to discover whether the recorder
+// supports amortized burst sampling (BurstSampler).
+func (e *Engine) Recorder() Recorder { return e.rec }
 
 // Registry returns the engine's current dispatch table.
 func (e *Engine) Registry() *Registry { return e.reg.Load() }

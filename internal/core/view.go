@@ -106,6 +106,28 @@ func (v View) Locations() []byte {
 	return v.b[off : off+v.locLen : off+v.locLen]
 }
 
+// FlowRegion returns the FN-locations bytes of a structurally plausible
+// DIP packet without a full parse, or nil when b is not DIP-shaped (wrong
+// version, truncated header, empty locations). It is the flow-dispatch key
+// region: every address, name, and tag a packet carries lives in its
+// locations, so hashing them collapses the packets of one conversation to
+// one key regardless of which protocol the FN list composes. Unlike
+// ParseView it never allocates (no error values) — it is called on the
+// ingress fast path for every submitted packet.
+func FlowRegion(b []byte) []byte {
+	if len(b) < BasicHeaderSize || b[0] != Version {
+		return nil
+	}
+	fnNum := int(b[2])
+	locLen := int(b[4])<<8 | int(b[5])
+	locLen = locLen >> paramLocShift & paramLocMask
+	off := BasicHeaderSize + FNSize*fnNum
+	if locLen == 0 || off+locLen > len(b) {
+		return nil
+	}
+	return b[off : off+locLen]
+}
+
 // HeaderLen returns the total encoded header length.
 func (v View) HeaderLen() int {
 	return BasicHeaderSize + FNSize*v.fnNum + v.locLen

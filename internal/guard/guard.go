@@ -132,6 +132,37 @@ func (b *TokenBucket) Allow(now time.Duration) bool {
 	return true
 }
 
+// AllowN refills the bucket once at time now and takes up to n tokens,
+// returning how many were granted (all n for an unlimited bucket). One
+// lock round and one refill amortize a whole burst's admission; granting
+// follows the same whole-token rule as Allow, so AllowN(now, n) admits
+// exactly as many packets as n consecutive Allow(now) calls would.
+func (b *TokenBucket) AllowN(now time.Duration, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	if b.rate.unlimited() {
+		return n
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if now > b.last {
+		b.tokens += (now - b.last).Seconds() * b.rate.PerSec
+		if b.tokens > b.rate.Burst {
+			b.tokens = b.rate.Burst
+		}
+		b.last = now
+	}
+	grant := int(b.tokens)
+	if grant > n {
+		grant = n
+	}
+	if grant > 0 {
+		b.tokens -= float64(grant)
+	}
+	return grant
+}
+
 // Policy configures admission control. Zero-valued rates are unlimited, so
 // the zero Policy admits everything.
 type Policy struct {
@@ -186,6 +217,30 @@ func (a *Admission) Admit(inPort int, c Class) bool {
 		return false
 	}
 	return true
+}
+
+// AdmitBurst admits up to n same-class packets arriving on inPort with a
+// single clock read and one refill per bucket, returning how many were
+// admitted. It is the burst-path equivalent of n consecutive Admit calls:
+// the port bucket is charged first and the class bucket only sees what
+// the port granted, mirroring Admit's short-circuit order (a packet the
+// port denies never touches the class bucket, while one the port grants
+// and the class denies has spent its port token, exactly as in Admit).
+// Every rejection is counted against both the port and the class.
+func (a *Admission) AdmitBurst(inPort int, c Class, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	now := a.clock()
+	grant := a.portBucket(inPort).AllowN(now, n)
+	grant = a.class[c].AllowN(now, grant)
+	if rej := n - grant; rej > 0 {
+		a.rejected.Add(int64(rej))
+		a.classRejected[c].Add(int64(rej))
+		ctr, _ := a.portRejected.LoadOrStore(inPort, new(atomic.Int64))
+		ctr.(*atomic.Int64).Add(int64(rej))
+	}
+	return grant
 }
 
 func (a *Admission) portBucket(inPort int) *TokenBucket {

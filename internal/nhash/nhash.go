@@ -40,15 +40,28 @@ func mix64(x uint64) uint64 {
 	return x
 }
 
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
 func fnv1a(s string) uint64 {
-	const (
-		offset = 14695981039346656037
-		prime  = 1099511628211
-	)
-	h := uint64(offset)
+	h := uint64(fnvOffset)
 	for i := 0; i < len(s); i++ {
 		h ^= uint64(s[i])
-		h *= prime
+		h *= fnvPrime
+	}
+	return h
+}
+
+// Bytes returns the FNV-1a hash of b: the byte-slice flavor of Of for
+// hashing wire regions (flow-dispatch keys over a packet's FN locations)
+// without a string conversion or any allocation. Bytes(b) == Of(string(b)).
+func Bytes(b []byte) uint64 {
+	h := uint64(fnvOffset)
+	for i := 0; i < len(b); i++ {
+		h ^= uint64(b[i])
+		h *= fnvPrime
 	}
 	return h
 }

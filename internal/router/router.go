@@ -116,6 +116,17 @@ func (r *Router) NumPorts() int { return len(r.ports) }
 // mutated in place (hop limit, FN operand updates) and handed to egress
 // ports; it must not be reused by the caller until HandlePacket returns.
 func (r *Router) HandlePacket(pkt []byte, inPort int) {
+	ctx := ctxPool.Get().(*core.ExecContext)
+	defer releaseCtx(ctx)
+	r.handlePacket(ctx, pkt, inPort, core.SampleAuto)
+}
+
+// handlePacket is the context-reusing core of HandlePacket. Burst
+// dataplanes (Ingress.runBurst) call it once per packet with a context
+// they hold for the whole burst — amortizing the pool round-trip — and
+// with the burst plan's pre-made sampling hint; everyone else goes
+// through HandlePacket and pays one pool Get/Put per packet.
+func (r *Router) handlePacket(ctx *core.ExecContext, pkt []byte, inPort int, hint core.SampleHint) {
 	v, err := core.ParseView(pkt)
 	if err != nil {
 		r.countDrop(core.DropMalformed)
@@ -125,9 +136,8 @@ func (r *Router) HandlePacket(pkt []byte, inPort int) {
 		r.countDrop(core.DropHopLimit)
 		return
 	}
-	ctx := ctxPool.Get().(*core.ExecContext)
-	defer releaseCtx(ctx)
 	ctx.Reset(v, inPort)
+	ctx.Sample = hint
 	r.engine.Process(ctx)
 	if r.cfg.Metrics != nil {
 		r.cfg.Metrics.CountVerdict(ctx.Verdict)

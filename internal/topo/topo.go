@@ -79,6 +79,10 @@ type routerNode struct {
 	r       *router.Router
 	metrics *telemetry.Metrics
 	ports   int
+	// in is the batched ingress when the router was declared with batch=N:
+	// links Submit into it and schedule a Pump, so queue service runs
+	// burst-shaped but still in deterministic virtual-time order.
+	in *router.Ingress
 }
 
 type hostNode struct {
@@ -182,10 +186,22 @@ func (t *Topology) addRouter(args []string) error {
 		FIB128:  fib.New(),
 		NameFIB: fib.New(),
 	}
-	var cacheCap, csShards, pitPerPort, pitShards int
+	var cacheCap, csShards, pitPerPort, pitShards, batch, queue int
 	for _, opt := range args[1:] {
 		k, v, _ := strings.Cut(opt, "=")
 		switch k {
+		case "batch":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				return fmt.Errorf("batch wants a positive burst size, got %q", v)
+			}
+			batch = n
+		case "queue":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				return fmt.Errorf("queue wants a positive depth, got %q", v)
+			}
+			queue = n
 		case "cache":
 			n, err := strconv.Atoi(v)
 			if err != nil {
@@ -247,11 +263,29 @@ func (t *Topology) addRouter(args []string) error {
 			cfg.ContentStore = cs.New[uint32](cacheCap)
 		}
 	}
+	if queue > 0 && batch == 0 {
+		return fmt.Errorf("queue= only applies to batched routers; add batch=N")
+	}
 	rn := &routerNode{name: name, cfg: cfg, metrics: &telemetry.Metrics{}}
 	rn.r = router.New(ops.NewRouterRegistry(cfg), router.Config{
 		Name:    name,
 		Metrics: rn.metrics,
 	})
+	if batch > 0 {
+		if queue == 0 {
+			queue = 256
+		}
+		// Pump mode keeps the simulation single-goroutine and deterministic;
+		// the burst discipline (collect up to batch, run to completion) is
+		// exactly what the worker forwarders execute.
+		rn.in = rn.r.ServeGuarded(router.ServeConfig{
+			Workers:   0,
+			Batch:     batch,
+			HighDepth: queue,
+			LowDepth:  queue,
+			Clock:     t.sim.Now,
+		})
+	}
 	t.routers[name] = rn
 	return nil
 }
@@ -397,7 +431,16 @@ func (t *Topology) addLink(args []string) error {
 			h := t.hosts[name]
 			return netsim.ReceiverFunc(func(pkt []byte, _ int) { h.receive(pkt) })
 		}
-		r := t.routers[name].r
+		rn := t.routers[name]
+		if rn.in != nil {
+			in, sim := rn.in, t.sim
+			return netsim.ReceiverFunc(func(pkt []byte, p int) {
+				if in.Submit(pkt, p) {
+					sim.Schedule(0, func() { in.Pump() })
+				}
+			})
+		}
+		r := rn.r
 		return netsim.ReceiverFunc(func(pkt []byte, p int) { r.HandlePacket(pkt, p) })
 	}
 	// a → b direction.

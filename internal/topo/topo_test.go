@@ -124,6 +124,39 @@ router R cache=4 secret=00112233445566778899aabbccddeeff hopindex=2 requirepass
 	}
 }
 
+// TestBatchedRouterScenario runs the NDN demo with the routers declared
+// batched: results must be identical to the unbatched run (the burst
+// dataplane changes scheduling granularity, not outcomes), and the queue=
+// option must be rejected without batch=.
+func TestBatchedRouterScenario(t *testing.T) {
+	batched := strings.Replace(demoTopo, "router R1 cache=16", "router R1 cache=16 batch=64 queue=128", 1)
+	batched = strings.Replace(batched, "router R2\n", "router R2 batch=8\n", 1)
+	tp, err := Parse(strings.NewReader(batched))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.routers["R1"].in == nil || tp.routers["R2"].in == nil {
+		t.Fatal("batch= did not install an ingress")
+	}
+	deliveries := tp.Run()
+	var dataToC []Delivery
+	for _, d := range deliveries {
+		if d.Host == "C" && d.Profile == "data" {
+			dataToC = append(dataToC, d)
+		}
+	}
+	if len(dataToC) != 2 {
+		t.Fatalf("consumer data deliveries under batching: %+v", deliveries)
+	}
+	if gap := dataToC[1].At - 100*time.Millisecond; gap > 3*time.Millisecond {
+		t.Errorf("cache not used under batching: second delivery %v after issue", gap)
+	}
+
+	if _, err := Parse(strings.NewReader("router R queue=64\n")); err == nil {
+		t.Error("queue= without batch= accepted")
+	}
+}
+
 func TestTokenize(t *testing.T) {
 	got := tokenize(`produce P aa "two words"  tail`)
 	want := []string{"produce", "P", "aa", "two words", "tail"}

@@ -196,14 +196,25 @@ func (r *Recorder) RecordDrop(reason core.DropReason) {
 
 // BeginPacket implements core.PacketRecorder: it decides whether this
 // packet is sampled and, if so, claims a ring slot and attaches it to the
-// context. Allocation-free on both paths.
+// context. Allocation-free on both paths. A burst dataplane that already
+// took the decision (core.BurstPlan) stamps it on ctx.Sample: Skip returns
+// immediately and Force claims a slot without touching the counters — the
+// plan accounted the whole burst in BeginBurst.
 func (r *Recorder) BeginPacket(ctx *core.ExecContext) {
-	// Stripe by context address: pooled contexts are worker-stable, so this
-	// approximates a per-CPU counter without runtime hooks. The conversion
-	// is used purely as an integer hash; the pointer is never reconstructed.
-	s := uintptr(unsafe.Pointer(ctx)) >> 4 & (stripes - 1)
-	if r.counter[s].n.Add(1)%r.every != 0 {
+	switch ctx.Sample {
+	case core.SampleSkip:
 		return
+	case core.SampleForce:
+		// decision and counter accounting already done by the burst plan
+	default:
+		// Stripe by context address: pooled contexts are worker-stable, so
+		// this approximates a per-CPU counter without runtime hooks. The
+		// conversion is used purely as an integer hash; the pointer is never
+		// reconstructed.
+		s := uintptr(unsafe.Pointer(ctx)) >> 4 & (stripes - 1)
+		if r.counter[s].n.Add(1)%r.every != 0 {
+			return
+		}
 	}
 	seq := r.seq.Add(1) - 1
 	sl := &r.slots[seq&r.mask]
@@ -242,6 +253,46 @@ func (r *Recorder) EndPacket(ctx *core.ExecContext) {
 		sl.rec.Egress[i] = int32(p)
 	}
 	sl.ver.Add(1) // even: stable
+}
+
+// NewBurstPlan implements core.BurstSampler: the returned plan lets one
+// forwarding goroutine take the 1-in-every decision with plain local
+// arithmetic, charging the shared stripe counters once per burst instead
+// of once per packet. The plan preserves the exact sampling rate — every
+// forwarder traces precisely its every-th packet — it only amortizes the
+// accounting.
+func (r *Recorder) NewBurstPlan() core.BurstPlan {
+	return &burstPlan{r: r, countdown: r.every}
+}
+
+// burstPlan is one forwarder's private sampling state. Not safe for
+// concurrent use (by contract each forwarder owns its plan).
+type burstPlan struct {
+	r         *Recorder
+	countdown uint64
+}
+
+// BeginBurst accounts n observed packets against one stripe in a single
+// atomic add, keeping Seen() monotone and rate-accurate. The stripe is
+// chosen by the plan's address — stable for the plan's lifetime, so each
+// forwarder keeps hitting its own cache line.
+func (p *burstPlan) BeginBurst(n int) {
+	if n <= 0 {
+		return
+	}
+	s := uintptr(unsafe.Pointer(p)) >> 4 & (stripes - 1)
+	p.r.counter[s].n.Add(uint64(n))
+}
+
+// Hint returns the pre-made decision for the next packet: SampleForce on
+// every every-th packet this forwarder processes, SampleSkip otherwise.
+func (p *burstPlan) Hint() core.SampleHint {
+	p.countdown--
+	if p.countdown == 0 {
+		p.countdown = p.r.every
+		return core.SampleForce
+	}
+	return core.SampleSkip
 }
 
 // Sampled returns how many packets have been traced so far.

@@ -1,16 +1,20 @@
 #!/bin/sh
 # benchguard: fail when the current benchmark records regress against the
 # previous PR's baseline. Compares ns_per_op for every benchmark name both
-# files share (the journey-era BENCH_5.json overlaps BENCH_3.json on the
+# files share (the burst-era BENCH_6.json overlaps BENCH_5.json on the
 # fig2/ forwarding rows and the fiblookup/ ablation) and exits nonzero when
-# any hot-path row slows down by more than the tolerance.
+# any hot-path row slows down by more than the tolerance. Additionally
+# gates the multicore burst experiment within the new file: the batched
+# dataplane must sustain at least MINSPEED x the batch=1 packet rate at
+# the highest GOMAXPROCS measured.
 #
-# Usage: scripts/benchguard.sh [new.json] [old.json] [tolerance-%]
+# Usage: scripts/benchguard.sh [new.json] [old.json] [tolerance-%] [min-speedup]
 set -eu
 
-NEW=${1:-BENCH_5.json}
-OLD=${2:-BENCH_3.json}
+NEW=${1:-BENCH_6.json}
+OLD=${2:-BENCH_5.json}
 TOL=${3:-15}
+MINSPEED=${4:-1.5}
 
 [ -f "$NEW" ] || { echo "benchguard: missing $NEW (run: go run ./cmd/dipbench -json $NEW)"; exit 1; }
 [ -f "$OLD" ] || { echo "benchguard: missing baseline $OLD"; exit 1; }
@@ -49,3 +53,24 @@ END {
 	if (bad != "") { print bad; exit 1 }
 	printf "benchguard: %d hot-path rows within %s%%\n", n, tol
 }'
+
+# Gate the batched dataplane's amortization claim (E18): at the highest
+# GOMAXPROCS in the burst/ records, batch=64 must be at least MINSPEED
+# times faster per packet than batch=1. Skipped when the new file predates
+# the burst experiment (no burst/ rows).
+python3 -c '
+import json, sys
+new, minspeed = sys.argv[1], float(sys.argv[2])
+rows = {r["name"]: r["ns_per_op"] for r in json.load(open(new))
+        if r["name"].startswith("burst/")}
+if not rows:
+    print("benchguard: no burst/ records in %s; skipping speedup gate" % new)
+    sys.exit(0)
+gmps = sorted({int(n.rsplit("gmp", 1)[1]) for n in rows})
+top = gmps[-1]
+b1, b64 = rows["burst/batch1/gmp%d" % top], rows["burst/batch64/gmp%d" % top]
+speed = b1 / b64
+print("benchguard: burst gmp%d  batch1 %.0fns / batch64 %.0fns = %.2fx (need >= %.2fx)"
+      % (top, b1, b64, speed, minspeed))
+sys.exit(0 if speed >= minspeed else 1)
+' "$NEW" "$MINSPEED"

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""benchmerge: merge repeated dipbench -json runs into one artifact.
+
+Usage: scripts/benchmerge.py out.json run1.json run2.json [...]
+
+For every benchmark name, keeps the record with the smallest ns_per_op
+across the input runs (benchstat-style min-merging). CPU contention from
+noisy neighbors only ever inflates a row, never deflates it, so the
+per-row minimum across several runs is the best available estimate of
+the uncontended cost. Rows are written in the order the first run
+produced them so diffs against single-run artifacts stay readable.
+"""
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) < 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    out, runs = sys.argv[1], sys.argv[2:]
+    best: dict[str, dict] = {}
+    order: list[str] = []
+    for path in runs:
+        with open(path) as f:
+            records = json.load(f)
+        for rec in records:
+            name = rec["name"]
+            if name not in best:
+                best[name] = rec
+                order.append(name)
+            elif rec["ns_per_op"] < best[name]["ns_per_op"]:
+                best[name] = rec
+    with open(out, "w") as f:
+        json.dump([best[name] for name in order], f, indent=2)
+        f.write("\n")
+    print(f"benchmerge: {len(order)} records from {len(runs)} runs -> {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
