@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race vet fuzz soak bench benchrace metricssmoke journeysmoke burstsmoke benchguard clean
+.PHONY: build test check race vet fuzz soak bench benchrace metricssmoke journeysmoke burstsmoke ccsmoke benchguard clean
 
 build:
 	$(GO) build ./...
@@ -17,9 +17,10 @@ race:
 
 # Full pre-merge gate: static analysis, the race detector, a race-mode smoke
 # of the parallel hot-path benchmarks, a fuzz smoke sweep over every fuzz
-# target, a live scrape of the metrics endpoint, and a smoke of the batched
-# dataplane (ordering/zero-alloc tests plus a short scaling run).
-check: vet race benchrace fuzz metricssmoke journeysmoke burstsmoke
+# target, a live scrape of the metrics endpoint, a smoke of the batched
+# dataplane (ordering/zero-alloc tests plus a short scaling run), and the
+# congestion-control smoke (fleet fairness + chaos acceptance + E19 row).
+check: vet race benchrace fuzz metricssmoke journeysmoke burstsmoke ccsmoke
 
 # Short benchstat-friendly run of the forwarding hot-path benchmarks
 # (compare runs with: make bench > old.txt; ...; make bench > new.txt;
@@ -53,11 +54,15 @@ fuzz:
 # Metrics-endpoint smoke: boot a real diprouter with the observability
 # listener, push traffic through it with diphost (one routable packet, one
 # no-route drop), scrape /metrics, validate the Prometheus text grammar,
-# check the key series exist, and make sure pprof answers.
+# check the key series exist, and make sure pprof answers. Then run a
+# congestion-controlled fetch against the router (whose interests have no
+# NDN route, so they retransmit and dead-letter) and assert the fetcher's
+# own dip_fetch_* series are present and counting.
 METRICS_PORT ?= 17490
+FETCH_METRICS_PORT ?= 17491
 metricssmoke:
 	@set -e; \
-	tmp=$$(mktemp -d); trap 'kill $$pid 2>/dev/null; rm -rf $$tmp' EXIT; \
+	tmp=$$(mktemp -d); trap 'kill $$pid $$fpid 2>/dev/null; rm -rf $$tmp' EXIT; \
 	$(GO) build -o $$tmp/diprouter ./cmd/diprouter; \
 	$(GO) build -o $$tmp/diphost ./cmd/diphost; \
 	$$tmp/diprouter -listen 127.0.0.1:17400 -peer 127.0.0.1:17401 \
@@ -80,7 +85,23 @@ metricssmoke:
 	done; \
 	curl -sf http://127.0.0.1:$(METRICS_PORT)/trace >/dev/null; \
 	curl -sf http://127.0.0.1:$(METRICS_PORT)/debug/pprof/ >/dev/null; \
-	echo "metricssmoke: exposition valid, key series present, pprof live"
+	$$tmp/diphost -mode fetch -name 0xAA000001 -segs 2 -maxretx 2 -init-rto 100ms \
+		-to 127.0.0.1:17400 -listen 127.0.0.1:17402 \
+		-metrics-addr 127.0.0.1:$(FETCH_METRICS_PORT) -linger 10s \
+		>$$tmp/fetch.log 2>&1 & fpid=$$!; \
+	sleep 2; \
+	curl -sf http://127.0.0.1:$(FETCH_METRICS_PORT)/metrics > $$tmp/fetchscrape; \
+	awk '!/^#/ && !/^$$/ && $$0 !~ /^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9.eE+-]+$$/ \
+		{ print "bad exposition line: " $$0; bad=1 } END { exit bad }' $$tmp/fetchscrape; \
+	for s in 'dip_fetch_pending' 'dip_fetch_completed_total' 'dip_fetch_cwnd{' \
+		'dip_fetch_rto_ns' 'dip_fetch_cwnd_cuts_total'; do \
+		grep -q "^$$s" $$tmp/fetchscrape || { echo "missing series $$s"; cat $$tmp/fetchscrape; exit 1; }; \
+	done; \
+	for s in 'dip_fetch_retransmits_total' 'dip_fetch_deadletter_total'; do \
+		grep "^$$s" $$tmp/fetchscrape | awk '{ exit !($$NF > 0) }' \
+			|| { echo "series $$s never counted"; cat $$tmp/fetchscrape; exit 1; }; \
+	done; \
+	echo "metricssmoke: exposition valid, key series present, fetch counters live, pprof live"
 
 # Journey-stitching smoke: run the canned 3-hop scenario with journey
 # tracing on and check the collector stitched at least one complete journey
@@ -103,10 +124,21 @@ burstsmoke:
 	echo "$$out"; echo "$$out" | grep -q 'speedup' \
 		|| { echo "burstsmoke: scaling run produced no speedup line"; exit 1; }
 
+# Congestion-control smoke: the fleet smoke (every object completes, zero
+# dead letters, Jain >= 0.9), the chaos acceptance tests (adaptive beats
+# blind through a seeded loss window; journeys attribute the latency;
+# flight recorder captures cwnd cuts; deterministic), and one E19 fleet
+# run, checking the adaptive row reports goodput.
+ccsmoke:
+	$(GO) test -run 'TestFleetCCSmoke|TestFleetAdaptiveBeatsBlind|TestCCChaos' ./internal/workload/ .
+	@set -e; out=$$($(GO) run ./cmd/dipbench -experiment fetchcc); \
+	echo "$$out"; echo "$$out" | grep -q '^  aimd .*bps' \
+		|| { echo "ccsmoke: E19 run produced no aimd goodput row"; exit 1; }
+
 # Hot-path benchmark regression gate: compare this PR's dipbench records
 # against the previous baseline (see scripts/benchguard.sh for knobs).
 benchguard:
-	sh scripts/benchguard.sh BENCH_6.json BENCH_5.json 15
+	sh scripts/benchguard.sh BENCH_7.json BENCH_6.json 15
 
 # Long-running soak and heavy-chaos tests are skipped under -short; this
 # target runs everything, including them.

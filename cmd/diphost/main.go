@@ -9,11 +9,22 @@
 //	diphost -mode send -proto interest -name 0xAA000001 -to 127.0.0.1:7000
 //	diphost -mode send -proto data -name 0xAA000001 -payload "bits" -to ...
 //	diphost -mode recv -listen 127.0.0.1:7001 [-count 1]
+//	diphost -mode fetch -name 0xAA000001 -segs 8 -to 127.0.0.1:7000 \
+//	        -listen 127.0.0.1:7002 [-maxretx 4] [-algo aimd] [-linger 5s]
 //
 // recv prints each received packet's disposition (delivered, rejected,
 // FN-unsupported) and payload. With -metrics-addr it also serves the
 // host-side telemetry (receive verdicts, host-FN latency histograms) as
 // Prometheus text on /metrics plus Go profiling under /debug/pprof/.
+//
+// fetch runs the congestion-controlled segmented fetcher against a live
+// router: it pipelines interests for -segs segments of -name under an
+// adaptive window (AIMD by default, -algo cubic|blind to switch),
+// retransmits on its RTT-derived RTO, and reassembles the object from
+// whatever data comes back on -listen. With -metrics-addr the fetcher's
+// live state (dip_fetch_* counters, cwnd, sRTT, RTO) is scrapable while
+// it runs; -linger keeps the process serving metrics after the fetch
+// resolves so a scraper can observe the final counters.
 package main
 
 import (
@@ -24,22 +35,28 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"dip"
 )
 
 func main() {
 	var (
-		mode    = flag.String("mode", "send", "send | recv")
+		mode    = flag.String("mode", "send", "send | recv | fetch")
 		proto   = flag.String("proto", "ipv4", "ipv4 | ipv6 | interest | data")
 		src     = flag.String("src", "10.0.0.1", "source address")
 		dst     = flag.String("dst", "10.0.0.2", "destination address")
 		name    = flag.String("name", "0xAA000001", "32-bit content name (hex)")
 		payload = flag.String("payload", "", "payload string")
-		to      = flag.String("to", "", "router UDP address (send mode)")
-		listen  = flag.String("listen", "", "UDP address to bind (recv mode)")
+		to      = flag.String("to", "", "router UDP address (send/fetch mode)")
+		listen  = flag.String("listen", "", "UDP address to bind (recv/fetch mode)")
 		count   = flag.Int("count", 0, "packets to receive before exiting (0 = forever)")
-		metrics = flag.String("metrics-addr", "", "HTTP address for /metrics and /debug/pprof (recv mode, empty = off)")
+		metrics = flag.String("metrics-addr", "", "HTTP address for /metrics and /debug/pprof (recv/fetch mode, empty = off)")
+		segs    = flag.Int("segs", 8, "segments to fetch (fetch mode)")
+		maxRetx = flag.Int("maxretx", 0, "retransmission cap per segment (fetch mode, 0 = default)")
+		algo    = flag.String("algo", "aimd", "congestion algorithm: aimd | cubic | blind (fetch mode)")
+		initRTO = flag.Duration("init-rto", 0, "initial retransmission timeout (fetch mode, 0 = default)")
+		linger  = flag.Duration("linger", 0, "keep serving metrics this long after the fetch resolves")
 	)
 	flag.Parse()
 
@@ -50,6 +67,10 @@ func main() {
 		}
 	case "recv":
 		if err := recv(*listen, *count, *metrics); err != nil {
+			log.Fatal(err)
+		}
+	case "fetch":
+		if err := fetch(*name, *segs, *maxRetx, *algo, *initRTO, *to, *listen, *metrics, *linger); err != nil {
 			log.Fatal(err)
 		}
 	default:
@@ -164,6 +185,102 @@ func recv(listen string, count int, metricsAddr string) error {
 		fmt.Println()
 	}
 	return nil
+}
+
+// fetch runs the congestion-controlled segmented fetcher over live UDP:
+// interests go to the router at to, data comes back on listen, timers run
+// on the wall clock.
+func fetch(name string, segs, maxRetx int, algo string, initRTO time.Duration,
+	to, listen, metricsAddr string, linger time.Duration) error {
+	if to == "" || listen == "" {
+		return fmt.Errorf("fetch mode needs -to and -listen")
+	}
+	base, err := parseName(name)
+	if err != nil {
+		return err
+	}
+	var ccAlgo dip.CCAlgo
+	switch algo {
+	case "aimd":
+		ccAlgo = dip.CCAlgoAIMD
+	case "cubic":
+		ccAlgo = dip.CCAlgoCUBIC
+	case "blind":
+		ccAlgo = dip.CCAlgoBlind
+	default:
+		return fmt.Errorf("unknown -algo %q", algo)
+	}
+
+	laddr, err := net.ResolveUDPAddr("udp", listen)
+	if err != nil {
+		return err
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	out, err := net.Dial("udp", to)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+
+	met := &dip.Metrics{}
+	f := dip.NewSegFetcher(dip.NewWallClock(), func(pkt []byte) {
+		if _, err := out.Write(pkt); err != nil {
+			log.Printf("send: %v", err)
+		}
+	}, dip.SegConfig{
+		CC:      dip.CCConfig{Algo: ccAlgo, RTT: dip.RTTConfig{InitRTO: initRTO}},
+		MaxRetx: maxRetx,
+		Metrics: met,
+	})
+	if metricsAddr != "" {
+		bound, closeFn, err := dip.ServeMetrics(metricsAddr, dip.MetricsSource{
+			Node:    listen,
+			Metrics: met,
+			Fetch:   func() dip.FetchStats { return f.Stats().FetchStats() },
+			FetchCC: f.CC,
+		})
+		if err != nil {
+			return fmt.Errorf("-metrics-addr: %w", err)
+		}
+		defer closeFn()
+		log.Printf("metrics on http://%v/metrics", bound)
+	}
+
+	done := make(chan error, 1)
+	f.OnObject = func(b uint32, data []byte) {
+		snap := f.CC()
+		log.Printf("object %#x complete: %d segments, %d bytes (cwnd=%d srtt=%v rto=%v retx=%d)",
+			b, segs, len(data), snap.Cwnd, snap.SRTT, snap.RTO, f.Stats().Retransmits)
+		done <- nil
+	}
+	f.OnObjectFail = func(b uint32) {
+		done <- fmt.Errorf("object %#x dead-lettered after %d retransmissions", b, f.Stats().Retransmits)
+	}
+
+	go func() {
+		buf := make([]byte, 65535)
+		for {
+			n, _, err := conn.ReadFromUDP(buf)
+			if err != nil {
+				return
+			}
+			f.HandleData(buf[:n])
+		}
+	}()
+
+	if err := f.FetchObject(base, segs); err != nil {
+		return err
+	}
+	ferr := <-done
+	if linger > 0 {
+		log.Printf("lingering %v for scrapes", linger)
+		time.Sleep(linger)
+	}
+	return ferr
 }
 
 // rxVerdict maps a host receive outcome onto the verdict counters so the

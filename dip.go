@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"dip/internal/bootstrap"
+	"dip/internal/cc"
 	"dip/internal/core"
 	"dip/internal/cs"
 	"dip/internal/drkey"
@@ -56,6 +57,7 @@ import (
 	"dip/internal/router"
 	"dip/internal/telemetry"
 	"dip/internal/trace"
+	"dip/internal/workload"
 	"dip/internal/xia"
 )
 
@@ -185,6 +187,39 @@ type (
 	FetchConfig = host.FetchConfig
 	// FetchStats snapshots a Fetcher's recovery counters.
 	FetchStats = host.FetchStats
+	// SegFetcher pipelines congestion-controlled multi-segment object
+	// fetches: up to cwnd interests in flight, in-order reassembly,
+	// adaptive RTO, dead-lettering at the retransmission cap.
+	SegFetcher = host.SegFetcher
+	// SegConfig tunes a SegFetcher (congestion control + retx cap).
+	SegConfig = host.SegConfig
+	// SegStats snapshots a SegFetcher's counters.
+	SegStats = host.SegStats
+	// Reassembly is the first-write-wins in-order segment buffer behind
+	// SegFetcher.
+	Reassembly = host.Reassembly
+	// CCConfig configures a fetch flow's congestion controller.
+	CCConfig = cc.Config
+	// CCAlgo selects the window algorithm (AIMD, CUBIC, or the blind
+	// fixed-window baseline).
+	CCAlgo = cc.Algo
+	// CCFlow is one flow's congestion state: Jacobson/Karn RTT estimation
+	// plus an AIMD/CUBIC window.
+	CCFlow = cc.Flow
+	// CCSnapshot is a flow controller state snapshot (cwnd, sRTT, RTO…).
+	CCSnapshot = cc.Snapshot
+	// RTTConfig bounds the adaptive RTO estimator (RFC 6298 shape).
+	RTTConfig = cc.RTTConfig
+	// FleetConfig shapes a consumer-fleet run (population, catalog,
+	// bottleneck, phases, seed).
+	FleetConfig = workload.FleetConfig
+	// Fleet is one constructed consumer-fleet scenario.
+	Fleet = workload.Fleet
+	// FleetResult aggregates a fleet run (Jain index, goodput,
+	// completion percentiles, recovery counters).
+	FleetResult = workload.FleetResult
+	// ConsumerStats is one fleet consumer's outcome.
+	ConsumerStats = workload.ConsumerStats
 	// Ingress is a router's guarded queue-and-workers front end.
 	Ingress = router.Ingress
 	// ServeConfig tunes the ingress guard layer (admission control,
@@ -429,6 +464,41 @@ func ServeMetrics(addr string, src MetricsSource) (net.Addr, func() error, error
 func NewFetcher(clock host.Clock, send func(pkt []byte), cfg FetchConfig) *Fetcher {
 	return host.NewFetcher(clock, send, cfg)
 }
+
+// Congestion-window algorithms for CCConfig.Algo.
+const (
+	// CCAlgoAIMD is Reno-style slow start + additive increase,
+	// multiplicative decrease.
+	CCAlgoAIMD = cc.AlgoAIMD
+	// CCAlgoCUBIC grows along the RFC 8312 cubic curve.
+	CCAlgoCUBIC = cc.AlgoCUBIC
+	// CCAlgoBlind is the fixed-window, fixed-RTO baseline (no adaptation).
+	CCAlgoBlind = cc.AlgoBlind
+)
+
+// NewSegFetcher builds a congestion-controlled multi-segment fetcher
+// sending interests through send, with timers on clock (netsim Simulator
+// for simulations, a wall-clock shim for live hosts — see NewWallClock).
+func NewSegFetcher(clock host.Clock, send func(pkt []byte), cfg SegConfig) *SegFetcher {
+	return host.NewSegFetcher(clock, send, cfg)
+}
+
+// SegName is the content name of object base's segment seg (segments are
+// consecutive names: base, base+1, …).
+func SegName(base uint32, seg int) uint32 { return host.SegName(base, seg) }
+
+// NewWallClock adapts real time onto the host.Clock interface fetchers
+// arm timers on: Now is time since construction, Schedule is
+// time.AfterFunc. Use it to run a SegFetcher against live sockets.
+func NewWallClock() host.Clock { return host.NewWallClock() }
+
+// NewFleet wires a consumer-fleet scenario (router, producer behind a
+// shared bottleneck, consumer population) under netsim virtual time.
+func NewFleet(cfg FleetConfig) (*Fleet, error) { return workload.NewFleet(cfg) }
+
+// JainIndex is Jain's fairness index over per-consumer shares: 1 when all
+// are equal, →1/n under starvation.
+func JainIndex(xs []float64) float64 { return workload.JainIndex(xs) }
 
 // InterestName extracts the 32-bit content name from a wire-format NDN
 // interest (F_FIB), reporting ok=false for any other or malformed packet.

@@ -1,0 +1,160 @@
+package cc
+
+import "time"
+
+// Config tunes one flow's controller. Zero values select the defaults
+// noted on each field.
+type Config struct {
+	// Algo selects the window discipline (default AlgoAIMD).
+	Algo Algo
+	// InitCwnd is the initial congestion window in segments (default 2).
+	InitCwnd int
+	// MaxCwnd caps the window (default 256).
+	MaxCwnd int
+	// FastConvergence enables CUBIC's shrinking-wMax heuristic for flows
+	// competing on a shrinking bottleneck (default off; AlgoCUBIC only).
+	FastConvergence bool
+	// RTT bounds the adaptive timeout estimator. For AlgoBlind the
+	// estimator still runs (so telemetry shows sRTT) but the timeout is
+	// always RTT.InitRTO with per-flow exponential backoff — the blind
+	// fixed-timeout baseline.
+	RTT RTTConfig
+	// CutInterval suppresses repeated multiplicative decreases within one
+	// loss event: after a cut, further timeouts within CutInterval (or,
+	// when zero, within the current sRTT — falling back to RTO before any
+	// sample) back off the timer but do not cut again. One congestion
+	// event, one decrease, exactly as TCP treats a loss burst within one
+	// window.
+	CutInterval time.Duration
+}
+
+func (c *Config) fill() {
+	if c.InitCwnd == 0 {
+		c.InitCwnd = 2
+	}
+	if c.MaxCwnd == 0 {
+		c.MaxCwnd = 256
+	}
+	if c.MaxCwnd < c.InitCwnd {
+		c.MaxCwnd = c.InitCwnd
+	}
+	c.RTT.fill()
+}
+
+// Snapshot is one flow's controller state, for telemetry export and the
+// journey/flight-recorder surfaces.
+type Snapshot struct {
+	Algo     Algo
+	Cwnd     int
+	CwndF    float64
+	SSThresh float64
+	SRTT     time.Duration
+	RTTVar   time.Duration
+	RTO      time.Duration
+	Cuts     int64
+	Samples  int64
+}
+
+// Flow is one consumer→producer path's congestion state: an RTT estimator
+// plus a congestion window. It is not internally locked — the fetcher that
+// owns it already serializes (netsim runs single-goroutine; SegFetcher
+// locks around it) — and none of its methods allocate.
+type Flow struct {
+	cfg Config
+	rtt RTTEstimator
+	win window
+	// lastCut gates decrease-once-per-event (see Config.CutInterval).
+	lastCut time.Duration
+	everCut bool
+}
+
+// NewFlow builds a flow controller.
+func NewFlow(cfg Config) *Flow {
+	f := &Flow{}
+	f.Init(cfg)
+	return f
+}
+
+// Init (re)initializes f in place — fleets embed Flows by value to keep
+// tens of thousands of consumers allocation-flat.
+func (f *Flow) Init(cfg Config) {
+	cfg.fill()
+	*f = Flow{cfg: cfg}
+	f.rtt = *NewRTTEstimator(cfg.RTT)
+	f.win.init(cfg.Algo, float64(cfg.InitCwnd), float64(cfg.MaxCwnd), cfg.FastConvergence)
+}
+
+// Cwnd returns the integer window: how many segments may be in flight.
+func (f *Flow) Cwnd() int {
+	c := int(f.win.cwnd)
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// RTO returns the current retransmission timeout: adaptive for
+// AIMD/CUBIC, the fixed InitRTO (with Karn backoff) for AlgoBlind.
+func (f *Flow) RTO() time.Duration {
+	if f.cfg.Algo == AlgoBlind {
+		// The estimator still tracks sRTT for observability, but the
+		// timeout ignores it: clamp-then-shift exactly as the adaptive
+		// path does, so blind backoff cannot overflow either.
+		e := RTTEstimator{cfg: f.rtt.cfg, backoff: f.rtt.backoff}
+		return e.RTO()
+	}
+	return f.rtt.RTO()
+}
+
+// OnSatisfy folds in one satisfied segment at virtual time now. rtt is
+// the measured round trip, or ≤ 0 when the sample must be discarded under
+// Karn's rule (the segment was ever retransmitted). The window grows on
+// every satisfy; the estimator only on valid samples.
+func (f *Flow) OnSatisfy(now time.Duration, rtt time.Duration) {
+	if rtt > 0 {
+		f.rtt.Sample(rtt)
+	}
+	f.win.increase(now, f.rtt.SRTT())
+}
+
+// OnTimeout reacts to one segment's retransmission timer firing at
+// virtual time now: the RTO backs off (Karn), and — at most once per
+// congestion event — the window is cut. It reports whether this timeout
+// cut the window, so callers can count multiplicative-decrease events.
+func (f *Flow) OnTimeout(now time.Duration) (cut bool) {
+	f.rtt.Backoff()
+	if f.cfg.Algo == AlgoBlind {
+		return false
+	}
+	guard := f.cfg.CutInterval
+	if guard == 0 {
+		guard = f.rtt.SRTT()
+		if guard == 0 {
+			guard = f.rtt.RTO()
+		}
+	}
+	if f.everCut && now-f.lastCut < guard {
+		return false
+	}
+	if f.win.decrease(now) {
+		f.lastCut = now
+		f.everCut = true
+		return true
+	}
+	return false
+}
+
+// Snapshot captures the controller state.
+func (f *Flow) Snapshot() Snapshot {
+	return Snapshot{
+		Algo:     f.cfg.Algo,
+		Cwnd:     f.Cwnd(),
+		CwndF:    f.win.cwnd,
+		SSThresh: f.win.ssthresh,
+		SRTT:     f.rtt.SRTT(),
+		RTTVar:   f.rtt.RTTVar(),
+		RTO:      f.RTO(),
+		Cuts:     f.win.cuts,
+		Samples:  f.rtt.Samples(),
+	}
+}

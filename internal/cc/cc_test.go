@@ -1,0 +1,164 @@
+package cc
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAIMDSlowStartThenAdditive(t *testing.T) {
+	f := NewFlow(Config{Algo: AlgoAIMD, InitCwnd: 2, MaxCwnd: 64})
+	now := time.Duration(0)
+	rtt := 10 * time.Millisecond
+
+	// Slow start: exponential per-RTT growth realized as +1 per satisfy.
+	for i := 0; i < 10; i++ {
+		f.OnSatisfy(now, rtt)
+		now += time.Millisecond
+	}
+	if got := f.Cwnd(); got != 12 {
+		t.Fatalf("slow-start cwnd = %d, want 12", got)
+	}
+
+	// A timeout cuts multiplicatively and exits slow start.
+	if !f.OnTimeout(now) {
+		t.Fatal("first timeout did not cut the window")
+	}
+	if got := f.Cwnd(); got != 6 {
+		t.Fatalf("post-cut cwnd = %d, want 6", got)
+	}
+
+	// Congestion avoidance: ~1/cwnd per satisfy — one full window of
+	// satisfies grows the window by about one segment.
+	before := f.Snapshot().CwndF
+	for i := 0; i < f.Cwnd(); i++ {
+		f.OnSatisfy(now, rtt)
+		now += time.Millisecond
+	}
+	after := f.Snapshot().CwndF
+	if grow := after - before; grow < 0.8 || grow > 1.3 {
+		t.Fatalf("one window of satisfies grew cwnd by %.2f, want ≈1", grow)
+	}
+}
+
+func TestCutOncePerCongestionEvent(t *testing.T) {
+	f := NewFlow(Config{Algo: AlgoAIMD, InitCwnd: 32, MaxCwnd: 64,
+		CutInterval: 50 * time.Millisecond})
+	now := 100 * time.Millisecond
+	f.OnSatisfy(now, 10*time.Millisecond)
+
+	if !f.OnTimeout(now) {
+		t.Fatal("first timeout should cut")
+	}
+	// A burst of timeouts within the guard interval is one loss event.
+	for i := 0; i < 5; i++ {
+		if f.OnTimeout(now + time.Duration(i)*time.Millisecond) {
+			t.Fatal("timeout inside CutInterval cut again")
+		}
+	}
+	if got := f.Snapshot().Cuts; got != 1 {
+		t.Fatalf("cuts = %d, want 1", got)
+	}
+	// Past the guard: a new event cuts again.
+	if !f.OnTimeout(now + 60*time.Millisecond) {
+		t.Fatal("timeout after CutInterval should cut")
+	}
+}
+
+func TestCubicGrowsTowardAndPastWMax(t *testing.T) {
+	f := NewFlow(Config{Algo: AlgoCUBIC, InitCwnd: 2, MaxCwnd: 1 << 16})
+	rtt := 20 * time.Millisecond
+	now := time.Duration(0)
+
+	// Grow to a plateau, then cut: wMax anchors at the pre-cut window.
+	for f.Cwnd() < 100 {
+		f.OnSatisfy(now, rtt)
+		now += time.Millisecond
+	}
+	f.OnTimeout(now)
+	cutAt := f.Snapshot()
+	if cutAt.Cwnd >= 100 {
+		t.Fatalf("cwnd did not decrease: %d", cutAt.Cwnd)
+	}
+
+	// Drive satisfies over simulated time: the window must recover to the
+	// old maximum and then keep probing beyond it.
+	deadline := now + 30*time.Second
+	for f.Cwnd() <= 110 && now < deadline {
+		f.OnSatisfy(now, rtt)
+		now += 5 * time.Millisecond
+	}
+	if f.Cwnd() <= 110 {
+		t.Fatalf("CUBIC never probed past wMax: cwnd=%d after %v", f.Cwnd(), now)
+	}
+}
+
+func TestCubicFastConvergenceShrinksAnchor(t *testing.T) {
+	mk := func(fast bool) float64 {
+		f := NewFlow(Config{Algo: AlgoCUBIC, InitCwnd: 64, MaxCwnd: 1 << 16,
+			FastConvergence: fast, CutInterval: time.Millisecond})
+		// First cut anchors wMax at 64; second cut arrives before the
+		// window regains it.
+		f.OnTimeout(100 * time.Millisecond)
+		f.OnTimeout(200 * time.Millisecond)
+		return f.win.wMax
+	}
+	if plain, fast := mk(false), mk(true); fast >= plain {
+		t.Fatalf("fast convergence anchor %.1f not below plain %.1f", fast, plain)
+	}
+}
+
+func TestBlindNeverAdaptsButBacksOff(t *testing.T) {
+	f := NewFlow(Config{Algo: AlgoBlind, InitCwnd: 16, MaxCwnd: 16,
+		RTT: RTTConfig{InitRTO: 50 * time.Millisecond, MinRTO: time.Millisecond,
+			MaxRTO: time.Second}})
+	now := time.Duration(0)
+	for i := 0; i < 100; i++ {
+		f.OnSatisfy(now, 5*time.Millisecond)
+		now += time.Millisecond
+	}
+	if got := f.Cwnd(); got != 16 {
+		t.Fatalf("blind window moved: %d", got)
+	}
+	// RTO stays at the fixed initial value despite 5ms measured RTTs...
+	if got := f.RTO(); got != 50*time.Millisecond {
+		t.Fatalf("blind RTO = %v, want fixed 50ms", got)
+	}
+	// ...timeouts back it off exponentially without cutting the window...
+	if f.OnTimeout(now) {
+		t.Fatal("blind mode cut the window")
+	}
+	if got := f.RTO(); got != 100*time.Millisecond {
+		t.Fatalf("blind backed-off RTO = %v, want 100ms", got)
+	}
+	// ...and the estimator still tracked sRTT for observability.
+	if got := f.Snapshot().SRTT; got != 5*time.Millisecond {
+		t.Fatalf("blind sRTT = %v, want 5ms", got)
+	}
+	if got := f.Cwnd(); got != 16 {
+		t.Fatalf("blind window moved after timeout: %d", got)
+	}
+}
+
+// TestZeroAllocSatisfyPath pins the acceptance criterion: the per-satisfy
+// controller update (and the timeout path) must be ≤ 1 alloc amortized —
+// in fact zero.
+func TestZeroAllocSatisfyPath(t *testing.T) {
+	for _, algo := range []Algo{AlgoAIMD, AlgoCUBIC, AlgoBlind} {
+		f := NewFlow(Config{Algo: algo, InitCwnd: 2, MaxCwnd: 1 << 20})
+		now := time.Duration(0)
+		if n := testing.AllocsPerRun(1000, func() {
+			now += time.Millisecond
+			f.OnSatisfy(now, 10*time.Millisecond)
+		}); n != 0 {
+			t.Errorf("%v OnSatisfy allocates %.2f/op, want 0", algo, n)
+		}
+		if n := testing.AllocsPerRun(1000, func() {
+			now += 100 * time.Millisecond
+			f.OnTimeout(now)
+			_ = f.RTO()
+			_ = f.Cwnd()
+		}); n != 0 {
+			t.Errorf("%v OnTimeout+RTO allocates %.2f/op, want 0", algo, n)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+// Package cc is the per-flow congestion controller behind the host's
+// segmented fetcher: Jacobson/Karn round-trip estimation with an adaptive
+// retransmission timeout (RFC 6298), and a congestion window that grows
+// additively on satisfaction and shrinks multiplicatively on loss (classic
+// AIMD, with a CUBIC growth option modeled on ndn-dpdk's fetch logic).
+//
+// The package is deliberately clock-agnostic: every method that depends on
+// time takes `now` explicitly, so the same controller runs under netsim
+// virtual time (deterministic chaos tests, the consumer fleet) and under
+// wall time (diphost against a live router). Nothing in here allocates on
+// the per-packet paths — the fleet runs tens of thousands of flows and the
+// zero-alloc pins in cc_test.go keep the update cost flat.
+package cc
+
+import "time"
+
+// RTT estimator constants per RFC 6298: gains are 1/8 (sRTT) and 1/4
+// (RTTVAR), RTO = sRTT + max(G, 4·RTTVAR). Arithmetic is integer
+// nanoseconds with the same right-shift realization every TCP stack uses;
+// rtt_test.go pins it against a float64 oracle.
+const (
+	srttShift   = 3 // alpha = 1/8
+	rttvarShift = 2 // beta  = 1/4
+	rtoK        = 4 // RTO = sRTT + K·RTTVAR
+)
+
+// RTTConfig bounds the estimator. Zero values select the defaults noted.
+type RTTConfig struct {
+	// InitRTO is the timeout before any sample exists (default 1s,
+	// RFC 6298 §2.1; simulations usually set something path-scaled).
+	InitRTO time.Duration
+	// MinRTO floors the computed timeout (default 10ms).
+	MinRTO time.Duration
+	// MaxRTO caps the computed and backed-off timeout (default 8s).
+	MaxRTO time.Duration
+	// Granularity is the clock granularity G in RTO = sRTT + max(G,
+	// 4·RTTVAR) (default 1ms).
+	Granularity time.Duration
+}
+
+func (c *RTTConfig) fill() {
+	if c.InitRTO == 0 {
+		c.InitRTO = time.Second
+	}
+	if c.MinRTO == 0 {
+		c.MinRTO = 10 * time.Millisecond
+	}
+	if c.MaxRTO == 0 {
+		c.MaxRTO = 8 * time.Second
+	}
+	if c.Granularity == 0 {
+		c.Granularity = time.Millisecond
+	}
+	if c.MaxRTO < c.MinRTO {
+		c.MaxRTO = c.MinRTO
+	}
+}
+
+// RTTEstimator tracks smoothed RTT and variance and derives the adaptive
+// retransmission timeout. Karn's rule lives at the caller: samples from
+// retransmitted packets must simply not be fed in (SegFetcher tags every
+// in-flight segment with its attempt count and skips ambiguous ones).
+type RTTEstimator struct {
+	cfg RTTConfig
+	// srtt and rttvar are scaled by 2^srttShift and 2^rttvarShift
+	// respectively (the classic fixed-point trick: keeps the fractional
+	// gain exact across integer updates).
+	srtt    int64
+	rttvar  int64
+	sampled bool
+	// backoff is the exponential-backoff shift applied on genuine timeout
+	// (Karn). It resets as soon as a fresh, valid sample arrives.
+	backoff uint
+	nSample int64
+}
+
+// NewRTTEstimator returns an estimator in the pre-sample state: RTO is
+// cfg.InitRTO until the first sample.
+func NewRTTEstimator(cfg RTTConfig) *RTTEstimator {
+	cfg.fill()
+	return &RTTEstimator{cfg: cfg}
+}
+
+// Sample feeds one round-trip measurement. The caller enforces Karn's
+// rule (never sample a retransmitted packet); Sample itself ignores
+// non-positive measurements. A valid sample resets the timeout backoff.
+func (e *RTTEstimator) Sample(rtt time.Duration) {
+	if rtt <= 0 {
+		return
+	}
+	r := int64(rtt)
+	if !e.sampled {
+		// First measurement (RFC 6298 §2.2): sRTT = R, RTTVAR = R/2.
+		e.srtt = r << srttShift
+		e.rttvar = (r / 2) << rttvarShift
+		e.sampled = true
+	} else {
+		// RTTVAR = (1-β)·RTTVAR + β·|sRTT − R|
+		diff := (e.srtt >> srttShift) - r
+		if diff < 0 {
+			diff = -diff
+		}
+		e.rttvar += diff - (e.rttvar >> rttvarShift)
+		// sRTT = (1-α)·sRTT + α·R
+		e.srtt += r - (e.srtt >> srttShift)
+	}
+	e.backoff = 0
+	e.nSample++
+}
+
+// Backoff doubles the effective RTO after a genuine timeout (Karn's
+// algorithm: the backed-off value sticks until a valid sample arrives).
+// The shift saturates so pathological loss runs cannot overflow.
+func (e *RTTEstimator) Backoff() {
+	if e.backoff < 62 {
+		e.backoff++
+	}
+}
+
+// SRTT returns the smoothed round-trip estimate (0 before any sample).
+func (e *RTTEstimator) SRTT() time.Duration {
+	return time.Duration(e.srtt >> srttShift)
+}
+
+// RTTVar returns the smoothed deviation estimate (0 before any sample).
+func (e *RTTEstimator) RTTVar() time.Duration {
+	return time.Duration(e.rttvar >> rttvarShift)
+}
+
+// Samples returns how many valid measurements have been folded in.
+func (e *RTTEstimator) Samples() int64 { return e.nSample }
+
+// RTO returns the current retransmission timeout: InitRTO before the first
+// sample, otherwise sRTT + max(G, 4·RTTVAR), clamped to [MinRTO, MaxRTO],
+// then shifted by the Karn backoff (also clamped to MaxRTO). Clamping
+// happens before the shift is applied, so an absurd backoff can never
+// overflow time.Duration.
+func (e *RTTEstimator) RTO() time.Duration {
+	var rto time.Duration
+	if !e.sampled {
+		rto = e.cfg.InitRTO
+	} else {
+		v := time.Duration(e.rttvar>>rttvarShift) * rtoK
+		if v < e.cfg.Granularity {
+			v = e.cfg.Granularity
+		}
+		rto = time.Duration(e.srtt>>srttShift) + v
+	}
+	if rto < e.cfg.MinRTO {
+		rto = e.cfg.MinRTO
+	}
+	if rto > e.cfg.MaxRTO {
+		rto = e.cfg.MaxRTO
+	}
+	// Apply the backoff without overflowing: once the shifted value would
+	// exceed MaxRTO there is no point computing it.
+	for s := e.backoff; s > 0; s-- {
+		if rto >= e.cfg.MaxRTO/2 {
+			return e.cfg.MaxRTO
+		}
+		rto *= 2
+	}
+	if rto > e.cfg.MaxRTO {
+		rto = e.cfg.MaxRTO
+	}
+	return rto
+}

@@ -1,0 +1,193 @@
+package cc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// floatOracle is the straightforward float64 realization of RFC 6298 the
+// fixed-point estimator must track.
+type floatOracle struct {
+	cfg     RTTConfig
+	srtt    float64
+	rttvar  float64
+	sampled bool
+	backoff uint
+}
+
+func (o *floatOracle) sample(rtt time.Duration) {
+	if rtt <= 0 {
+		return
+	}
+	r := float64(rtt)
+	if !o.sampled {
+		o.srtt = r
+		o.rttvar = r / 2
+		o.sampled = true
+	} else {
+		o.rttvar = 0.75*o.rttvar + 0.25*math.Abs(o.srtt-r)
+		o.srtt = 0.875*o.srtt + 0.125*r
+	}
+	o.backoff = 0
+}
+
+func (o *floatOracle) rto() time.Duration {
+	var rto float64
+	if !o.sampled {
+		rto = float64(o.cfg.InitRTO)
+	} else {
+		v := 4 * o.rttvar
+		if v < float64(o.cfg.Granularity) {
+			v = float64(o.cfg.Granularity)
+		}
+		rto = o.srtt + v
+	}
+	rto = math.Min(math.Max(rto, float64(o.cfg.MinRTO)), float64(o.cfg.MaxRTO))
+	rto = math.Min(rto*math.Pow(2, float64(o.backoff)), float64(o.cfg.MaxRTO))
+	return time.Duration(rto)
+}
+
+// TestRTOPropertyVsFloatOracle drives the integer estimator and the float
+// oracle with the same random sample stream — including Karn-excluded
+// retransmit samples, which neither side may fold in — and requires the
+// estimates to stay within the fixed-point rounding envelope.
+func TestRTOPropertyVsFloatOracle(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42, 2024, 99999} {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := RTTConfig{InitRTO: time.Second, MinRTO: time.Millisecond,
+			MaxRTO: 10 * time.Second, Granularity: time.Millisecond}
+		est := NewRTTEstimator(cfg)
+		oracle := &floatOracle{cfg: est.cfg}
+
+		for i := 0; i < 5000; i++ {
+			switch rng.Intn(10) {
+			case 0:
+				// Genuine timeout: both back off.
+				est.Backoff()
+				oracle.backoff++
+			case 1:
+				// A sample from a retransmitted segment: Karn's rule says
+				// discard. The caller realizes that by not calling Sample
+				// at all — the estimator state must be unaffected.
+				_ = time.Duration(rng.Int63n(int64(200 * time.Millisecond)))
+			default:
+				rtt := time.Duration(1+rng.Int63n(int64(300*time.Millisecond))) *
+					time.Nanosecond
+				est.Sample(rtt)
+				oracle.sample(rtt)
+			}
+
+			// Fixed-point truncation loses at most a few ns per update and
+			// the error does not accumulate (the filters are contractive);
+			// 0.1% + 1µs covers it with a wide margin.
+			tol := func(a, b time.Duration) bool {
+				d := float64(a - b)
+				return math.Abs(d) <= math.Max(1e3, 0.001*math.Abs(float64(b)))
+			}
+			if !tol(est.SRTT(), time.Duration(oracle.srtt)) {
+				t.Fatalf("seed %d step %d: sRTT %v vs oracle %v", seed, i, est.SRTT(), time.Duration(oracle.srtt))
+			}
+			if !tol(est.RTTVar(), time.Duration(oracle.rttvar)) {
+				t.Fatalf("seed %d step %d: RTTVAR %v vs oracle %v", seed, i, est.RTTVar(), time.Duration(oracle.rttvar))
+			}
+			if !tol(est.RTO(), oracle.rto()) {
+				t.Fatalf("seed %d step %d: RTO %v vs oracle %v", seed, i, est.RTO(), oracle.rto())
+			}
+		}
+	}
+}
+
+// TestRFC6298Behavior pins the spec-mandated behaviors table-driven:
+// initial RTO, the first-sample rule, backoff doubling, clamps, and the
+// backoff reset on a fresh sample.
+func TestRFC6298Behavior(t *testing.T) {
+	cfg := RTTConfig{InitRTO: time.Second, MinRTO: 100 * time.Millisecond,
+		MaxRTO: 4 * time.Second, Granularity: time.Millisecond}
+
+	t.Run("initial RTO before any sample", func(t *testing.T) {
+		e := NewRTTEstimator(cfg)
+		if got := e.RTO(); got != time.Second {
+			t.Fatalf("RTO = %v, want 1s", got)
+		}
+	})
+
+	t.Run("first sample sets sRTT=R RTTVAR=R/2", func(t *testing.T) {
+		e := NewRTTEstimator(cfg)
+		e.Sample(200 * time.Millisecond)
+		if got := e.SRTT(); got != 200*time.Millisecond {
+			t.Fatalf("sRTT = %v, want 200ms", got)
+		}
+		if got := e.RTTVar(); got != 100*time.Millisecond {
+			t.Fatalf("RTTVAR = %v, want 100ms", got)
+		}
+		// RTO = 200ms + 4·100ms = 600ms.
+		if got := e.RTO(); got != 600*time.Millisecond {
+			t.Fatalf("RTO = %v, want 600ms", got)
+		}
+	})
+
+	t.Run("steady samples converge and MinRTO floors", func(t *testing.T) {
+		e := NewRTTEstimator(cfg)
+		for i := 0; i < 200; i++ {
+			e.Sample(10 * time.Millisecond)
+		}
+		// Variance decays toward zero; sRTT + max(G, 4·var) ≈ 11ms, below
+		// the 100ms floor.
+		if got := e.RTO(); got != cfg.MinRTO {
+			t.Fatalf("RTO = %v, want floor %v", got, cfg.MinRTO)
+		}
+	})
+
+	t.Run("backoff doubles then clamps at MaxRTO", func(t *testing.T) {
+		e := NewRTTEstimator(cfg)
+		e.Sample(200 * time.Millisecond) // RTO 600ms
+		steps := []time.Duration{
+			1200 * time.Millisecond,
+			2400 * time.Millisecond,
+			4 * time.Second, // 4800ms clamps to MaxRTO
+			4 * time.Second, // and stays clamped
+		}
+		for i, want := range steps {
+			e.Backoff()
+			if got := e.RTO(); got != want {
+				t.Fatalf("backoff %d: RTO = %v, want %v", i+1, got, want)
+			}
+		}
+	})
+
+	t.Run("huge backoff cannot overflow", func(t *testing.T) {
+		e := NewRTTEstimator(cfg)
+		e.Sample(time.Second)
+		for i := 0; i < 500; i++ {
+			e.Backoff()
+		}
+		if got := e.RTO(); got != cfg.MaxRTO {
+			t.Fatalf("RTO after 500 backoffs = %v, want MaxRTO %v", got, cfg.MaxRTO)
+		}
+	})
+
+	t.Run("valid sample resets backoff", func(t *testing.T) {
+		e := NewRTTEstimator(cfg)
+		e.Sample(200 * time.Millisecond)
+		e.Backoff()
+		e.Backoff()
+		if got := e.RTO(); got != 2400*time.Millisecond {
+			t.Fatalf("backed-off RTO = %v, want 2.4s", got)
+		}
+		e.Sample(200 * time.Millisecond)
+		if got, max := e.RTO(), 700*time.Millisecond; got > max {
+			t.Fatalf("RTO after fresh sample = %v, want un-backed-off (≤ %v)", got, max)
+		}
+	})
+
+	t.Run("non-positive samples ignored", func(t *testing.T) {
+		e := NewRTTEstimator(cfg)
+		e.Sample(0)
+		e.Sample(-time.Second)
+		if e.Samples() != 0 || e.RTO() != cfg.InitRTO {
+			t.Fatalf("bogus samples changed state: n=%d RTO=%v", e.Samples(), e.RTO())
+		}
+	})
+}

@@ -1,0 +1,146 @@
+package cc
+
+import (
+	"math"
+	"time"
+)
+
+// Algo selects the congestion-window discipline.
+type Algo uint8
+
+// Window disciplines.
+const (
+	// AlgoAIMD: slow start to ssthresh, then additive increase of one
+	// segment per window (cwnd += 1/cwnd per satisfy); multiplicative
+	// decrease by Beta on loss. The TCP-Reno shape.
+	AlgoAIMD Algo = iota
+	// AlgoCUBIC: slow start to ssthresh, then CUBIC growth — the window
+	// follows a cubic curve anchored at the last decrease point, probing
+	// conservatively near the old maximum and aggressively beyond it
+	// (after ndn-dpdk's fetch logic / RFC 8312), with fast convergence.
+	AlgoCUBIC
+	// AlgoBlind: no congestion response at all — a fixed window and a
+	// fixed timeout. This is the pre-cc Fetcher behavior kept as the
+	// experimental baseline; under overload it retransmits into the very
+	// queues that are dropping it.
+	AlgoBlind
+)
+
+// String names the discipline.
+func (a Algo) String() string {
+	switch a {
+	case AlgoAIMD:
+		return "aimd"
+	case AlgoCUBIC:
+		return "cubic"
+	case AlgoBlind:
+		return "blind"
+	}
+	return "algo(?)"
+}
+
+// CUBIC constants per RFC 8312: C scales the cubic term (windows per
+// second cubed), Beta is the multiplicative-decrease factor.
+const (
+	cubicC    = 0.4
+	cubicBeta = 0.7
+)
+
+// aimdBeta is the Reno multiplicative-decrease factor.
+const aimdBeta = 0.5
+
+// window is the shared window state. cwnd is float64 so additive increase
+// accumulates fractional growth exactly (cwnd += 1/cwnd); the fetcher
+// reads the integer floor.
+type window struct {
+	algo     Algo
+	cwnd     float64
+	ssthresh float64
+	maxCwnd  float64
+	minCwnd  float64
+
+	// CUBIC anchors.
+	wMax         float64       // window just before the last decrease
+	lastDecrease time.Duration // virtual time of the last decrease
+	fastConverge bool
+
+	cuts int64
+}
+
+func (w *window) init(algo Algo, initial, max float64, fastConverge bool) {
+	w.algo = algo
+	w.cwnd = initial
+	w.minCwnd = 1
+	w.maxCwnd = max
+	w.ssthresh = max // slow start until the first loss event
+	w.wMax = initial
+	w.fastConverge = fastConverge
+}
+
+// increase grows the window for one satisfied segment. rtt is the flow's
+// current smoothed RTT (CUBIC's growth is time-based); now is virtual
+// time.
+func (w *window) increase(now time.Duration, rtt time.Duration) {
+	switch w.algo {
+	case AlgoBlind:
+		return
+	case AlgoAIMD:
+		if w.cwnd < w.ssthresh {
+			w.cwnd++ // slow start: one segment per satisfy
+		} else {
+			w.cwnd += 1 / w.cwnd // congestion avoidance
+		}
+	case AlgoCUBIC:
+		if w.cwnd < w.ssthresh {
+			w.cwnd++
+			break
+		}
+		// W(t) = C·(t − K)³ + wMax with K = ∛(wMax·(1−β)/C): concave
+		// toward the old maximum, convex past it. Chase the curve one
+		// RTT ahead, spreading the step across the current window.
+		t := (now - w.lastDecrease).Seconds() + rtt.Seconds()
+		k := math.Cbrt(w.wMax * (1 - cubicBeta) / cubicC)
+		target := cubicC*(t-k)*(t-k)*(t-k) + w.wMax
+		if target > w.cwnd {
+			w.cwnd += (target - w.cwnd) / w.cwnd
+		} else {
+			// Below the curve (e.g. right after a decrease): stay at
+			// least Reno-friendly.
+			w.cwnd += 1 / (100 * w.cwnd)
+		}
+	}
+	if w.cwnd > w.maxCwnd {
+		w.cwnd = w.maxCwnd
+	}
+}
+
+// decrease shrinks the window multiplicatively for one loss event,
+// reporting whether anything changed (AlgoBlind never decreases).
+func (w *window) decrease(now time.Duration) bool {
+	switch w.algo {
+	case AlgoBlind:
+		return false
+	case AlgoAIMD:
+		w.cwnd *= aimdBeta
+	case AlgoCUBIC:
+		if w.fastConverge && w.cwnd < w.wMax {
+			// Loss before regaining the old maximum: the available
+			// bandwidth shrank, so remember an even smaller anchor to
+			// release the share faster (RFC 8312 §4.6).
+			w.wMax = w.cwnd * (2 - cubicBeta) / 2
+		} else {
+			w.wMax = w.cwnd
+		}
+		w.lastDecrease = now
+		w.cwnd *= cubicBeta
+	}
+	if w.cwnd < w.minCwnd {
+		w.cwnd = w.minCwnd
+	}
+	w.ssthresh = w.cwnd
+	if w.ssthresh < 2 {
+		w.ssthresh = 2
+	}
+	w.cuts++
+	return true
+}

@@ -21,7 +21,9 @@ import (
 	"sort"
 	"strings"
 
+	"dip/internal/cc"
 	"dip/internal/core"
+	"dip/internal/host"
 	"dip/internal/journey"
 	"dip/internal/router"
 	"dip/internal/telemetry"
@@ -64,6 +66,12 @@ type Source struct {
 	// JourneyStats, when set, supplies stitched-journey aggregates for the
 	// dip_journey_* series (set on the process hosting the Collector).
 	JourneyStats func() journey.Stats
+	// Fetch supplies host fetcher counters for the dip_fetch_* series
+	// (both the plain Fetcher's Stats and SegStats.FetchStats fit).
+	Fetch func() host.FetchStats
+	// FetchCC supplies the fetcher's congestion-controller snapshot for
+	// the dip_fetch_cwnd / srtt / rto gauges (SegFetcher.CC).
+	FetchCC func() cc.Snapshot
 }
 
 // WriteMetrics renders the full Prometheus text exposition to w.
@@ -169,6 +177,29 @@ func (s Source) WriteMetrics(w io.Writer) {
 		writeSample(w, "dip_trace_ring_records", label, float64(s.Trace.RingSize()))
 		writeHeader(w, "dip_trace_sample_every", "gauge", "Trace sampling divisor N (1-in-N).")
 		writeSample(w, "dip_trace_sample_every", label, float64(s.Trace.SampleEvery()))
+	}
+	if s.Fetch != nil {
+		fs := s.Fetch()
+		writeHeader(w, "dip_fetch_pending", "gauge", "Fetcher segments awaiting data (in flight or windowed).")
+		writeSample(w, "dip_fetch_pending", label, float64(fs.Pending))
+		writeHeader(w, "dip_fetch_completed_total", "counter", "Fetcher segments satisfied by data.")
+		writeSample(w, "dip_fetch_completed_total", label, float64(fs.Completed))
+		writeHeader(w, "dip_fetch_retransmits_total", "counter", "Fetcher interest retransmissions.")
+		writeSample(w, "dip_fetch_retransmits_total", label, float64(fs.Retransmits))
+		writeHeader(w, "dip_fetch_deadletter_total", "counter", "Fetcher segments abandoned at the retransmission cap.")
+		writeSample(w, "dip_fetch_deadletter_total", label, float64(fs.DeadLettered))
+	}
+	if s.FetchCC != nil {
+		snap := s.FetchCC()
+		al := join(label, `algo=`+quote(snap.Algo.String()))
+		writeHeader(w, "dip_fetch_cwnd", "gauge", "Fetcher congestion window in segments.")
+		writeSample(w, "dip_fetch_cwnd", al, snap.CwndF)
+		writeHeader(w, "dip_fetch_srtt_ns", "gauge", "Fetcher smoothed RTT estimate in nanoseconds.")
+		writeSample(w, "dip_fetch_srtt_ns", label, float64(snap.SRTT))
+		writeHeader(w, "dip_fetch_rto_ns", "gauge", "Fetcher retransmission timeout in nanoseconds.")
+		writeSample(w, "dip_fetch_rto_ns", label, float64(snap.RTO))
+		writeHeader(w, "dip_fetch_cwnd_cuts_total", "counter", "Fetcher multiplicative window decreases.")
+		writeSample(w, "dip_fetch_cwnd_cuts_total", label, float64(snap.Cuts))
 	}
 	if s.Journeys != nil {
 		writeHeader(w, "dip_journey_spans_total", "counter", "Journey spans emitted by this process.")

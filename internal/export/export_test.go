@@ -9,7 +9,11 @@ import (
 	"testing"
 	"time"
 
+	"dip/internal/cc"
 	"dip/internal/core"
+	"dip/internal/host"
+	"dip/internal/netsim"
+	"dip/internal/profiles"
 	"dip/internal/telemetry"
 	"dip/internal/trace"
 )
@@ -226,5 +230,59 @@ func TestServeBindsAndCloses(t *testing.T) {
 	}
 	if _, err := http.Get("http://" + addr.String() + "/metrics"); err == nil {
 		t.Fatal("listener still serving after close")
+	}
+}
+
+// The dip_fetch_* family renders fetcher counters and the congestion
+// controller's live state from a real SegFetcher.
+func TestWriteMetricsFetchFamily(t *testing.T) {
+	sim := netsim.New()
+	var f *host.SegFetcher
+	f = host.NewSegFetcher(sim, func(pkt []byte) {
+		v, _ := core.ParseView(pkt)
+		name, _ := host.InterestName(v)
+		reply, err := host.BuildPacket(profiles.NDNData(name), []byte("pay"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim.Schedule(2*time.Millisecond, func() { f.HandleData(reply) })
+	}, host.SegConfig{})
+	if err := f.FetchObject(0xAA001000, 5); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+
+	src := Source{
+		Node:    "c1",
+		Fetch:   func() host.FetchStats { return f.Stats().FetchStats() },
+		FetchCC: func() cc.Snapshot { return f.CC() },
+	}
+	var b strings.Builder
+	src.WriteMetrics(&b)
+	samples := parsePromText(t, b.String())
+
+	if got := samples[`dip_fetch_completed_total{node="c1"}`]; got != 5 {
+		t.Errorf("completed = %g, want 5", got)
+	}
+	if got := samples[`dip_fetch_pending{node="c1"}`]; got != 0 {
+		t.Errorf("pending = %g, want 0", got)
+	}
+	if got := samples[`dip_fetch_retransmits_total{node="c1"}`]; got != 0 {
+		t.Errorf("retransmits = %g", got)
+	}
+	if got := samples[`dip_fetch_deadletter_total{node="c1"}`]; got != 0 {
+		t.Errorf("deadletters = %g", got)
+	}
+	if got := samples[`dip_fetch_cwnd{node="c1",algo="aimd"}`]; got < 2 {
+		t.Errorf("cwnd = %g, want ≥ initial window", got)
+	}
+	if got := samples[`dip_fetch_srtt_ns{node="c1"}`]; got <= 0 {
+		t.Errorf("srtt = %g, want > 0 after clean samples", got)
+	}
+	if got := samples[`dip_fetch_rto_ns{node="c1"}`]; got <= 0 {
+		t.Errorf("rto = %g", got)
+	}
+	if _, ok := samples[`dip_fetch_cwnd_cuts_total{node="c1"}`]; !ok {
+		t.Error("cwnd cuts sample missing")
 	}
 }

@@ -57,6 +57,11 @@ const (
 	// FetchDeadLetter: the name was abandoned after the retransmission cap
 	// (pkt is nil — there is no packet, which is the point).
 	FetchDeadLetter
+	// FetchCwndCut: the congestion controller multiplicatively decreased
+	// its window in response to a timeout on this name (SegFetcher only;
+	// pkt is nil). Journey tracing freezes the triggering journey so the
+	// decrease is attributable after the fact.
+	FetchCwndCut
 )
 
 // FetchObserver receives fetch lifecycle events. pkt is the interest just
@@ -70,6 +75,11 @@ func (c *FetchConfig) fill() {
 	}
 	if c.Backoff == 0 {
 		c.Backoff = 2
+	} else if c.Backoff < 1 {
+		// A shrinking timeout would retransmit faster and faster into a
+		// congested path; clamp to no-growth rather than silently
+		// misbehaving.
+		c.Backoff = 1
 	}
 	if c.MaxTimeout == 0 {
 		c.MaxTimeout = time.Second
@@ -180,9 +190,13 @@ func (f *Fetcher) onTimeout(name uint32, gen uint64) {
 		return
 	}
 	st.attempts++
-	st.timeout = time.Duration(float64(st.timeout) * f.cfg.Backoff)
-	if st.timeout > f.cfg.MaxTimeout {
+	// Clamp against MaxTimeout before the multiply: a large Backoff can
+	// push float64(timeout)*Backoff past MaxInt64, and converting an
+	// out-of-range float to time.Duration is not a saturating operation.
+	if next := float64(st.timeout) * f.cfg.Backoff; next >= float64(f.cfg.MaxTimeout) {
 		st.timeout = f.cfg.MaxTimeout
+	} else {
+		st.timeout = time.Duration(next)
 	}
 	timeout := st.timeout
 	f.retransmits++

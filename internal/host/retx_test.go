@@ -128,6 +128,48 @@ func TestFetcherTimeoutCap(t *testing.T) {
 	}
 }
 
+// A pathologically large Backoff must clamp to MaxTimeout, not overflow
+// time.Duration: float64(timeout)*Backoff can exceed MaxInt64, and the
+// float→Duration conversion is not saturating. Regression for the clamp
+// now happening before the multiply.
+func TestFetcherHugeBackoffClampsWithoutOverflow(t *testing.T) {
+	sim := netsim.New()
+	var sentAt []time.Duration
+	f := NewFetcher(sim, func([]byte) { sentAt = append(sentAt, sim.Now()) },
+		FetchConfig{Timeout: time.Second, Backoff: 1e18, MaxTimeout: 2 * time.Second, MaxRetx: 3})
+	f.Fetch(9)
+	sim.Run()
+	want := []time.Duration{0, time.Second, 3 * time.Second, 5 * time.Second}
+	if len(sentAt) != len(want) {
+		t.Fatalf("transmissions at %v, want %v", sentAt, want)
+	}
+	for i := range want {
+		if sentAt[i] != want[i] {
+			t.Fatalf("transmissions at %v, want %v (overflow instead of clamp?)", sentAt, want)
+		}
+	}
+}
+
+// Backoff values below 1 would retransmit faster and faster; fill() must
+// clamp them to no-growth.
+func TestFetcherFractionalBackoffClampedToOne(t *testing.T) {
+	sim := netsim.New()
+	var sentAt []time.Duration
+	f := NewFetcher(sim, func([]byte) { sentAt = append(sentAt, sim.Now()) },
+		FetchConfig{Timeout: 100 * time.Millisecond, Backoff: 0.25, MaxRetx: 2})
+	f.Fetch(9)
+	sim.Run()
+	want := []time.Duration{0, 100 * time.Millisecond, 200 * time.Millisecond}
+	if len(sentAt) != len(want) {
+		t.Fatalf("transmissions at %v, want %v", sentAt, want)
+	}
+	for i := range want {
+		if sentAt[i] != want[i] {
+			t.Fatalf("transmissions at %v, want %v (Backoff<1 not clamped)", sentAt, want)
+		}
+	}
+}
+
 func TestFetcherIgnoresUnrelatedAndDuplicateData(t *testing.T) {
 	sim := netsim.New()
 	f := NewFetcher(sim, func([]byte) {}, FetchConfig{})

@@ -1,0 +1,284 @@
+package host
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"dip/internal/cc"
+	"dip/internal/core"
+	"dip/internal/netsim"
+	"dip/internal/profiles"
+	"dip/internal/telemetry"
+)
+
+// segHarness wires a SegFetcher to a scripted producer over a netsim
+// clock: every interest is answered after rtt unless its (name, attempt)
+// pair is in drops.
+type segHarness struct {
+	sim     *netsim.Simulator
+	f       *SegFetcher
+	rtt     time.Duration
+	drops   map[uint32]int // name → number of leading attempts to drop
+	seen    map[uint32]int
+	maxInFl int
+	payload func(name uint32) []byte
+}
+
+func newSegHarness(t *testing.T, cfg SegConfig, rtt time.Duration) *segHarness {
+	t.Helper()
+	h := &segHarness{
+		sim:   netsim.New(),
+		rtt:   rtt,
+		drops: map[uint32]int{},
+		seen:  map[uint32]int{},
+		payload: func(name uint32) []byte {
+			return []byte(fmt.Sprintf("seg-%08x", name))
+		},
+	}
+	h.f = NewSegFetcher(h.sim, func(pkt []byte) {
+		v, err := core.ParseView(pkt)
+		if err != nil {
+			t.Fatalf("fetcher sent unparseable packet: %v", err)
+		}
+		name, ok := InterestName(v)
+		if !ok {
+			t.Fatal("fetcher sent a non-interest")
+		}
+		h.seen[name]++
+		if fl := h.f.InFlight(); fl > h.maxInFl {
+			h.maxInFl = fl
+		}
+		if h.drops[name] > 0 {
+			h.drops[name]--
+			return // dropped on the (virtual) wire
+		}
+		reply, err := BuildPacket(profiles.NDNData(name), h.payload(name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.sim.Schedule(h.rtt, func() { h.f.HandleData(reply) })
+	}, cfg)
+	return h
+}
+
+func wantObject(h *segHarness, base uint32, segs int) []byte {
+	var out []byte
+	for s := 0; s < segs; s++ {
+		out = append(out, h.payload(SegName(base, s))...)
+	}
+	return out
+}
+
+func TestSegFetchCompletesInOrder(t *testing.T) {
+	h := newSegHarness(t, SegConfig{CC: cc.Config{InitCwnd: 2, MaxCwnd: 32}}, 5*time.Millisecond)
+	var got []byte
+	var gotBase uint32
+	h.f.OnObject = func(base uint32, data []byte) { gotBase, got = base, data }
+
+	const base, segs = 0xAA000100, 9
+	if err := h.f.FetchObject(base, segs); err != nil {
+		t.Fatal(err)
+	}
+	h.sim.Run()
+
+	if gotBase != base || !bytes.Equal(got, wantObject(h, base, segs)) {
+		t.Fatalf("object %#x reassembled wrong: %q", gotBase, got)
+	}
+	st := h.f.Stats()
+	if st.ObjectsCompleted != 1 || st.SegmentsCompleted != segs || st.Retransmits != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.GoodputBytes != int64(len(got)) {
+		t.Fatalf("goodput %d bytes, want %d", st.GoodputBytes, len(got))
+	}
+	// The pipeline respected the window: the first transmissions go out
+	// two at a time (InitCwnd=2), never all nine at once.
+	if h.maxInFl > segs-1 {
+		t.Fatalf("window never limited the pipeline: max in flight %d", h.maxInFl)
+	}
+}
+
+func TestSegFetchPipelinesUnderWindow(t *testing.T) {
+	h := newSegHarness(t, SegConfig{CC: cc.Config{Algo: cc.AlgoBlind, InitCwnd: 4, MaxCwnd: 4}},
+		10*time.Millisecond)
+	done := false
+	h.f.OnObject = func(uint32, []byte) { done = true }
+	if err := h.f.FetchObject(0xAA000200, 32); err != nil {
+		t.Fatal(err)
+	}
+	h.sim.Run()
+	if !done {
+		t.Fatal("object never completed")
+	}
+	if h.maxInFl != 4 {
+		t.Fatalf("max in flight %d, want exactly the fixed window 4", h.maxInFl)
+	}
+}
+
+func TestSegFetchWindowGrowsAcrossTransfer(t *testing.T) {
+	h := newSegHarness(t, SegConfig{CC: cc.Config{InitCwnd: 2, MaxCwnd: 64}}, 5*time.Millisecond)
+	if err := h.f.FetchObject(0xAA000300, 64); err != nil {
+		t.Fatal(err)
+	}
+	h.sim.Run()
+	if h.maxInFl <= 2 {
+		t.Fatalf("window never grew: max in flight %d", h.maxInFl)
+	}
+	if snap := h.f.CC(); snap.SRTT == 0 {
+		t.Fatal("no RTT samples reached the estimator")
+	}
+}
+
+func TestSegFetchRecoversFromLossWithKarnAndCut(t *testing.T) {
+	met := &telemetry.Metrics{}
+	var events []FetchEvent
+	cfg := SegConfig{
+		CC: cc.Config{InitCwnd: 4, MaxCwnd: 32,
+			RTT: cc.RTTConfig{InitRTO: 50 * time.Millisecond, MinRTO: 20 * time.Millisecond}},
+		MaxRetx:  4,
+		Metrics:  met,
+		Observer: func(ev FetchEvent, _ uint32, _ []byte) { events = append(events, ev) },
+	}
+	h := newSegHarness(t, cfg, 5*time.Millisecond)
+	const base, segs = 0xAA000400, 16
+	// Drop the first two transmissions of segment 3: it completes on its
+	// third attempt, well under the cap.
+	h.drops[SegName(base, 3)] = 2
+
+	var got []byte
+	h.f.OnObject = func(_ uint32, data []byte) { got = data }
+	if err := h.f.FetchObject(base, segs); err != nil {
+		t.Fatal(err)
+	}
+	h.sim.Run()
+
+	if !bytes.Equal(got, wantObject(h, base, segs)) {
+		t.Fatalf("lossy transfer reassembled wrong bytes (%d bytes)", len(got))
+	}
+	st := h.f.Stats()
+	if st.Retransmits != 2 {
+		t.Fatalf("retransmits = %d, want 2", st.Retransmits)
+	}
+	if st.CwndCuts == 0 {
+		t.Fatal("timeouts never cut the window")
+	}
+	if st.DeadLettered != 0 || st.ObjectsFailed != 0 {
+		t.Fatalf("spurious dead letters: %+v", st)
+	}
+	// Karn's rule: 15 segments completed cleanly, one via retransmission;
+	// only the clean ones may feed the estimator.
+	if snap := h.f.CC(); snap.Samples != segs-1 {
+		t.Fatalf("RTT samples = %d, want %d (retransmitted segment sampled?)", snap.Samples, segs-1)
+	}
+	// Telemetry and observer both saw the machinery engage.
+	if met.Event(telemetry.EventRetransmit) != 2 || met.Event(telemetry.EventCwndCut) == 0 {
+		t.Fatalf("telemetry events: retx=%d cut=%d",
+			met.Event(telemetry.EventRetransmit), met.Event(telemetry.EventCwndCut))
+	}
+	var retx, cuts int
+	for _, ev := range events {
+		switch ev {
+		case FetchRetx:
+			retx++
+		case FetchCwndCut:
+			cuts++
+		}
+	}
+	if retx != 2 || cuts == 0 {
+		t.Fatalf("observer events: retx=%d cuts=%d", retx, cuts)
+	}
+}
+
+func TestSegFetchDeadLettersObjectAfterCap(t *testing.T) {
+	met := &telemetry.Metrics{}
+	h := newSegHarness(t, SegConfig{
+		CC: cc.Config{InitCwnd: 4, MaxCwnd: 8,
+			RTT: cc.RTTConfig{InitRTO: 30 * time.Millisecond, MinRTO: 10 * time.Millisecond,
+				MaxRTO: 100 * time.Millisecond}},
+		MaxRetx: 3,
+		Metrics: met,
+	}, 5*time.Millisecond)
+	const base, segs = 0xAA000500, 8
+	// Segment 5 is a black hole: every attempt dropped.
+	h.drops[SegName(base, 5)] = 1 << 30
+
+	var failed []uint32
+	completed := false
+	h.f.OnObjectFail = func(b uint32) { failed = append(failed, b) }
+	h.f.OnObject = func(uint32, []byte) { completed = true }
+	if err := h.f.FetchObject(base, segs); err != nil {
+		t.Fatal(err)
+	}
+	h.sim.Run()
+
+	if completed {
+		t.Fatal("object with a black-holed segment completed")
+	}
+	if len(failed) != 1 || failed[0] != base {
+		t.Fatalf("OnObjectFail got %v, want [%#x]", failed, base)
+	}
+	st := h.f.Stats()
+	if st.DeadLettered != 1 || st.ObjectsFailed != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.PendingObjects != 0 || st.PendingSegments != 0 {
+		t.Fatalf("failed object left pending state: %+v", st)
+	}
+	if met.Event(telemetry.EventDeadLetter) != 1 {
+		t.Fatalf("telemetry dead letters = %d", met.Event(telemetry.EventDeadLetter))
+	}
+	// 1 + MaxRetx transmissions total for the black-holed segment.
+	if n := h.seen[SegName(base, 5)]; n != 4 {
+		t.Fatalf("black-holed segment transmitted %d times, want 4", n)
+	}
+}
+
+func TestSegFetchConcurrentObjectsShareWindow(t *testing.T) {
+	h := newSegHarness(t, SegConfig{CC: cc.Config{Algo: cc.AlgoBlind, InitCwnd: 3, MaxCwnd: 3}},
+		5*time.Millisecond)
+	done := map[uint32][]byte{}
+	h.f.OnObject = func(base uint32, data []byte) { done[base] = data }
+	if err := h.f.FetchObject(0xAA000600, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.f.FetchObject(0xAA000700, 10); err != nil {
+		t.Fatal(err)
+	}
+	h.sim.Run()
+	for _, base := range []uint32{0xAA000600, 0xAA000700} {
+		if !bytes.Equal(done[base], wantObject(h, base, 10)) {
+			t.Fatalf("object %#x wrong or missing", base)
+		}
+	}
+	if h.maxInFl != 3 {
+		t.Fatalf("two objects drove %d in flight, want the shared window 3", h.maxInFl)
+	}
+}
+
+func TestSegFetchDuplicateDataDoesNotDoubleCount(t *testing.T) {
+	sim := netsim.New()
+	var f *SegFetcher
+	f = NewSegFetcher(sim, func(pkt []byte) {
+		v, _ := core.ParseView(pkt)
+		name, _ := InterestName(v)
+		reply, err := BuildPacket(profiles.NDNData(name), []byte("x"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Deliver twice: the duplicate must be ignored.
+		sim.Schedule(time.Millisecond, func() { f.HandleData(reply) })
+		sim.Schedule(2*time.Millisecond, func() { f.HandleData(reply) })
+	}, SegConfig{})
+	objects := 0
+	f.OnObject = func(uint32, []byte) { objects++ }
+	if err := f.FetchObject(0xAA000800, 4); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	st := f.Stats()
+	if objects != 1 || st.SegmentsCompleted != 4 {
+		t.Fatalf("objects=%d segments=%d after duplicate data", objects, st.SegmentsCompleted)
+	}
+}

@@ -1,0 +1,18 @@
+package host
+
+import "time"
+
+// wallClock adapts real time onto the Clock interface fetchers arm their
+// timers on: Now is time since construction (a monotonic duration, the
+// same shape netsim's virtual clock produces), Schedule is time.AfterFunc.
+// Fetcher and SegFetcher lock internally, so timer goroutines firing
+// concurrently with socket reads are safe.
+type wallClock struct{ base time.Time }
+
+// NewWallClock returns a real-time Clock for running fetchers against
+// live sockets (diphost) rather than a simulator.
+func NewWallClock() Clock { return &wallClock{base: time.Now()} }
+
+func (w *wallClock) Now() time.Duration { return time.Since(w.base) }
+
+func (w *wallClock) Schedule(delay time.Duration, fn func()) { time.AfterFunc(delay, fn) }

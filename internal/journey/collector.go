@@ -295,9 +295,13 @@ func (c *Collector) AddSpan(sp Span) {
 		if sp.Kind == SpanTunnelProbeMiss || sp.Kind == SpanTunnelFailover {
 			c.tunnelEvents++
 		}
-		// Untraceable (dead letters carry only a name); nothing to stitch.
+		// Untraceable (dead letters and cwnd cuts carry only a name);
+		// nothing to stitch, but the anomaly is findable by name.
 		if sp.Kind == SpanHostDeadLetter {
 			c.freezeByNameLocked(sp.Name, FreezeRetx, sp.Start)
+		}
+		if sp.Kind == SpanHostCwndCut {
+			c.freezeByNameLocked(sp.Name, FreezeCwndCut, sp.Start)
 		}
 		return
 	}

@@ -22,10 +22,14 @@ const (
 	// FreezeLatency: the journey's total latency exceeded the running
 	// p99.9 of its collector.
 	FreezeLatency
+	// FreezeCwndCut: a consumer's congestion controller cut its window —
+	// the frozen journey is the timed-out transmission that signaled
+	// congestion.
+	FreezeCwndCut
 	numFreezeReasons
 )
 
-var freezeNames = [numFreezeReasons]string{"drop", "retx", "quarantine", "latency"}
+var freezeNames = [numFreezeReasons]string{"drop", "retx", "quarantine", "latency", "cwnd-cut"}
 
 // String names the freeze reason.
 func (r FreezeReason) String() string {

@@ -210,12 +210,15 @@ const (
 	SpanHostSatisfy
 	// SpanHostDeadLetter is a fetcher abandoning a name (terminal, by name).
 	SpanHostDeadLetter
+	// SpanHostCwndCut is a fetcher's congestion controller cutting its
+	// window after a timeout (a congestion event, filed by name).
+	SpanHostCwndCut
 	numSpanKinds
 )
 
 var spanKindNames = [numSpanKinds]string{
 	"router", "link", "encap", "decap", "probe-miss", "failover",
-	"send", "retx", "recv", "satisfy", "dead-letter",
+	"send", "retx", "recv", "satisfy", "dead-letter", "cwnd-cut",
 }
 
 // String names the span kind.

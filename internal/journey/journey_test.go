@@ -314,3 +314,35 @@ func TestEmitterRingBounds(t *testing.T) {
 		t.Fatalf("Dropped = %d, want 6", e.Dropped())
 	}
 }
+
+// A cwnd-cut span (zero trace, name only) freezes every live journey
+// carrying that content name — the congestion event's evidence survives.
+func TestFlightRecorderFreezesCwndCutByName(t *testing.T) {
+	c := NewCollector(Config{})
+	const name = 0xAA000042
+	c.AddSpan(Span{Trace: 31, Kind: SpanHostSend, Node: "C", Start: 0, End: 0,
+		Name: name, HasName: true})
+	c.AddSpan(Span{Trace: 31, Kind: SpanLink, Node: "C->R1", Start: 10, End: 400,
+		QueueNs: 350, WireNs: 40})
+	// The fetcher's controller cuts its window blaming this name.
+	c.AddSpan(Span{Kind: SpanHostCwndCut, Node: "C", Start: 5000, End: 5000,
+		Name: name, HasName: true})
+	if got := c.Flight().FrozenBy(FreezeCwndCut); got != 1 {
+		t.Fatalf("FrozenBy(cwnd-cut) = %d, want 1", got)
+	}
+	entries := c.Flight().Entries()
+	if len(entries) != 1 || entries[0].Reason != FreezeCwndCut {
+		t.Fatalf("entries %+v", entries)
+	}
+	// The frozen journey is the stalled transmission, queue time included.
+	froze := entries[0].Journey
+	if len(froze.Spans) != 2 || froze.Spans[1].QueueNs != 350 {
+		t.Fatalf("frozen journey lost its spans: %+v", froze.Spans)
+	}
+	// Spans naming other content are untouched.
+	c.AddSpan(Span{Kind: SpanHostCwndCut, Node: "C", Start: 6000, End: 6000,
+		Name: 0xAA000099, HasName: true})
+	if got := c.Flight().Frozen(); got != 1 {
+		t.Fatalf("unrelated name froze a journey: %d", got)
+	}
+}

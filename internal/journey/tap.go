@@ -258,6 +258,8 @@ func NewFetcherTap(node string, sink SpanSink, now func() int64) host.FetchObser
 			sp.Kind = SpanHostDeadLetter
 			sp.Dropped = true
 			sp.Cause = "dead-letter"
+		case host.FetchCwndCut:
+			sp.Kind = SpanHostCwndCut
 		default:
 			return
 		}

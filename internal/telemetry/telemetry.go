@@ -69,6 +69,7 @@ const (
 	EventShedHigh                 // high-priority (control) queue full, packet shed
 	EventQuarantine               // a packet panicked a worker and was quarantined
 	EventWorkerStall              // a forwarding worker exceeded the stall threshold
+	EventCwndCut                  // a fetch flow multiplicatively decreased its window
 	numEvents
 )
 
@@ -110,6 +111,8 @@ func (e Event) String() string {
 		return "quarantine"
 	case EventWorkerStall:
 		return "worker-stall"
+	case EventCwndCut:
+		return "cwnd-cut"
 	}
 	return "event(?)"
 }
