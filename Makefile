@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race vet fuzz soak bench benchrace metricssmoke journeysmoke burstsmoke ccsmoke benchguard clean
+.PHONY: build test check race vet fuzz soak bench benchrace metricssmoke journeysmoke burstsmoke ccsmoke cssmoke benchguard clean
 
 build:
 	$(GO) build ./...
@@ -18,9 +18,10 @@ race:
 # Full pre-merge gate: static analysis, the race detector, a race-mode smoke
 # of the parallel hot-path benchmarks, a fuzz smoke sweep over every fuzz
 # target, a live scrape of the metrics endpoint, a smoke of the batched
-# dataplane (ordering/zero-alloc tests plus a short scaling run), and the
-# congestion-control smoke (fleet fairness + chaos acceptance + E19 row).
-check: vet race benchrace fuzz metricssmoke journeysmoke burstsmoke ccsmoke
+# dataplane (ordering/zero-alloc tests plus a short scaling run), the
+# congestion-control smoke (fleet fairness + chaos acceptance + E19 row),
+# and the tiered content-store smoke (never-block acceptance + E20 sweep).
+check: vet race benchrace fuzz metricssmoke journeysmoke burstsmoke ccsmoke cssmoke
 
 # Short benchstat-friendly run of the forwarding hot-path benchmarks
 # (compare runs with: make bench > old.txt; ...; make bench > new.txt;
@@ -135,10 +136,23 @@ ccsmoke:
 	echo "$$out"; echo "$$out" | grep -q '^  aimd .*bps' \
 		|| { echo "ccsmoke: E19 run produced no aimd goodput row"; exit 1; }
 
+# Tiered content-store smoke: the arena/tier unit + race tests, the
+# never-block acceptance pins (cold read gated in flight while the hot
+# path keeps serving; interest aggregation; zero-alloc hot hit; metrics
+# surface), the cscold= DSL scenario, and a short E20 catalog sweep
+# checking per-tier hit ratios shift while hot latency holds.
+cssmoke:
+	$(GO) test ./internal/cs/
+	$(GO) test -run 'TestColdReadNeverBlocksForwarder|TestColdInterestAggregation|TestTieredMetricsExported|TestZeroAllocTieredHotHit' .
+	$(GO) test -run 'TestColdTierScenario' ./internal/topo/
+	@set -e; out=$$($(GO) run ./cmd/dipbench -experiment cstier -trials 200 -rounds 5); \
+	echo "$$out"; echo "$$out" | grep -q '^  65536 ' \
+		|| { echo "cssmoke: E20 sweep missing the 16x catalog row"; exit 1; }
+
 # Hot-path benchmark regression gate: compare this PR's dipbench records
 # against the previous baseline (see scripts/benchguard.sh for knobs).
 benchguard:
-	sh scripts/benchguard.sh BENCH_7.json BENCH_6.json 15
+	sh scripts/benchguard.sh BENCH_8.json BENCH_7.json 15
 
 # Long-running soak and heavy-chaos tests are skipped under -short; this
 # target runs everything, including them.

@@ -15,7 +15,8 @@
 //	dipbench                    # everything
 //	dipbench -experiment fig2   # one experiment: fig2, table2, mac,
 //	                            # parallel, fncount, fibscale, pisa,
-//	                            # fiblookup, mixed, journey, burst, fetchcc
+//	                            # fiblookup, mixed, journey, burst,
+//	                            # fetchcc, cstier
 //	dipbench -trials 1000       # per-measurement packet count (paper: 1000)
 //	dipbench -json out.json     # also write machine-readable records
 //	                            # (name, ns/op, B/op, allocs/op, GOMAXPROCS)
@@ -38,6 +39,7 @@ import (
 	"dip"
 	"dip/internal/cc"
 	"dip/internal/core"
+	"dip/internal/cs"
 	"dip/internal/fib"
 	"dip/internal/ip"
 	"dip/internal/journey"
@@ -83,7 +85,7 @@ func writeJSON() {
 }
 
 func main() {
-	exp := flag.String("experiment", "all", "fig2 | table2 | mac | parallel | fncount | fibscale | pisa | fiblookup | mixed | journey | burst | fetchcc | all")
+	exp := flag.String("experiment", "all", "fig2 | table2 | mac | parallel | fncount | fibscale | pisa | fiblookup | mixed | journey | burst | fetchcc | cstier | all")
 	flag.Parse()
 	switch *exp {
 	case "fig2":
@@ -110,6 +112,8 @@ func main() {
 		burstScaling()
 	case "fetchcc":
 		fetchCC()
+	case "cstier":
+		csTier()
 	case "all":
 		table2()
 		fig2()
@@ -123,6 +127,7 @@ func main() {
 		journeyOverhead()
 		burstScaling()
 		fetchCC()
+		csTier()
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -945,5 +950,114 @@ func fetchCC() {
 			res.Retransmits, res.JainIndex, res.P50, res.P99)
 	}
 	fmt.Println("  (adaptive rows should carry more goodput with fewer retransmits\n   than blind; virtual-time rows are seed-exact, not wall-clock noisy)")
+	fmt.Println()
+}
+
+// csTier is E20: the tiered content store swept past RAM capacity. The hot
+// LRU holds hotCap objects; catalogs of hotCap/2 up to 16x hotCap are
+// preloaded (touched so eviction admits them to the cold arena), then a
+// fixed-seed uniform request stream measures how the per-tier hit split
+// shifts as the catalog outgrows RAM. Two latencies are reported per
+// catalog: the hot hit (the forwarder fast path — must stay flat no matter
+// how much cold state exists below it) and the full cold cycle
+// (pread + checksum verify + hot-tier promotion + displaced eviction),
+// which is the off-path cost a parked interest pays.
+func csTier() {
+	fmt.Println("== E20: tiered content store, catalog sweep past RAM capacity ==")
+	const (
+		hotCap   = 4096
+		shards   = 4
+		slotSize = 512
+	)
+	payload := make([]byte, 256)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	fmt.Printf("  %-9s %9s %9s %8s %8s %12s %12s\n",
+		"catalog", "hot-hit%", "cold%", "spilled", "errors", "hot ns/op", "cold ns/op")
+	for _, catalog := range []int{hotCap / 2, hotCap, 4 * hotCap, 16 * hotCap} {
+		hot := cs.NewSharded[uint32](hotCap, shards)
+		ts, err := cs.NewTiered(hot, cs.ColdConfig{
+			Slots:    catalog + hotCap, // headroom so spills never drop
+			SlotSize: slotSize,
+			// Readers 0: synchronous mode. RequestCold runs the pread and
+			// promotion inline, so every measurement below is deterministic
+			// per-op work, not a handoff to a goroutine pool.
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Preload with a touch per object: insert-on-second-hit admission
+		// only spills entries that were hit after insert.
+		for i := 0; i < catalog; i++ {
+			name := uint32(0xE2000000 + i)
+			ts.Put(name, payload)
+			ts.GetHot(name)
+		}
+		// Fixed-seed uniform stream over the whole catalog: the per-tier
+		// split is the capacity story (catalog <= hotCap serves from RAM;
+		// beyond it the overflow serves from the arena, never a miss).
+		r := rand.New(rand.NewSource(20))
+		base := ts.Stats()
+		const streamLen = 4096
+		for i := 0; i < streamLen; i++ {
+			name := uint32(0xE2000000 + r.Intn(catalog))
+			if _, ok := ts.GetHot(name); ok {
+				continue
+			}
+			if ts.ColdContains(name) {
+				ts.RequestCold(name)
+			}
+		}
+		st := ts.Stats()
+		hotHits := st.HotHits - base.HotHits
+		coldHits := st.ColdHits - base.ColdHits
+		served := float64(hotHits + coldHits)
+		hotPct := 100 * float64(hotHits) / served
+		coldPct := 100 * float64(coldHits) / served
+
+		// Hot-hit latency: one resident name hammered through GetHot. This
+		// is the row benchguard holds flat across catalog sizes — the cold
+		// tier must not tax the RAM fast path.
+		hotName := uint32(0xE2000000)
+		ts.Put(hotName, payload)
+		ts.GetHot(hotName)
+		hotNs := measure(fmt.Sprintf("cstier/cat%d/hotget", catalog), func(n int) {
+			for i := 0; i < n; i++ {
+				ts.GetHot(hotName)
+			}
+		})
+
+		// Cold cycle latency: only meaningful once the catalog has actually
+		// spilled. Each op replays a full recovery for a cold-resident name;
+		// the promoted copy stays byte-identical to its slot, so steady
+		// state is pread + verify + promote with no re-spill write.
+		coldCol := "-"
+		if catalog > hotCap {
+			spilled := catalog - hotCap
+			idx := 0
+			coldNs := measure(fmt.Sprintf("cstier/cat%d/coldcycle", catalog), func(n int) {
+				for i := 0; i < n; i++ {
+					ts.RequestCold(uint32(0xE2000000 + idx%spilled))
+					idx++
+				}
+			})
+			coldCol = fmt.Sprintf("%d", coldNs.Nanoseconds())
+		}
+		if *jsonOut != "" {
+			// Hit fractions ride the record stream too (NsPerOp holds the
+			// dimensionless fraction, as fetchcc does for percentiles).
+			jsonRecords = append(jsonRecords, benchRecord{
+				Name: fmt.Sprintf("cstier/cat%d/hotratio", catalog), NsPerOp: float64(hotHits) / served,
+				Gomaxprocs: runtime.GOMAXPROCS(0)})
+		}
+		fmt.Printf("  %-9d %8.1f%% %8.1f%% %8d %8d %12d %12s\n",
+			catalog, hotPct, coldPct, st.Spilled, st.ReadErrors,
+			hotNs.Nanoseconds(), coldCol)
+		if err := ts.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("  (hot ns/op must stay flat as the catalog grows 16x past RAM;\n   cold ns/op is the off-path recovery cost parked interests pay)")
 	fmt.Println()
 }

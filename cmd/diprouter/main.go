@@ -21,6 +21,14 @@
 //	-route128 HEX/L=N route 128-bit prefix to port N
 //	-name P/L=N       route content-name prefix to port N ("local" delivers)
 //	-cache N          enable an N-entry content store
+//	-cscold N         add a cold tier: an N-slot file-backed arena under the
+//	                  hot store (requires -cache); hot evictions spill to it
+//	                  under insert-on-second-hit admission, and cold hits
+//	                  are re-injected asynchronously — forwarders never
+//	                  block on disk
+//	-csslot BYTES     cold-tier slot payload capacity (default 2048)
+//	-csreaders N      cold-tier async reader goroutines (default 2)
+//	-cscold-file PATH cold arena backing file (default: unlinked temp file)
 //	-secret HEX       16-byte DRKey secret enabling the OPT operations
 //	-maxfns N         per-packet FN budget (security limit, §2.4)
 //	-v                log every packet decision
@@ -73,6 +81,7 @@ import (
 	"time"
 
 	"dip"
+	"dip/internal/journey"
 	"dip/internal/pit"
 	"dip/internal/telemetry"
 )
@@ -86,6 +95,10 @@ func main() {
 	var (
 		listen    = flag.String("listen", "", "UDP address to bind")
 		cacheSize = flag.Int("cache", 0, "content store capacity (0 = off)")
+		csCold    = flag.Int("cscold", 0, "cold-tier arena slots (0 = no cold tier; requires -cache)")
+		csSlot    = flag.Int("csslot", 0, "cold-tier slot payload bytes (0 = default 2048)")
+		csReaders = flag.Int("csreaders", 2, "cold-tier async reader goroutines")
+		csFile    = flag.String("cscold-file", "", "cold arena backing file (empty = unlinked temp)")
 		secretHex = flag.String("secret", "", "16-byte hex DRKey secret (enables OPT ops)")
 		maxFNs    = flag.Int("maxfns", 0, "per-packet FN budget (0 = wire max)")
 		verbose   = flag.Bool("v", false, "log packets")
@@ -130,7 +143,32 @@ func main() {
 	defer conn.Close()
 
 	state := dip.NewNodeState()
-	if *cacheSize > 0 {
+	var tiered *dip.TieredStore
+	switch {
+	case *csCold > 0:
+		if *cacheSize <= 0 {
+			log.Fatalf("-cscold needs a hot tier; add -cache N")
+		}
+		shards := *csShards
+		if shards < 1 {
+			shards = 1
+		}
+		readers := *csReaders
+		if readers < 1 {
+			readers = 1
+		}
+		var err error
+		tiered, err = state.EnableTieredCache(*cacheSize, shards, dip.TieredConfig{
+			Path:     *csFile,
+			Slots:    *csCold,
+			SlotSize: *csSlot,
+			Readers:  readers,
+		})
+		if err != nil {
+			log.Fatalf("-cscold: %v", err)
+		}
+		defer tiered.Close()
+	case *cacheSize > 0:
 		if *csShards > 1 {
 			state.EnableCacheSharded(*cacheSize, *csShards)
 		} else {
@@ -220,6 +258,9 @@ func main() {
 		if state.ContentStore != nil {
 			src.CS = state.ContentStore
 		}
+		if tiered != nil {
+			src.CSTier = tiered.Stats
+		}
 		bound, _, err := dip.ServeMetrics(*metricsAt, src)
 		if err != nil {
 			log.Fatalf("-metrics-addr: %v", err)
@@ -288,6 +329,35 @@ func main() {
 		if *healthDur > 0 {
 			go watchHealth(r, in, *healthDur)
 		}
+	}
+
+	// Cold-tier completions re-enter through the same handle path datagrams
+	// take: the synthesized data packet consumes the parked PIT entry and
+	// replicates to the requesting ports, and the cache insert promotes the
+	// payload back to the hot tier.
+	if tiered != nil {
+		tiered.SetReinject(func(cname uint32, data []byte, start, end int64) {
+			pkt, err := dip.BuildPacket(dip.NDNDataProfile(cname), data)
+			if err != nil {
+				return
+			}
+			if journeys != nil {
+				journeys.AddSpan(journey.Span{
+					Trace:   journey.TraceOf(pkt),
+					Kind:    journey.SpanCSCold,
+					Node:    *listen,
+					Start:   start,
+					End:     end,
+					Name:    cname,
+					HasName: true,
+					Proto:   "ndn-data",
+				})
+			}
+			if *verbose {
+				log.Printf("cold read %#08x re-injected (%d bytes, %v)", cname, len(data), time.Duration(end-start))
+			}
+			handle(pkt, 0)
+		})
 	}
 
 	log.Printf("diprouter listening on %v with %d ports", laddr, r.NumPorts())

@@ -122,6 +122,15 @@ type (
 	PIT = pit.Table[uint32]
 	// ContentStore is the LRU content cache.
 	ContentStore = cs.Store[uint32]
+	// TieredStore is the two-tier content cache: ContentStore as hot RAM
+	// tier over a file-backed cold slot arena, with non-blocking cold
+	// reads satisfied by async re-injection.
+	TieredStore = cs.Tiered[uint32]
+	// TieredConfig sizes the cold tier (slots, slot size, reader pool).
+	TieredConfig = cs.ColdConfig
+	// TierStats is a two-tier content-store snapshot (per-tier hit ratios,
+	// cold-read latency histogram, arena occupancy).
+	TierStats = cs.TierStats
 	// SecretValue is a router's DRKey secret.
 	SecretValue = drkey.SecretValue
 	// Session is a negotiated OPT session (held by hosts).
@@ -299,6 +308,7 @@ type NodeState struct {
 	NameFIB      *fib.Table
 	PIT          *pit.Table[uint32]
 	ContentStore *cs.Store[uint32]
+	TieredStore  *cs.Tiered[uint32]
 	Secret       *drkey.SecretValue
 	MACKind      opt.Kind
 	PrevLabel    [16]byte
@@ -337,6 +347,23 @@ func (s *NodeState) EnableCacheSharded(capacity, shards int) *NodeState {
 	return s
 }
 
+// EnableTieredCache layers a file-backed cold arena under a fresh sharded
+// hot tier: hot evictions spill to disk under insert-on-second-hit
+// admission, and cold hits are served by async re-injection so forwarders
+// never block on a read. The returned store must be Closed by the caller
+// (it owns the arena file and reader pool); wire its completion callback
+// with TieredStore.SetReinject before serving traffic.
+func (s *NodeState) EnableTieredCache(capacity, shards int, cold TieredConfig) (*cs.Tiered[uint32], error) {
+	hot := cs.NewSharded[uint32](capacity, shards)
+	t, err := cs.NewTiered(hot, cold)
+	if err != nil {
+		return nil, err
+	}
+	s.ContentStore = hot
+	s.TieredStore = t
+	return t, nil
+}
+
 // EnableOPT attaches the DRKey secret and MAC configuration the
 // authentication operations need.
 func (s *NodeState) EnableOPT(secret *drkey.SecretValue, kind opt.Kind, prevLabel [16]byte, hopIndex uint8) *NodeState {
@@ -355,6 +382,7 @@ func (s *NodeState) OpsConfig() ops.Config {
 		NameFIB:      s.NameFIB,
 		PIT:          s.PIT,
 		ContentStore: s.ContentStore,
+		TieredStore:  s.TieredStore,
 		Secret:       s.Secret,
 		MACKind:      s.MACKind,
 		PrevLabel:    s.PrevLabel,

@@ -24,6 +24,13 @@ import (
 type Store[K comparable] struct {
 	shards []csShard[K]
 	mask   uint64
+	// onEvict, when set (by the tiered store in this package), receives
+	// entries pushed out by the capacity bound. Ownership of data transfers
+	// to the handler — the store holds no reference after the call — and
+	// touched reports whether the entry was ever hit after insertion (the
+	// insert-on-second-hit admission signal). Called with the shard lock
+	// held; handlers must not call back into the store.
+	onEvict func(k K, data []byte, touched bool)
 }
 
 type csShard[K comparable] struct {
@@ -38,6 +45,9 @@ type csShard[K comparable] struct {
 type item[K comparable] struct {
 	key  K
 	data []byte
+	// hits counts touches after insertion (Get hits and Put refreshes):
+	// 0 means the entry was cached once and never asked for again.
+	hits uint32
 }
 
 // New returns a store holding at most capacity entries in one shard (exact
@@ -49,8 +59,10 @@ func New[K comparable](capacity int) *Store[K] {
 
 // NewSharded returns a store of at most capacity entries split over shards
 // lock domains (rounded down to a power of two; also capped so every shard
-// keeps at least one entry). Total capacity never exceeds the requested
-// bound; eviction is LRU per shard.
+// keeps at least one entry). The capacity divides across shards with the
+// remainder spread one entry at a time over the leading shards, so the
+// per-shard bounds sum to exactly the requested capacity — never more,
+// never less. Eviction is LRU per shard.
 func NewSharded[K comparable](capacity, shards int) *Store[K] {
 	n := nhash.Pow2(shards)
 	if capacity > 0 {
@@ -59,9 +71,17 @@ func NewSharded[K comparable](capacity, shards int) *Store[K] {
 		}
 	}
 	s := &Store[K]{shards: make([]csShard[K], n), mask: uint64(n - 1)}
+	base, rem := 0, 0
+	if capacity > 0 {
+		base, rem = capacity/n, capacity%n
+	}
 	for i := range s.shards {
+		c := base
+		if i < rem {
+			c++
+		}
 		s.shards[i] = csShard[K]{
-			cap:   capacity / n,
+			cap:   c,
 			ll:    list.New(),
 			index: make(map[K]*list.Element),
 		}
@@ -73,6 +93,11 @@ func NewSharded[K comparable](capacity, shards int) *Store[K] {
 func (s *Store[K]) NumShards() int { return len(s.shards) }
 
 func (s *Store[K]) shardOf(k K) *csShard[K] {
+	// The default store has one shard (mask 0): every key lands on shard 0,
+	// so hashing the key would be pure overhead on the hot hit path.
+	if s.mask == 0 {
+		return &s.shards[0]
+	}
 	return &s.shards[nhash.Of(k)&s.mask]
 }
 
@@ -89,6 +114,7 @@ func (s *Store[K]) Put(k K, data []byte) {
 		it := el.Value.(*item[K])
 		sh.bytes += len(data) - len(it.data)
 		it.data = append(it.data[:0], data...)
+		it.hits++
 		sh.ll.MoveToFront(el)
 		return
 	}
@@ -98,7 +124,7 @@ func (s *Store[K]) Put(k K, data []byte) {
 	sh.size++
 	sh.bytes += len(cp)
 	for sh.size > sh.cap {
-		sh.evictOldest()
+		s.evictOldest(sh)
 	}
 }
 
@@ -113,7 +139,9 @@ func (s *Store[K]) Get(k K) ([]byte, bool) {
 		return nil, false
 	}
 	sh.ll.MoveToFront(el)
-	return el.Value.(*item[K]).data, true
+	it := el.Value.(*item[K])
+	it.hits++
+	return it.data, true
 }
 
 // Remove drops the entry for k, reporting whether it existed. Used by the
@@ -155,9 +183,18 @@ func (s *Store[K]) Bytes() int {
 	return n
 }
 
-func (sh *csShard[K]) evictOldest() {
-	if el := sh.ll.Back(); el != nil {
-		sh.remove(el)
+// evictOldest drops the shard's LRU entry, handing it to the eviction hook
+// (tiered spill) when one is installed. Called with the shard lock held.
+func (s *Store[K]) evictOldest(sh *csShard[K]) {
+	el := sh.ll.Back()
+	if el == nil {
+		return
+	}
+	it := el.Value.(*item[K])
+	data, hits := it.data, it.hits
+	sh.remove(el) // accounts it.data before ownership moves to the hook
+	if s.onEvict != nil {
+		s.onEvict(it.key, data, hits > 0)
 	}
 }
 

@@ -114,6 +114,51 @@ func TestConcurrent(t *testing.T) {
 	}
 }
 
+// TestShardedCapacityExact pins the remainder-distribution contract: the
+// per-shard bounds sum to exactly the requested capacity, whatever the
+// shard count — never the truncated capacity/n*n, never more.
+func TestShardedCapacityExact(t *testing.T) {
+	cases := []struct {
+		capacity, shards int
+		wantShards       int
+	}{
+		{10, 4, 4},  // the motivating bug: 10/4*4 = 8 entries held, 2 lost
+		{7, 4, 4},   // remainder 3 spread over the leading shards
+		{8, 4, 4},   // exact division: every shard equal
+		{1, 4, 1},   // shard count clamps so no shard holds zero
+		{3, 8, 2},   // clamp to capacity/n >= 1
+		{129, 8, 8}, // big remainder-1 case
+		{64, 1, 1},  // single shard unchanged
+		{0, 4, 4},   // disabled cache keeps requested shards, zero cap
+	}
+	for _, tc := range cases {
+		s := NewSharded[int](tc.capacity, tc.shards)
+		if got := s.NumShards(); got != tc.wantShards {
+			t.Errorf("NewSharded(%d,%d): shards = %d, want %d", tc.capacity, tc.shards, got, tc.wantShards)
+		}
+		total := 0
+		for i := range s.shards {
+			total += s.shards[i].cap
+		}
+		want := tc.capacity
+		if want < 0 {
+			want = 0
+		}
+		if total != want {
+			t.Errorf("NewSharded(%d,%d): shard caps sum to %d, want %d", tc.capacity, tc.shards, total, want)
+		}
+		// Overfill and confirm the live bound matches the contract too.
+		if tc.capacity > 0 {
+			for i := 0; i < tc.capacity*3; i++ {
+				s.Put(i, []byte("x"))
+			}
+			if s.Len() > tc.capacity {
+				t.Errorf("NewSharded(%d,%d): holds %d entries, exceeds requested capacity", tc.capacity, tc.shards, s.Len())
+			}
+		}
+	}
+}
+
 func BenchmarkPutGet(b *testing.B) {
 	s := New[uint32](4096)
 	payload := make([]byte, 256)
@@ -122,5 +167,35 @@ func BenchmarkPutGet(b *testing.B) {
 		k := uint32(i) % 8192
 		s.Put(k, payload)
 		s.Get(k)
+	}
+}
+
+// BenchmarkGetHitSingleShard measures the default-store hit path, which
+// skips the key hash entirely (mask==0 routes every key to shard 0).
+// Compare against BenchmarkGetHitSharded to see the hash cost the fast
+// path removes.
+func BenchmarkGetHitSingleShard(b *testing.B) {
+	s := New[uint32](1024)
+	for i := uint32(0); i < 1024; i++ {
+		s.Put(i, []byte("payload"))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Get(uint32(i) & 1023)
+	}
+}
+
+// BenchmarkGetHitSharded is the same hit pattern through a sharded store,
+// where every lookup must hash the key to pick its shard.
+func BenchmarkGetHitSharded(b *testing.B) {
+	s := NewSharded[uint32](1024, 8)
+	for i := uint32(0); i < 1024; i++ {
+		s.Put(i, []byte("payload"))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Get(uint32(i) & 1023)
 	}
 }

@@ -23,6 +23,7 @@ import (
 
 	"dip/internal/cc"
 	"dip/internal/core"
+	"dip/internal/cs"
 	"dip/internal/host"
 	"dip/internal/journey"
 	"dip/internal/router"
@@ -58,6 +59,9 @@ type Source struct {
 	// PIT and CS supply table occupancy.
 	PIT PITStats
 	CS  CSStats
+	// CSTier, when set, supplies the two-tier content-store snapshot for
+	// the dip_cs_tier_* / dip_cs_cold_* series (cs.Tiered.Stats).
+	CSTier func() cs.TierStats
 	// Trace supplies ring sample/drop counters and the /trace dump.
 	Trace *trace.Recorder
 	// Journeys supplies the journey span ring for the /journeys dump (a
@@ -165,6 +169,44 @@ func (s Source) WriteMetrics(w io.Writer) {
 		writeSample(w, "dip_cs_entries", label, float64(s.CS.Len()))
 		writeHeader(w, "dip_cs_bytes", "gauge", "Content store cached payload bytes.")
 		writeSample(w, "dip_cs_bytes", label, float64(s.CS.Bytes()))
+	}
+	if s.CSTier != nil {
+		ts := s.CSTier()
+		writeHeader(w, "dip_cs_tier_hits_total", "counter", "Content-store hits by tier.")
+		writeSample(w, "dip_cs_tier_hits_total", join(label, `tier="hot"`), float64(ts.HotHits))
+		writeSample(w, "dip_cs_tier_hits_total", join(label, `tier="cold"`), float64(ts.ColdHits))
+		writeHeader(w, "dip_cs_tier_misses_total", "counter", "Content-store lookups that missed both tiers.")
+		writeSample(w, "dip_cs_tier_misses_total", label, float64(ts.Misses))
+		writeHeader(w, "dip_cs_spilled_total", "counter", "Hot-tier evictions written to the cold arena.")
+		writeSample(w, "dip_cs_spilled_total", label, float64(ts.Spilled))
+		writeHeader(w, "dip_cs_spill_dropped_total", "counter", "Hot-tier evictions lost (queue or arena full, oversize, write error).")
+		writeSample(w, "dip_cs_spill_dropped_total", label, float64(ts.SpillDropped))
+		writeHeader(w, "dip_cs_admission_filtered_total", "counter", "Evictions rejected by insert-on-second-hit admission.")
+		writeSample(w, "dip_cs_admission_filtered_total", label, float64(ts.AdmitFiltered))
+		writeHeader(w, "dip_cs_cold_read_errors_total", "counter", "Cold reads that failed slot verification.")
+		writeSample(w, "dip_cs_cold_read_errors_total", label, float64(ts.ReadErrors))
+		writeHeader(w, "dip_cs_reinjected_total", "counter", "Cold reads completed and re-injected on the data path.")
+		writeSample(w, "dip_cs_reinjected_total", label, float64(ts.Reinjected))
+		writeHeader(w, "dip_cs_pending_rejected_total", "counter", "Cold-read requests refused by the pending-table cap.")
+		writeSample(w, "dip_cs_pending_rejected_total", label, float64(ts.PendingRejected))
+		writeHeader(w, "dip_cs_pending_cold_reads", "gauge", "Cold reads currently in flight.")
+		writeSample(w, "dip_cs_pending_cold_reads", label, float64(ts.PendingReads))
+		writeHeader(w, "dip_cs_cold_slots", "gauge", "Cold arena slot occupancy.")
+		writeSample(w, "dip_cs_cold_slots", join(label, `state="used"`), float64(ts.ColdSlotsUsed))
+		writeSample(w, "dip_cs_cold_slots", join(label, `state="free"`), float64(ts.ColdSlots-ts.ColdSlotsUsed))
+		writeHeader(w, "dip_cs_cold_read_ns", "histogram", "Cold-tier read latency histogram (log2 buckets, nanoseconds).")
+		var cum uint64
+		for b := 0; b < cs.HistBuckets && b < telemetry.HistBuckets; b++ {
+			if ts.ColdReadHist[b] == 0 {
+				continue
+			}
+			cum += ts.ColdReadHist[b]
+			le := fmt.Sprintf("%d", int64(telemetry.BucketUpper(b)))
+			writeSample(w, "dip_cs_cold_read_ns_bucket", join(label, `le=`+quote(le)), float64(cum))
+		}
+		writeSample(w, "dip_cs_cold_read_ns_bucket", join(label, `le="+Inf"`), float64(ts.ColdReadCount))
+		writeSample(w, "dip_cs_cold_read_ns_sum", label, float64(ts.ColdReadTotalNs))
+		writeSample(w, "dip_cs_cold_read_ns_count", label, float64(ts.ColdReadCount))
 	}
 	if s.Trace != nil {
 		writeHeader(w, "dip_trace_seen_total", "counter", "Packets that passed the trace sampling decision.")

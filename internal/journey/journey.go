@@ -213,12 +213,16 @@ const (
 	// SpanHostCwndCut is a fetcher's congestion controller cutting its
 	// window after a timeout (a congestion event, filed by name).
 	SpanHostCwndCut
+	// SpanCSCold is a content-store cold-tier read: the time an interest
+	// spent parked while the arena slot was fetched and re-injected.
+	SpanCSCold
 	numSpanKinds
 )
 
 var spanKindNames = [numSpanKinds]string{
 	"router", "link", "encap", "decap", "probe-miss", "failover",
 	"send", "retx", "recv", "satisfy", "dead-letter", "cwnd-cut",
+	"cs-cold",
 }
 
 // String names the span kind.

@@ -22,11 +22,21 @@ type FIB struct {
 	fib   *fib.Table
 	pit   *pit.Table[uint32]
 	store *cs.Store[uint32] // nil disables caching
+	// tiered, when set, layers a cold tier under the store: a hot miss
+	// probes the cold index, and a cold hit parks the interest in the PIT
+	// while an async reader fetches the slot — the forwarder never blocks
+	// on disk.
+	tiered *cs.Tiered[uint32]
 }
 
 // NewFIB builds the module. store may be nil.
 func NewFIB(t *fib.Table, p *pit.Table[uint32], store *cs.Store[uint32]) *FIB {
 	return &FIB{fib: t, pit: p, store: store}
+}
+
+// NewTieredFIB builds the module over a two-tier content store.
+func NewTieredFIB(t *fib.Table, p *pit.Table[uint32], ts *cs.Tiered[uint32]) *FIB {
+	return &FIB{fib: t, pit: p, store: ts.Hot(), tiered: ts}
 }
 
 // Key implements core.Operation.
@@ -45,21 +55,35 @@ func (o *FIB) Execute(ctx *core.ExecContext, loc, bits uint) error {
 		return err
 	}
 	name := uint32(v) << (32 - bits)
-	if o.store != nil {
+	if o.tiered != nil {
+		if data, ok := o.tiered.GetHot(name); ok {
+			ctx.Cached = data
+			ctx.Absorb()
+			return nil
+		}
+	} else if o.store != nil {
 		if data, ok := o.store.Get(name); ok {
 			ctx.Cached = data
 			ctx.Absorb()
 			return nil
 		}
 	}
+	// A cold hit means the content is on local disk: the interest parks in
+	// the PIT exactly as for an upstream fetch, but no packet leaves the
+	// router — the reader pool re-injects the data once the slot is read.
+	// Like the hot tier, the cold tier is checked before the FIB (footnote
+	// 2's ordering), so a cold hit is served even with no route.
+	coldHit := o.tiered != nil && o.tiered.ColdContains(name)
 	nh, ok := o.fib.LookupUint32(name)
-	if !ok {
-		ctx.Drop(core.DropNoRoute)
-		return nil
-	}
-	if nh.Port == fib.PortLocal {
-		ctx.Deliver()
-		return nil
+	if !coldHit {
+		if !ok {
+			ctx.Drop(core.DropNoRoute)
+			return nil
+		}
+		if nh.Port == fib.PortLocal {
+			ctx.Deliver()
+			return nil
+		}
 	}
 	if !ctx.ChargeState(pit.EntryCost) {
 		return nil // budget drop already recorded
@@ -82,6 +106,20 @@ func (o *FIB) Execute(ctx *core.ExecContext, loc, bits uint) error {
 		ctx.Absorb() // aggregated onto a pending interest; do not forward
 		return nil
 	}
+	if coldHit {
+		if o.tiered.RequestCold(name) {
+			ctx.Absorb() // parked; the async read will satisfy the PIT entry
+			return nil
+		}
+		// The read was refused (pending table full, or the entry vanished
+		// between probe and request): fall back to forwarding upstream when
+		// a route exists. Without one the stale PIT entry is left for the
+		// sweeper, the same end state as a lost upstream fetch.
+		if !ok {
+			ctx.Drop(core.DropNoRoute)
+			return nil
+		}
+	}
 	ctx.AddEgress(nh.Port)
 	return nil
 }
@@ -93,6 +131,9 @@ func (o *FIB) Execute(ctx *core.ExecContext, loc, bits uint) error {
 type PIT struct {
 	pit   *pit.Table[uint32]
 	store *cs.Store[uint32] // nil disables caching
+	// tiered, when set, routes cache inserts through the two-tier store so
+	// stale cold slots are invalidated and hot evictions spill to disk.
+	tiered *cs.Tiered[uint32]
 	// requirePass gates cache insertion on a prior successful F_pass
 	// check — the content-poisoning defense posture of §2.4.
 	requirePass bool
@@ -103,10 +144,20 @@ func NewPIT(p *pit.Table[uint32], store *cs.Store[uint32]) *PIT {
 	return &PIT{pit: p, store: store}
 }
 
+// NewTieredPIT builds the module over a two-tier content store.
+func NewTieredPIT(p *pit.Table[uint32], ts *cs.Tiered[uint32]) *PIT {
+	return &PIT{pit: p, store: ts.Hot(), tiered: ts}
+}
+
 // NewGuardedPIT builds the module in require-pass mode: payloads only
 // enter the content store when the packet carried a valid F_pass label.
 func NewGuardedPIT(p *pit.Table[uint32], store *cs.Store[uint32]) *PIT {
 	return &PIT{pit: p, store: store, requirePass: true}
+}
+
+// NewGuardedTieredPIT is NewGuardedPIT over a two-tier content store.
+func NewGuardedTieredPIT(p *pit.Table[uint32], ts *cs.Tiered[uint32]) *PIT {
+	return &PIT{pit: p, store: ts.Hot(), tiered: ts, requirePass: true}
 }
 
 // Key implements core.Operation.
@@ -137,7 +188,11 @@ func (o *PIT) Execute(ctx *core.ExecContext, loc, bits uint) error {
 	if o.store != nil && (!o.requirePass || ctx.Passed) {
 		payload := ctx.View.Payload()
 		if ctx.ChargeState(len(payload)) {
-			o.store.Put(name, payload)
+			if o.tiered != nil {
+				o.tiered.Put(name, payload)
+			} else {
+				o.store.Put(name, payload)
+			}
 		}
 	}
 	return nil

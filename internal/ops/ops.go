@@ -58,6 +58,10 @@ type Config struct {
 	NameFIB      *fib.Table
 	PIT          *pit.Table[uint32]
 	ContentStore *cs.Store[uint32]
+	// TieredStore, when set, takes precedence over ContentStore: F_FIB and
+	// F_PIT run against the two-tier (RAM + cold arena) hierarchy, with
+	// cold hits parked in the PIT and satisfied by async re-injection.
+	TieredStore *cs.Tiered[uint32]
 	// Secret, MACKind, PrevLabel and HopIndex configure F_parm/F_MAC/F_mark.
 	Secret    *drkey.SecretValue
 	MACKind   opt.Kind
@@ -91,10 +95,19 @@ func NewRouterRegistry(cfg Config) *core.Registry {
 	}
 	reg.MustRegister(NewSource())
 	if cfg.NameFIB != nil && cfg.PIT != nil {
-		reg.MustRegister(NewFIB(cfg.NameFIB, cfg.PIT, cfg.ContentStore))
-		if cfg.RequirePass {
+		switch {
+		case cfg.TieredStore != nil:
+			reg.MustRegister(NewTieredFIB(cfg.NameFIB, cfg.PIT, cfg.TieredStore))
+			if cfg.RequirePass {
+				reg.MustRegister(NewGuardedTieredPIT(cfg.PIT, cfg.TieredStore))
+			} else {
+				reg.MustRegister(NewTieredPIT(cfg.PIT, cfg.TieredStore))
+			}
+		case cfg.RequirePass:
+			reg.MustRegister(NewFIB(cfg.NameFIB, cfg.PIT, cfg.ContentStore))
 			reg.MustRegister(NewGuardedPIT(cfg.PIT, cfg.ContentStore))
-		} else {
+		default:
+			reg.MustRegister(NewFIB(cfg.NameFIB, cfg.PIT, cfg.ContentStore))
 			reg.MustRegister(NewPIT(cfg.PIT, cfg.ContentStore))
 		}
 	}

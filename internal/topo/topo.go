@@ -4,7 +4,7 @@
 //
 // Syntax (one directive per line, '#' comments):
 //
-//	router R1 [cache=64] [csshards=N] [secret=<32 hex>] [hopindex=N] [requirepass] [pitperport=N] [pitshards=N]
+//	router R1 [cache=64] [csshards=N] [cscold=SLOTS] [csslot=BYTES] [secret=<32 hex>] [hopindex=N] [requirepass] [pitperport=N] [pitshards=N]
 //	host   H1
 //	link   R1:0 H1 [delay]          # bidirectional; hosts have one port
 //	link   R1:1 R2:0 2ms
@@ -79,6 +79,10 @@ type routerNode struct {
 	r       *router.Router
 	metrics *telemetry.Metrics
 	ports   int
+	// tiered is the two-tier content store when the router was declared
+	// with cscold=N: cold reads run synchronously (Readers 0) under the
+	// virtual clock, and completions re-inject via a Schedule(0) event.
+	tiered *cs.Tiered[uint32]
 	// in is the batched ingress when the router was declared with batch=N:
 	// links Submit into it and schedule a Pump, so queue service runs
 	// burst-shaped but still in deterministic virtual-time order.
@@ -186,7 +190,7 @@ func (t *Topology) addRouter(args []string) error {
 		FIB128:  fib.New(),
 		NameFIB: fib.New(),
 	}
-	var cacheCap, csShards, pitPerPort, pitShards, batch, queue int
+	var cacheCap, csShards, csCold, csSlot, pitPerPort, pitShards, batch, queue int
 	for _, opt := range args[1:] {
 		k, v, _ := strings.Cut(opt, "=")
 		switch k {
@@ -214,6 +218,18 @@ func (t *Topology) addRouter(args []string) error {
 				return fmt.Errorf("csshards wants a positive count, got %q", v)
 			}
 			csShards = n
+		case "cscold":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				return fmt.Errorf("cscold wants a positive slot count, got %q", v)
+			}
+			csCold = n
+		case "csslot":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				return fmt.Errorf("csslot wants a positive byte size, got %q", v)
+			}
+			csSlot = n
 		case "secret":
 			secret, err := hex.DecodeString(v)
 			if err != nil || len(secret) != 16 {
@@ -256,6 +272,12 @@ func (t *Topology) addRouter(args []string) error {
 		popts = append(popts, pit.WithShards[uint32](pitShards))
 	}
 	cfg.PIT = pit.New[uint32](popts...)
+	if csCold > 0 && cacheCap <= 0 {
+		return fmt.Errorf("cscold= needs a hot tier; add cache=N")
+	}
+	if csSlot > 0 && csCold == 0 {
+		return fmt.Errorf("csslot= only applies with cscold=N")
+	}
 	if cacheCap > 0 {
 		if csShards > 1 {
 			cfg.ContentStore = cs.NewSharded[uint32](cacheCap, csShards)
@@ -263,10 +285,26 @@ func (t *Topology) addRouter(args []string) error {
 			cfg.ContentStore = cs.New[uint32](cacheCap)
 		}
 	}
+	var tiered *cs.Tiered[uint32]
+	if csCold > 0 {
+		// Readers 0 keeps the cold tier synchronous: the pread happens
+		// inside the interest's own sim event and the completion re-injects
+		// via Schedule(0), so runs stay single-goroutine deterministic.
+		var err error
+		tiered, err = cs.NewTiered(cfg.ContentStore, cs.ColdConfig{
+			Slots:    csCold,
+			SlotSize: csSlot,
+			Now:      func() int64 { return int64(t.sim.Now()) },
+		})
+		if err != nil {
+			return fmt.Errorf("cscold: %v", err)
+		}
+		cfg.TieredStore = tiered
+	}
 	if queue > 0 && batch == 0 {
 		return fmt.Errorf("queue= only applies to batched routers; add batch=N")
 	}
-	rn := &routerNode{name: name, cfg: cfg, metrics: &telemetry.Metrics{}}
+	rn := &routerNode{name: name, cfg: cfg, metrics: &telemetry.Metrics{}, tiered: tiered}
 	rn.r = router.New(ops.NewRouterRegistry(cfg), router.Config{
 		Name:    name,
 		Metrics: rn.metrics,
@@ -284,6 +322,41 @@ func (t *Topology) addRouter(args []string) error {
 			HighDepth: queue,
 			LowDepth:  queue,
 			Clock:     t.sim.Now,
+		})
+	}
+	if tiered != nil {
+		tiered.SetReinject(func(cname uint32, data []byte, start, end int64) {
+			reply, err := buildPacket(profiles.NDNData(cname), data)
+			if err != nil {
+				return
+			}
+			// Schedule(0) breaks re-entrancy: the synchronous read completes
+			// inside the interest's HandlePacket, so the data packet must
+			// enter the router as its own event, after the interest absorbs.
+			t.sim.Schedule(0, func() {
+				if t.journeys != nil {
+					t.journeys.AddSpan(journey.Span{
+						Trace:   journey.TraceOf(reply),
+						Kind:    journey.SpanCSCold,
+						Node:    name,
+						Start:   start,
+						End:     end,
+						Name:    cname,
+						HasName: true,
+						Proto:   "ndn-data",
+					})
+				}
+				if t.Log != nil {
+					t.Log("[%v] %s cold read %#08x re-injected", t.sim.Now(), name, cname)
+				}
+				if rn.in != nil {
+					if rn.in.Submit(reply, 0) {
+						t.sim.Schedule(0, func() { rn.in.Pump() })
+					}
+					return
+				}
+				rn.r.HandlePacket(reply, 0)
+			})
 		})
 	}
 	t.routers[name] = rn
@@ -639,6 +712,26 @@ func (t *Topology) EnableJourneys(every int) *journey.Collector {
 	}
 	t.journeys = c
 	return c
+}
+
+// TierStats returns the named router's two-tier content-store snapshot,
+// or ok=false when it has no cold tier (no cscold= option).
+func (t *Topology) TierStats(router string) (cs.TierStats, bool) {
+	rn, ok := t.routers[router]
+	if !ok || rn.tiered == nil {
+		return cs.TierStats{}, false
+	}
+	return rn.tiered.Stats(), true
+}
+
+// Close releases per-router resources (cold-tier arena files). Safe to
+// call multiple times; runs must be finished first.
+func (t *Topology) Close() {
+	for _, rn := range t.routers {
+		if rn.tiered != nil {
+			rn.tiered.Close()
+		}
+	}
 }
 
 // Journeys returns the collector installed by EnableJourneys, or nil.

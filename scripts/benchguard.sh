@@ -74,3 +74,33 @@ print("benchguard: burst gmp%d  batch1 %.0fns / batch64 %.0fns = %.2fx (need >= 
       % (top, b1, b64, speed, minspeed))
 sys.exit(0 if speed >= minspeed else 1)
 ' "$NEW" "$MINSPEED"
+
+# Gate the tiered content store's never-block claim (E20): the hot-tier hit
+# latency must stay flat as the catalog sweeps past RAM capacity. The
+# largest catalog's cstier/.../hotget row may not exceed the smallest
+# catalog's by more than the tolerance — if cold-tier bookkeeping ever
+# taxed the RAM fast path, this is where it would show. Skipped when the
+# new file predates the cstier experiment.
+python3 -c '
+import json, sys
+new, tol = sys.argv[1], float(sys.argv[2])
+rows = {}
+for r in json.load(open(new)):
+    n = r["name"]
+    if n.startswith("cstier/cat") and n.endswith("/hotget"):
+        rows[int(n[len("cstier/cat"):-len("/hotget")])] = r["ns_per_op"]
+if not rows:
+    print("benchguard: no cstier/ records in %s; skipping tier gate" % new)
+    sys.exit(0)
+small, big = min(rows), max(rows)
+base, top = rows[small], rows[big]
+delta = (top - base) * 100.0 / base if base > 0 else 0.0
+# These rows sit near the measurement noise floor (~tens of ns), so the
+# percentage tolerance gets a 15ns absolute slack floor — the gate exists
+# to catch the hot path picking up per-lookup cold-tier work (hundreds of
+# ns of mutex/IO), not scheduler jitter.
+limit = max(base * tol / 100.0, 15.0)
+print("benchguard: cstier hot hit  cat%d %.0fns -> cat%d %.0fns  %+.1f%% (slack %.0fns)"
+      % (small, base, big, top, delta, limit))
+sys.exit(0 if top - base <= limit else 1)
+' "$NEW" "$TOL"
