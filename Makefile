@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race vet fuzz soak bench benchrace metricssmoke journeysmoke burstsmoke ccsmoke cssmoke benchguard clean
+.PHONY: build test check race vet fuzz soak bench benchrace metricssmoke journeysmoke burstsmoke ccsmoke cssmoke churnsmoke benchguard clean
 
 build:
 	$(GO) build ./...
@@ -20,8 +20,10 @@ race:
 # target, a live scrape of the metrics endpoint, a smoke of the batched
 # dataplane (ordering/zero-alloc tests plus a short scaling run), the
 # congestion-control smoke (fleet fairness + chaos acceptance + E19 row),
-# and the tiered content-store smoke (never-block acceptance + E20 sweep).
-check: vet race benchrace fuzz metricssmoke journeysmoke burstsmoke ccsmoke cssmoke
+# the tiered content-store smoke (never-block acceptance + E20 sweep), and
+# the control-plane smoke (route-exchange reconvergence scenarios + a
+# scaled-down E21 churn run with its built-in oracle).
+check: vet race benchrace fuzz metricssmoke journeysmoke burstsmoke ccsmoke cssmoke churnsmoke
 
 # Short benchstat-friendly run of the forwarding hot-path benchmarks
 # (compare runs with: make bench > old.txt; ...; make bench > new.txt;
@@ -149,10 +151,22 @@ cssmoke:
 	echo "$$out"; echo "$$out" | grep -q '^  65536 ' \
 		|| { echo "cssmoke: E20 sweep missing the 16x catalog row"; exit 1; }
 
+# Control-plane smoke: the route-exchange convergence and fault scenarios
+# (link kill -> triggered-withdraw reconvergence; silent death -> hold-timer
+# recovery), the churn package's race-exercised harness tests, and a
+# scaled-down E21 churn run — the run hard-fails if the harness's oracle
+# finds the tables desynchronized from the storm bookkeeping.
+churnsmoke:
+	$(GO) test -run 'TestSpeakers|TestLinkKill|TestSilentLinkDeath|TestLinkUp' ./internal/topo/
+	$(GO) test -race -short ./internal/churn/ ./internal/bootstrap/
+	@set -e; out=$$($(GO) run ./cmd/dipbench -experiment churn -churn-scale 0.02); \
+	echo "$$out"; echo "$$out" | grep -q 'jitter ratio' \
+		|| { echo "churnsmoke: churn run produced no jitter line"; exit 1; }
+
 # Hot-path benchmark regression gate: compare this PR's dipbench records
 # against the previous baseline (see scripts/benchguard.sh for knobs).
 benchguard:
-	sh scripts/benchguard.sh BENCH_8.json BENCH_7.json 15
+	sh scripts/benchguard.sh BENCH_9.json BENCH_8.json 15
 
 # Long-running soak and heavy-chaos tests are skipped under -short; this
 # target runs everything, including them.

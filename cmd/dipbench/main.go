@@ -16,7 +16,7 @@
 //	dipbench -experiment fig2   # one experiment: fig2, table2, mac,
 //	                            # parallel, fncount, fibscale, pisa,
 //	                            # fiblookup, mixed, journey, burst,
-//	                            # fetchcc, cstier
+//	                            # fetchcc, cstier, churn
 //	dipbench -trials 1000       # per-measurement packet count (paper: 1000)
 //	dipbench -json out.json     # also write machine-readable records
 //	                            # (name, ns/op, B/op, allocs/op, GOMAXPROCS)
@@ -38,6 +38,7 @@ import (
 
 	"dip"
 	"dip/internal/cc"
+	"dip/internal/churn"
 	"dip/internal/core"
 	"dip/internal/cs"
 	"dip/internal/fib"
@@ -51,10 +52,11 @@ import (
 )
 
 var (
-	trials  = flag.Int("trials", 1000, "forwarding tests per measurement (paper: 1000)")
-	rounds  = flag.Int("rounds", 31, "measurement rounds; the median is reported")
-	jsonOut = flag.String("json", "", "write benchmark records as JSON to this file")
-	packets = []int{128, 768, 1500}
+	trials     = flag.Int("trials", 1000, "forwarding tests per measurement (paper: 1000)")
+	rounds     = flag.Int("rounds", 31, "measurement rounds; the median is reported")
+	jsonOut    = flag.String("json", "", "write benchmark records as JSON to this file")
+	churnScale = flag.Float64("churn-scale", 1.0, "scale the churn experiment's route counts and storm ops (1.0 = 1.05M routes)")
+	packets    = []int{128, 768, 1500}
 )
 
 // benchRecord is one line of the -json output; the field set mirrors what
@@ -85,7 +87,7 @@ func writeJSON() {
 }
 
 func main() {
-	exp := flag.String("experiment", "all", "fig2 | table2 | mac | parallel | fncount | fibscale | pisa | fiblookup | mixed | journey | burst | fetchcc | cstier | all")
+	exp := flag.String("experiment", "all", "fig2 | table2 | mac | parallel | fncount | fibscale | pisa | fiblookup | mixed | journey | burst | fetchcc | cstier | churn | all")
 	flag.Parse()
 	switch *exp {
 	case "fig2":
@@ -114,6 +116,8 @@ func main() {
 		fetchCC()
 	case "cstier":
 		csTier()
+	case "churn":
+		churnExperiment()
 	case "all":
 		table2()
 		fig2()
@@ -128,6 +132,7 @@ func main() {
 		burstScaling()
 		fetchCC()
 		csTier()
+		churnExperiment()
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -1059,5 +1064,69 @@ func csTier() {
 		}
 	}
 	fmt.Println("  (hot ns/op must stay flat as the catalog grows 16x past RAM;\n   cold ns/op is the off-path recovery cost parked interests pay)")
+	fmt.Println()
+}
+
+// churnExperiment is E21: the control-plane scale run. At -churn-scale 1
+// it installs 1.05M routes (550k/32-bit, 300k/128-bit, 200k names)
+// through batched transactions, then replays eight 20k-operation churn
+// storms while concurrent samplers and a burst dataplane read the same
+// tables. The claim under test is the RCU FIB's core promise: route churn
+// at full control-plane rate must not disturb the read path — the storm
+// p99 lookup latency stays within a small factor of the quiescent p99
+// (benchguard holds the ratio), commits stay cheap (one pointer store,
+// COW path copies amortized per batch), and heap high-water stays bounded.
+// The harness's built-in oracle (tables walked against its own bookkeeping
+// after the storms) makes a desynchronized run a hard failure, not a
+// silently wrong measurement.
+func churnExperiment() {
+	fmt.Println("== E21: million-route churn under live lookups ==")
+	s := *churnScale
+	scale := func(n int) int {
+		v := int(float64(n) * s)
+		if v < 100 {
+			v = 100
+		}
+		return v
+	}
+	cfg := churn.Config{
+		Routes32:   scale(550_000),
+		Routes128:  scale(300_000),
+		RoutesName: scale(200_000),
+		StormOps:   scale(20_000),
+		Seed:       21,
+		Forward:    true,
+		Log: func(format string, args ...any) {
+			fmt.Printf("  "+format+"\n", args...)
+		},
+	}
+	res := churn.Run(cfg)
+	if !res.OracleOK {
+		log.Fatalf("churn oracle failed: %s", res.OracleDiag)
+	}
+	installPer := float64(res.InstallNs) / float64(res.Installed)
+	fmt.Printf("  install: %d routes in %v (%.0fns/route, %d commits, %.0fns/commit)\n",
+		res.Installed, time.Duration(res.InstallNs), installPer, res.Commits, res.NsPerCommit)
+	fmt.Printf("  storms:  %d ops in %v, heap high-water %dMB, dataplane forwarded %d\n",
+		res.StormOpsApplied, time.Duration(res.StormNs), res.HeapHighWater>>20, res.Forwarded)
+	fmt.Printf("  lookup latency   %10s %10s\n", "p50", "p99")
+	fmt.Printf("    quiescent      %9dns %9dns\n", res.QuiesceP50, res.QuiesceP99)
+	fmt.Printf("    under churn    %9dns %9dns   (max %v, %d samples)\n",
+		res.StormP50, res.StormP99, time.Duration(res.StormMax), res.Samples)
+	fmt.Printf("  jitter ratio (storm p99 / quiesce p99): %.2fx\n", res.JitterRatio)
+	if *jsonOut != "" {
+		gmp := runtime.GOMAXPROCS(0)
+		jsonRecords = append(jsonRecords,
+			benchRecord{Name: "churn/install", NsPerOp: installPer,
+				BytesPerOp: float64(res.HeapHighWater), Gomaxprocs: gmp},
+			benchRecord{Name: "churn/commit", NsPerOp: res.NsPerCommit, Gomaxprocs: gmp},
+			benchRecord{Name: "churn/lookup/quiesce-p50", NsPerOp: float64(res.QuiesceP50), Gomaxprocs: gmp},
+			benchRecord{Name: "churn/lookup/quiesce-p99", NsPerOp: float64(res.QuiesceP99), Gomaxprocs: gmp},
+			benchRecord{Name: "churn/lookup/storm-p50", NsPerOp: float64(res.StormP50), Gomaxprocs: gmp},
+			benchRecord{Name: "churn/lookup/storm-p99", NsPerOp: float64(res.StormP99), Gomaxprocs: gmp},
+			benchRecord{Name: "churn/jitter", NsPerOp: res.JitterRatio, Gomaxprocs: gmp},
+		)
+	}
+	fmt.Println("  (the gate: churn must not disturb readers — storm p99 stays within a\n   small multiple of quiescent p99; oracle desync is a hard failure)")
 	fmt.Println()
 }

@@ -54,6 +54,18 @@
 //	-health D         log a guard health line every D (e.g. 10s) and dump
 //	                  new quarantine captures in dipdump-ready form
 //
+// Control plane (in-fabric route exchange):
+//
+//	-speaker          run the route-exchange speaker: originate this
+//	                  router's configured routes, advertise them to every
+//	                  peer inside DIP control packets (F_ctl FN, control
+//	                  class), and install what peers advertise through
+//	                  batched FIB transactions; withdrawn or silent
+//	                  neighbors' routes age out via soft state
+//	-speaker-refresh D  advertisement refresh period (default 5s)
+//	-speaker-hold D   soft-state hold time before a silent neighbor's
+//	                  routes expire (default 3x refresh)
+//
 // Observability (the metrics/trace/pprof listener):
 //
 //	-metrics-addr A   serve Prometheus text on A/metrics, sampled packet
@@ -81,8 +93,10 @@ import (
 	"time"
 
 	"dip"
+	"dip/internal/bootstrap"
 	"dip/internal/journey"
 	"dip/internal/pit"
+	"dip/internal/profiles"
 	"dip/internal/telemetry"
 )
 
@@ -112,6 +126,9 @@ func main() {
 		pitShards = flag.Int("pitshards", 0, "PIT lock shards, rounded to a power of two (0 = default)")
 		csShards  = flag.Int("csshards", 0, "content store lock shards (0 = 1 shard, exact LRU)")
 		healthDur = flag.Duration("health", 0, "guard health log period (0 = off)")
+		speaker   = flag.Bool("speaker", false, "run the in-fabric route-exchange speaker over the peer ports")
+		speakRef  = flag.Duration("speaker-refresh", 5*time.Second, "route advertisement refresh period")
+		speakHold = flag.Duration("speaker-hold", 0, "soft-state hold time (0 = 3x refresh)")
 		metricsAt = flag.String("metrics-addr", "", "HTTP address for /metrics, /trace and /debug/pprof (empty = off)")
 		traceN    = flag.Int("trace-every", 0, "trace every Nth packet's FN journey (0 = off)")
 		traceRing = flag.Int("trace-ring", 0, "trace ring capacity in records (0 = default)")
@@ -217,17 +234,55 @@ func main() {
 	if *traceN > 0 {
 		tracer = dip.NewTraceRecorder(metrics, *traceN, *traceRing)
 	}
+	// speakerAgent is assigned (if -speaker) before the socket read loop
+	// starts, so the delivery path below never races the assignment.
+	var speakerAgent *bootstrap.Speaker
 	r := dip.NewRouter(state.OpsConfig(), dip.RouterOptions{
 		Name:    *listen,
 		Limits:  dip.Limits{MaxFNs: *maxFNs},
 		Metrics: metrics,
 		Trace:   tracer,
 		LocalDelivery: func(pkt []byte, inPort int) {
+			if speakerAgent != nil {
+				if v, err := dip.ParsePacket(pkt); err == nil && v.NextHeader() == profiles.NHRouteExchange {
+					if err := speakerAgent.Handle(v.Payload(), inPort); err != nil && *verbose {
+						log.Printf("route exchange from port %d: %v", inPort, err)
+					}
+					return
+				}
+			}
 			if *verbose {
 				log.Printf("delivered locally: %d bytes from port %d", len(pkt), inPort)
 			}
 		},
 	})
+
+	if *speaker {
+		if *speakRef <= 0 {
+			log.Fatalf("-speaker-refresh must be positive")
+		}
+		start := time.Now()
+		hold := *speakHold
+		if hold <= 0 {
+			hold = 3 * *speakRef
+		}
+		var splog func(string, ...any)
+		if *verbose {
+			splog = log.Printf
+		}
+		speakerAgent = bootstrap.NewSpeaker(bootstrap.SpeakerConfig{
+			Name:    *listen,
+			FIB32:   state.FIB32,
+			FIB128:  state.FIB128,
+			NameFIB: state.NameFIB,
+			Catalog: bootstrap.CatalogOf(r.Registry()),
+			Now:     func() time.Duration { return time.Since(start) },
+			HoldFor: hold,
+			Log:     splog,
+		})
+		log.Printf("speaker: originating %d configured routes, refresh %v",
+			speakerAgent.OriginateFromFIBs(), *speakRef)
+	}
 
 	// Journey spans wrap whatever recorder the router got (trace sampler or
 	// bare metrics) — the tap forwards everything to it, so /metrics and
@@ -261,6 +316,9 @@ func main() {
 		if tiered != nil {
 			src.CSTier = tiered.Stats
 		}
+		if speakerAgent != nil {
+			src.Routes = speakerAgent.Stats
+		}
 		bound, _, err := dip.ServeMetrics(*metricsAt, src)
 		if err != nil {
 			log.Fatalf("-metrics-addr: %v", err)
@@ -280,9 +338,31 @@ func main() {
 			}
 		}))
 		portOf[raddr.String()] = idx
+		// Every peer port is a route-exchange adjacency: the speaker's
+		// messages ride DIP control packets straight over the socket (not
+		// through the forwarding pipeline — they are this hop's own
+		// control traffic, not transit).
+		if speakerAgent != nil {
+			speakerAgent.AddNeighbor(idx, func(msg []byte) {
+				pkt, err := dip.BuildPacket(profiles.RouteExchange(), msg)
+				if err != nil {
+					return
+				}
+				if _, err := conn.WriteToUDP(pkt, raddr); err != nil && *verbose {
+					log.Printf("route exchange to %v: %v", raddr, err)
+				}
+			})
+		}
 		if *verbose {
 			log.Printf("port %d -> %v", i, raddr)
 		}
+	}
+	if speakerAgent != nil {
+		go func() {
+			for range time.Tick(*speakRef) {
+				speakerAgent.Refresh()
+			}
+		}()
 	}
 
 	// With -workers the ingress guard layer owns the packets: classification,

@@ -250,6 +250,14 @@ type (
 	QuarantineCapture = guard.Capture
 	// Catalog is an advertised FN availability set.
 	Catalog = bootstrap.Catalog
+	// Speaker is a per-router route-exchange agent: it advertises local
+	// prefixes and FN catalogs to neighbors over the DIP fabric itself and
+	// commits learned routes to the FIBs in batched transactions.
+	Speaker = bootstrap.Speaker
+	// SpeakerConfig wires a Speaker to a node's FIBs, catalog, and clock.
+	SpeakerConfig = bootstrap.SpeakerConfig
+	// SpeakerStats is a point-in-time route-exchange counter snapshot.
+	SpeakerStats = bootstrap.SpeakerStats
 	// DAG is an XIA address.
 	DAG = xia.DAG
 	// DAGNode is one XIA address node.
@@ -297,6 +305,24 @@ func NewQuarantine(n int) *Quarantine { return guard.NewQuarantine(n) }
 
 // ClassifyPacket reports the default admission class of raw packet bytes.
 func ClassifyPacket(pkt []byte) GuardClass { return guard.Classify(pkt) }
+
+// NewSpeaker builds a route-exchange agent for one router. Peer it with
+// AddNeighbor (the send func typically wraps BuildPacket(RouteExchange(), msg)
+// toward that neighbor), feed received control payloads to Handle, and call
+// Refresh periodically to re-advertise and expire stale routes.
+func NewSpeaker(cfg SpeakerConfig) *Speaker { return bootstrap.NewSpeaker(cfg) }
+
+// CatalogOf derives the advertised FN catalog from a router registry.
+func CatalogOf(reg *Registry) Catalog { return bootstrap.CatalogOf(reg) }
+
+// RouteExchange is the header profile of an in-fabric route-exchange packet:
+// a single F_ctl FN delivering the payload to the receiving router's control
+// stack (its Speaker) instead of forwarding it.
+func RouteExchange() *Header { return profiles.RouteExchange() }
+
+// NHRouteExchange is the next-header value of an in-fabric route-exchange
+// packet; a local-delivery sink demultiplexes on it to feed the Speaker.
+const NHRouteExchange = profiles.NHRouteExchange
 
 // NodeState bundles the forwarding state a fully-featured DIP node keeps.
 // Zero-valued fields are valid: a node built from a fresh NodeState

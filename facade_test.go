@@ -7,6 +7,7 @@ package dip
 import (
 	"bytes"
 	"testing"
+	"time"
 
 	"dip/internal/bootstrap"
 	"dip/internal/extops"
@@ -126,6 +127,50 @@ func TestExtensionOpsThroughFacade(t *testing.T) {
 	records, _, err := extops.DecodeTel(locs[telOff/8:])
 	if err != nil || len(records) != 1 || records[0].HopID != 7 {
 		t.Errorf("telemetry: %v %v", records, err)
+	}
+}
+
+// The route-exchange control plane is drivable purely through facade
+// symbols: a Speaker's advertisement rides a RouteExchange packet through a
+// real Router, whose F_ctl verdict hands it to the local-delivery sink, and
+// the learning side commits the route into its FIB.
+func TestRouteExchangeThroughFacade(t *testing.T) {
+	now := func() time.Duration { return 0 }
+
+	// Learner: a router whose local-delivery sink feeds its Speaker.
+	state := NewNodeState()
+	learner := NewRouter(state.OpsConfig(), RouterOptions{})
+	sp := NewSpeaker(SpeakerConfig{Name: "learner", FIB32: state.FIB32, Now: now})
+	sp.AddNeighbor(0, func([]byte) {}) // return path, unused here
+	learner.SetLocalDelivery(func(pkt []byte, inPort int) {
+		v, err := ParsePacket(pkt)
+		if err != nil || v.NextHeader() != NHRouteExchange {
+			t.Errorf("unexpected local delivery: %v", err)
+			return
+		}
+		if err := sp.Handle(v.Payload(), inPort); err != nil {
+			t.Errorf("speaker: %v", err)
+		}
+	})
+
+	// Origin: its Speaker wraps messages in the control profile and injects
+	// them into the learner's pipeline as port-0 arrivals.
+	origin := NewSpeaker(SpeakerConfig{Name: "origin", Now: now})
+	origin.AddNeighbor(0, func(msg []byte) {
+		pkt, err := BuildPacket(RouteExchange(), msg)
+		if err != nil {
+			t.Fatalf("build: %v", err)
+		}
+		learner.HandlePacket(pkt, 0)
+	})
+	origin.Originate(bootstrap.Entry32(0x0A000000, 8, 0), NextHop{Port: 3})
+	origin.Refresh()
+
+	if st := sp.Stats(); st.RIB != 1 || st.RoutesInstalled != 1 {
+		t.Fatalf("stats after exchange: %+v", st)
+	}
+	if nh, ok := state.FIB32.LookupUint32(0x0A010203); !ok || nh.Port != 0 {
+		t.Errorf("learned route not committed to the FIB (nh=%+v ok=%v)", nh, ok)
 	}
 }
 

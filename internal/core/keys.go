@@ -59,6 +59,16 @@ const (
 	// through to PolicyIgnore, so carrying it is always safe — exactly the
 	// §2.4 extensibility story (new FNs deploy without touching routers).
 	KeyTraceCtx Key = 13
+	// KeyCtl — F_ctl: an extension FN (not in the paper's Table 1) marking
+	// a control-plane message addressed to whichever router receives it.
+	// Executing it delivers the packet to the node's local control stack
+	// (route exchange, §2.3 bootstrap) instead of forwarding — the in-fabric
+	// hop-by-hop transport the distributed control plane rides on. It takes
+	// 15, not 14: the extops modules (F_cc=13, F_tel=14) register dynamically,
+	// and F_ctl — installed in every router registry by default — must not
+	// shadow them. (F_trace sharing 13 is harmless: it is passive and never
+	// registered on routers.)
+	KeyCtl Key = 15
 )
 
 // MaxKey is the largest key the dense dispatch table supports. Wire keys
@@ -82,6 +92,7 @@ var keyNames = map[Key]string{
 	KeyIntent:   "F_intent",
 	KeyPass:     "F_pass",
 	KeyTraceCtx: "F_trace",
+	KeyCtl:      "F_ctl",
 }
 
 // String returns the paper's notation for well-known keys and "key(n)"

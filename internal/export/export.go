@@ -21,6 +21,7 @@ import (
 	"sort"
 	"strings"
 
+	"dip/internal/bootstrap"
 	"dip/internal/cc"
 	"dip/internal/core"
 	"dip/internal/cs"
@@ -76,6 +77,9 @@ type Source struct {
 	// FetchCC supplies the fetcher's congestion-controller snapshot for
 	// the dip_fetch_cwnd / srtt / rto gauges (SegFetcher.CC).
 	FetchCC func() cc.Snapshot
+	// Routes supplies the route-exchange speaker snapshot for the
+	// dip_route_* series (bootstrap.Speaker.Stats).
+	Routes func() bootstrap.SpeakerStats
 }
 
 // WriteMetrics renders the full Prometheus text exposition to w.
@@ -242,6 +246,45 @@ func (s Source) WriteMetrics(w io.Writer) {
 		writeSample(w, "dip_fetch_rto_ns", label, float64(snap.RTO))
 		writeHeader(w, "dip_fetch_cwnd_cuts_total", "counter", "Fetcher multiplicative window decreases.")
 		writeSample(w, "dip_fetch_cwnd_cuts_total", label, float64(snap.Cuts))
+	}
+	if s.Routes != nil {
+		rs := s.Routes()
+		writeHeader(w, "dip_route_rib_entries", "gauge", "Routes learned from neighbors and resident in the FIBs.")
+		writeSample(w, "dip_route_rib_entries", label, float64(rs.RIB))
+		writeHeader(w, "dip_route_local_entries", "gauge", "Locally originated routes the speaker advertises.")
+		writeSample(w, "dip_route_local_entries", label, float64(rs.Local))
+		writeHeader(w, "dip_route_messages_total", "counter", "Route-exchange messages by type and direction.")
+		for _, m := range []struct {
+			typ, dir string
+			n        int64
+		}{
+			{"advertise", "sent", rs.AdvertisesSent},
+			{"advertise", "recv", rs.AdvertisesRecv},
+			{"withdraw", "sent", rs.WithdrawsSent},
+			{"withdraw", "recv", rs.WithdrawsRecv},
+		} {
+			writeSample(w, "dip_route_messages_total",
+				join(label, `type=`+quote(m.typ), `dir=`+quote(m.dir)), float64(m.n))
+		}
+		writeHeader(w, "dip_route_changes_total", "counter", "FIB route changes applied by the speaker, by cause.")
+		for _, c := range []struct {
+			cause string
+			n     int64
+		}{
+			{"installed", rs.RoutesInstalled},
+			{"withdrawn", rs.RoutesWithdrawn},
+			{"expired", rs.RoutesExpired},
+		} {
+			writeSample(w, "dip_route_changes_total", join(label, `cause=`+quote(c.cause)), float64(c.n))
+		}
+		writeHeader(w, "dip_route_malformed_total", "counter", "Route-exchange messages rejected by the codec.")
+		writeSample(w, "dip_route_malformed_total", label, float64(rs.Malformed))
+		writeHeader(w, "dip_route_stale_total", "counter", "Route-exchange messages discarded as out of sequence.")
+		writeSample(w, "dip_route_stale_total", label, float64(rs.Stale))
+		writeHeader(w, "dip_route_commits_total", "counter", "Batched FIB transactions the speaker published.")
+		writeSample(w, "dip_route_commits_total", label, float64(rs.Commits))
+		writeHeader(w, "dip_route_noop_batches_total", "counter", "Speaker transaction batches discarded as no-ops (nothing changed).")
+		writeSample(w, "dip_route_noop_batches_total", label, float64(rs.NoopBatches))
 	}
 	if s.Journeys != nil {
 		writeHeader(w, "dip_journey_spans_total", "counter", "Journey spans emitted by this process.")

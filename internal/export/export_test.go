@@ -9,8 +9,10 @@ import (
 	"testing"
 	"time"
 
+	"dip/internal/bootstrap"
 	"dip/internal/cc"
 	"dip/internal/core"
+	"dip/internal/fib"
 	"dip/internal/host"
 	"dip/internal/netsim"
 	"dip/internal/profiles"
@@ -284,5 +286,46 @@ func TestWriteMetricsFetchFamily(t *testing.T) {
 	}
 	if _, ok := samples[`dip_fetch_cwnd_cuts_total{node="c1"}`]; !ok {
 		t.Error("cwnd cuts sample missing")
+	}
+}
+
+func TestWriteMetricsRouteFamily(t *testing.T) {
+	// Two speakers joined by a synchronous in-memory link: A originates a
+	// route, B learns it, and B's scrape must show the exchange.
+	fibB := fib.New()
+	var a, b *bootstrap.Speaker
+	now := func() time.Duration { return 0 }
+	a = bootstrap.NewSpeaker(bootstrap.SpeakerConfig{Name: "A", Now: now})
+	b = bootstrap.NewSpeaker(bootstrap.SpeakerConfig{Name: "B", FIB32: fibB, Now: now})
+	a.AddNeighbor(0, func(msg []byte) { b.Handle(msg, 0) })
+	b.AddNeighbor(0, func(msg []byte) { a.Handle(msg, 0) })
+	a.Originate(bootstrap.Entry32(0x0A000000, 8, 0), fib.NextHop{Port: 1})
+	a.Refresh()
+	if err := b.Handle([]byte{0xFF, 0xFF}, 0); err == nil {
+		t.Fatal("junk message accepted")
+	}
+
+	src := Source{Node: "r2", Routes: b.Stats}
+	var sb strings.Builder
+	src.WriteMetrics(&sb)
+	samples := parsePromText(t, sb.String())
+
+	if got := samples[`dip_route_rib_entries{node="r2"}`]; got != 1 {
+		t.Errorf("rib entries = %g, want 1", got)
+	}
+	if got := samples[`dip_route_messages_total{node="r2",type="advertise",dir="recv"}`]; got < 1 {
+		t.Errorf("advertises recv = %g, want >= 1", got)
+	}
+	if got := samples[`dip_route_changes_total{node="r2",cause="installed"}`]; got != 1 {
+		t.Errorf("installed = %g, want 1", got)
+	}
+	if got := samples[`dip_route_commits_total{node="r2"}`]; got != 1 {
+		t.Errorf("commits = %g, want 1", got)
+	}
+	if got := samples[`dip_route_malformed_total{node="r2"}`]; got != 1 {
+		t.Errorf("malformed = %g, want 1", got)
+	}
+	if got := samples[`dip_route_local_entries{node="r2"}`]; got != 0 {
+		t.Errorf("local entries = %g, want 0", got)
 	}
 }

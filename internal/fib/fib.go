@@ -119,8 +119,16 @@ func (t *Table) Walk(fn func(prefix []byte, plen int, nh NextHop) bool) {
 // until Commit or Abort, so exactly one is mandatory; lookups are never
 // blocked either way. This is the route-churn API: one BGP-style batch of
 // updates costs one pointer publish instead of one per route.
+//
+// No-op transactions publish nothing: Add skips routes that are already
+// installed with the same next hop, Remove of an absent route stages
+// nothing, and Commit only stores when the staged trie differs (pointer
+// inequality) from the snapshot the transaction opened on. A periodic
+// refresh cycle that re-installs the same routes therefore never
+// invalidates reader caches.
 type Txn struct {
 	t    *Table
+	orig *lpm.BitTrie[NextHop]
 	trie *lpm.BitTrie[NextHop]
 	done bool
 }
@@ -129,11 +137,17 @@ type Txn struct {
 // Abort (other writers block until then; readers do not).
 func (t *Table) Txn() *Txn {
 	t.mu.Lock()
-	return &Txn{t: t, trie: t.trie.Load()}
+	cur := t.trie.Load()
+	return &Txn{t: t, orig: cur, trie: cur}
 }
 
 // Add stages a route. Staged updates are invisible to lookups until Commit.
+// Re-adding an identical route (same prefix, length and next hop) stages
+// nothing, so refresh-style batches stay no-ops.
 func (x *Txn) Add(prefix []byte, plen int, nh NextHop) error {
+	if cur, ok := x.trie.Get(prefix, plen); ok && cur == nh {
+		return nil
+	}
 	nt, _, err := x.trie.InsertCOW(prefix, plen, nh)
 	if err != nil {
 		return err
@@ -152,10 +166,13 @@ func (x *Txn) AddUint32(key uint32, plen int, nh NextHop) error {
 	return x.Add(k[:], plen, nh)
 }
 
-// Remove stages a route withdrawal.
+// Remove stages a route withdrawal. Removing an absent route stages
+// nothing (DeleteCOW returns the receiver unchanged).
 func (x *Txn) Remove(prefix []byte, plen int) bool {
 	nt, removed := x.trie.DeleteCOW(prefix, plen)
-	x.trie = nt
+	if removed {
+		x.trie = nt
+	}
 	return removed
 }
 
@@ -163,15 +180,23 @@ func (x *Txn) Remove(prefix []byte, plen int) bool {
 // transaction's own updates).
 func (x *Txn) Len() int { return x.trie.Len() }
 
+// Changed reports whether the transaction has staged any effective update
+// so far (a Commit now would publish a new snapshot).
+func (x *Txn) Changed() bool { return x.trie != x.orig }
+
 // Commit publishes every staged update at once and releases the writer
 // lock. Lookups switch from the old snapshot to the new one at a single
-// atomic pointer store.
+// atomic pointer store. A transaction that staged nothing effective
+// publishes nothing: the snapshot pointer — and every reader cache keyed
+// on it — stays untouched.
 func (x *Txn) Commit() {
 	if x.done {
 		return
 	}
 	x.done = true
-	x.t.trie.Store(x.trie)
+	if x.trie != x.orig {
+		x.t.trie.Store(x.trie)
+	}
 	x.t.mu.Unlock()
 }
 
@@ -198,11 +223,16 @@ func NewNameTable() *NameTable {
 	return t
 }
 
-// Add installs (or replaces) a route for the name prefix.
+// Add installs (or replaces) a route for the name prefix. Re-adding an
+// identical route publishes nothing.
 func (t *NameTable) Add(prefix names.Name, nh NextHop) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	nt, _ := t.trie.Load().InsertCOW(prefix.Components(), nh)
+	cur := t.trie.Load()
+	if have, ok := cur.Get(prefix.Components()); ok && have == nh {
+		return
+	}
+	nt, _ := cur.InsertCOW(prefix.Components(), nh)
 	t.trie.Store(nt)
 }
 
@@ -226,4 +256,86 @@ func (t *NameTable) Lookup(name names.Name) (NextHop, bool) {
 // Len returns the number of installed name prefixes.
 func (t *NameTable) Len() int {
 	return t.trie.Load().Len()
+}
+
+// Walk visits every name route in the current snapshot. fn sees a
+// consistent point-in-time view; routes added or removed during the walk
+// may or may not appear.
+func (t *NameTable) Walk(fn func(prefix names.Name, nh NextHop) bool) {
+	t.trie.Load().Walk(func(components []string, nh NextHop) bool {
+		n, err := names.FromComponents(components...)
+		if err != nil {
+			return true // cannot happen: stored names were validated at Add
+		}
+		return fn(n, nh)
+	})
+}
+
+// NameTxn is the NameTable's batched-update transaction, the churn API
+// Table.Txn provides for address routes: any number of Adds and Removes,
+// one snapshot publish at Commit, and the same no-op discipline (an
+// ineffective transaction publishes nothing). The transaction holds the
+// table's writer lock from Txn() until Commit or Abort; lookups are never
+// blocked. Without it, a storm of n name-route updates costs n pointer
+// publishes — with it, one.
+type NameTxn struct {
+	t    *NameTable
+	orig *lpm.NameTrie[NextHop]
+	trie *lpm.NameTrie[NextHop]
+	done bool
+}
+
+// Txn opens a batched update. The caller must finish it with Commit or
+// Abort (other writers block until then; readers do not).
+func (t *NameTable) Txn() *NameTxn {
+	t.mu.Lock()
+	cur := t.trie.Load()
+	return &NameTxn{t: t, orig: cur, trie: cur}
+}
+
+// Add stages a name route. Re-adding an identical route stages nothing.
+func (x *NameTxn) Add(prefix names.Name, nh NextHop) {
+	if cur, ok := x.trie.Get(prefix.Components()); ok && cur == nh {
+		return
+	}
+	nt, _ := x.trie.InsertCOW(prefix.Components(), nh)
+	x.trie = nt
+}
+
+// Remove stages a name-route withdrawal; removing an absent route stages
+// nothing.
+func (x *NameTxn) Remove(prefix names.Name) bool {
+	nt, removed := x.trie.DeleteCOW(prefix.Components())
+	if removed {
+		x.trie = nt
+	}
+	return removed
+}
+
+// Len returns the route count as staged.
+func (x *NameTxn) Len() int { return x.trie.Len() }
+
+// Changed reports whether the transaction has staged any effective update.
+func (x *NameTxn) Changed() bool { return x.trie != x.orig }
+
+// Commit publishes every staged update at once and releases the writer
+// lock; an ineffective transaction leaves the snapshot pointer untouched.
+func (x *NameTxn) Commit() {
+	if x.done {
+		return
+	}
+	x.done = true
+	if x.trie != x.orig {
+		x.t.trie.Store(x.trie)
+	}
+	x.t.mu.Unlock()
+}
+
+// Abort discards every staged update and releases the writer lock.
+func (x *NameTxn) Abort() {
+	if x.done {
+		return
+	}
+	x.done = true
+	x.t.mu.Unlock()
 }

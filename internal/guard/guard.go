@@ -54,6 +54,7 @@ func (c Class) String() string {
 const (
 	nhFNUnsupported = 0xFE
 	protoDIP        = 0xFD
+	nhRouteExchange = 0xFC
 	dipVersion      = 1
 	ipv4Version     = 4
 )
@@ -70,7 +71,7 @@ func Classify(pkt []byte) Class {
 	}
 	switch pkt[0] {
 	case dipVersion:
-		if pkt[1] == nhFNUnsupported || pkt[1] == protoDIP {
+		if pkt[1] == nhFNUnsupported || pkt[1] == protoDIP || pkt[1] == nhRouteExchange {
 			return ClassControl
 		}
 	default:

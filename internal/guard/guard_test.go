@@ -83,6 +83,7 @@ func TestClassify(t *testing.T) {
 		{"dip data", []byte{1, 0x00, 0, 64}, ClassBulk},
 		{"dip fn-unsupported", []byte{1, 0xFE, 0, 64}, ClassControl},
 		{"dip tunnel control", []byte{1, 0xFD, 0, 64}, ClassControl},
+		{"dip route exchange", []byte{1, 0xFC, 0, 64}, ClassControl},
 		{"ipv4 probe", append([]byte{0x45, 0, 0, 20, 0, 0, 0, 0, 64, 0xFE}, make([]byte, 10)...), ClassControl},
 		{"ipv4 udp", append([]byte{0x45, 0, 0, 20, 0, 0, 0, 0, 64, 17}, make([]byte, 10)...), ClassBulk},
 		{"short ipv4 probe", []byte{0x45, 0xFE}, ClassBulk},

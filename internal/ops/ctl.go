@@ -1,0 +1,28 @@
+package ops
+
+import "dip/internal/core"
+
+// Ctl is F_ctl (key 14): control-plane delivery. A packet carrying it is a
+// hop-scoped control message — a route-exchange advertisement or withdraw
+// (internal/bootstrap) addressed to whichever router receives it — so the
+// verdict is always Deliver: the router hands the payload to its local
+// control stack instead of forwarding. The operand is unused; the FN exists
+// so control messages ride the same engine, the same admission guard
+// (which classifies their next header as control class), and the same
+// telemetry as every data packet — the in-fabric control plane of §2.3.
+type Ctl struct{}
+
+// NewCtl builds the module.
+func NewCtl() *Ctl { return &Ctl{} }
+
+// Key implements core.Operation.
+func (o *Ctl) Key() core.Key { return core.KeyCtl }
+
+// Name implements core.Operation.
+func (o *Ctl) Name() string { return core.KeyCtl.String() }
+
+// Execute implements core.Operation.
+func (o *Ctl) Execute(ctx *core.ExecContext, _, _ uint) error {
+	ctx.Deliver()
+	return nil
+}

@@ -127,6 +127,7 @@ func NewRouterRegistry(cfg Config) *core.Registry {
 		reg.MustRegister(NewDAG(cfg.XIARoutes), NewIntent(cfg.Intent, cfg.XIARoutes))
 	}
 	reg.MustRegister(NewPass(&cfg.GuardKey))
+	reg.MustRegister(NewCtl())
 	return reg
 }
 

@@ -15,7 +15,26 @@ const (
 	// router returns when a packet demands an operation it cannot run and
 	// the operation's policy requires on-path participation (§2.4).
 	NHFNUnsupported = 0xFE
+	// NHRouteExchange marks an in-fabric route-exchange message (an
+	// advertisement or withdraw, internal/bootstrap): a hop-scoped control
+	// packet whose payload the receiving router's control stack consumes.
+	// The ingress guard classifies it as control class, so route exchange
+	// keeps converging while bulk traffic is being shed.
+	NHRouteExchange = 0xFC
 )
+
+// RouteExchange builds the header a route-exchange message rides in: a
+// single F_ctl FN (delivered at the next DIP hop — the neighbor), with the
+// encoded advertisement or withdraw as the payload. One byte of the
+// locations region backs the (unused) operand.
+func RouteExchange() *core.Header {
+	return &core.Header{
+		HopLimit:   DefaultHopLimit,
+		NextHeader: NHRouteExchange,
+		FNs:        []core.FN{core.RouterFN(0, 8, core.KeyCtl)},
+		Locations:  make([]byte, 1),
+	}
+}
 
 // BuildFNUnsupported constructs the §2.4 notification: a DIP packet
 // addressed to srcAddr (4 or 16 bytes, from the original packet's F_source

@@ -1,0 +1,220 @@
+// Route-exchange integration: the "speakers" directive turns every router
+// in the topology into a route-exchange participant (internal/bootstrap),
+// and "linkdown"/"linkup" inject the faults the protocol reconverges
+// around.
+//
+//	speakers [refresh=50ms] [hold=150ms] [horizon=1s] [maxmetric=16]
+//	linkdown R1 R2 at 10ms [silent]   # kill the R1–R2 link (both directions)
+//	linkup   R1 R2 at 30ms            # revive it
+//
+// With speakers enabled, each router's statically configured routes become
+// its originated set (OriginateFromFIBs) and everything else is learned in
+// band: advertisements ride DIP packets carrying an F_ctl FN on the
+// control class, delivered through the router's own pipeline to the
+// speaker. Refresh cycles are scheduled from t=0 every refresh= up to
+// horizon= (virtual time), bounding the event queue so Run terminates.
+//
+// linkdown without "silent" models carrier loss: both routers see PortDown
+// and reconverge via triggered withdraws. With "silent" the link just eats
+// packets — no signal, no withdraws — and recovery must come from
+// soft-state expiry (hold=), the slow path.
+package topo
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"dip/internal/bootstrap"
+	"dip/internal/core"
+	"dip/internal/netsim"
+	"dip/internal/profiles"
+)
+
+// speakOptions is the parsed "speakers" directive.
+type speakOptions struct {
+	refresh   time.Duration
+	hold      time.Duration
+	horizon   time.Duration
+	maxMetric int
+}
+
+// routerLink is one router↔router adjacency: who is on each side, the port
+// each side uses, and the two directed pipes (ab carries a→b traffic).
+type routerLink struct {
+	aName, bName string
+	aPort, bPort int
+	ab, ba       *netsim.Endpoint
+}
+
+func (t *Topology) addSpeakers(args []string) error {
+	if t.speak != nil {
+		return fmt.Errorf("speakers redeclared")
+	}
+	opt := &speakOptions{refresh: 50 * time.Millisecond, maxMetric: 16}
+	for _, a := range args {
+		k, v, ok := strings.Cut(a, "=")
+		if !ok {
+			return fmt.Errorf("unknown speakers option %q", a)
+		}
+		switch k {
+		case "refresh", "hold", "horizon":
+			d, err := time.ParseDuration(v)
+			if err != nil || d <= 0 {
+				return fmt.Errorf("%s wants a positive duration, got %q", k, v)
+			}
+			switch k {
+			case "refresh":
+				opt.refresh = d
+			case "hold":
+				opt.hold = d
+			case "horizon":
+				opt.horizon = d
+			}
+		case "maxmetric":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				return fmt.Errorf("maxmetric wants a positive count, got %q", v)
+			}
+			opt.maxMetric = n
+		default:
+			return fmt.Errorf("unknown speakers option %q", a)
+		}
+	}
+	if opt.hold == 0 {
+		opt.hold = 3 * opt.refresh
+	}
+	if opt.horizon == 0 {
+		opt.horizon = 20 * opt.refresh
+	}
+	t.speak = opt
+	return nil
+}
+
+// findRouterLink resolves the link between two named routers (either
+// order). Requires the link directive to appear earlier in the file.
+func (t *Topology) findRouterLink(a, b string) (*routerLink, error) {
+	for _, l := range t.rlinks {
+		if (l.aName == a && l.bName == b) || (l.aName == b && l.bName == a) {
+			return l, nil
+		}
+	}
+	return nil, fmt.Errorf("no link between routers %s and %s (declare link first)", a, b)
+}
+
+// addLinkEvent schedules a linkdown or linkup.
+func (t *Topology) addLinkEvent(up bool, args []string) error {
+	args, at, err := t.scheduleAt(args)
+	if err != nil {
+		return err
+	}
+	silent := false
+	if n := len(args); n > 0 && args[n-1] == "silent" {
+		if up {
+			return fmt.Errorf("linkup has no silent mode")
+		}
+		silent = true
+		args = args[:n-1]
+	}
+	if len(args) != 2 {
+		return fmt.Errorf("link event needs: routerA routerB [at D] [silent]")
+	}
+	l, err := t.findRouterLink(args[0], args[1])
+	if err != nil {
+		return err
+	}
+	t.events = append(t.events, event{at: at, fn: func() {
+		l.ab.Dropped = !up
+		l.ba.Dropped = !up
+		verb := "down"
+		if up {
+			verb = "up"
+		}
+		if t.Log != nil {
+			t.Log("[%v] link %s–%s %s (silent=%v)", t.sim.Now(), l.aName, l.bName, verb, silent)
+		}
+		if silent || t.speakers == nil {
+			return
+		}
+		sa, sb := t.speakers[l.aName], t.speakers[l.bName]
+		if up {
+			sa.PortUp(l.aPort)
+			sb.PortUp(l.bPort)
+		} else {
+			sa.PortDown(l.aPort)
+			sb.PortDown(l.bPort)
+		}
+	}})
+	return nil
+}
+
+// buildSpeakers instantiates one Speaker per router, wires adjacencies
+// over the existing link pipes, seeds each from its static FIBs, and
+// schedules the refresh cycle. Runs once, at scenario start.
+func (t *Topology) buildSpeakers() {
+	if t.speak == nil || t.speakers != nil {
+		return
+	}
+	t.speakers = make(map[string]*bootstrap.Speaker, len(t.routers))
+	for name, rn := range t.routers {
+		sp := bootstrap.NewSpeaker(bootstrap.SpeakerConfig{
+			Name:      name,
+			FIB32:     rn.cfg.FIB32,
+			FIB128:    rn.cfg.FIB128,
+			NameFIB:   rn.cfg.NameFIB,
+			Catalog:   bootstrap.CatalogOf(rn.r.Registry()),
+			Now:       t.sim.Now,
+			HoldFor:   t.speak.hold,
+			MaxMetric: t.speak.maxMetric,
+			Log:       t.Log,
+		})
+		sp.OriginateFromFIBs()
+		t.speakers[name] = sp
+		rn.r.SetLocalDelivery(func(pkt []byte, inPort int) {
+			t.deliverControl(sp, pkt, inPort)
+		})
+	}
+	for _, l := range t.rlinks {
+		l := l
+		t.speakers[l.aName].AddNeighbor(l.aPort, func(msg []byte) { t.sendControl(l.ab, msg) })
+		t.speakers[l.bName].AddNeighbor(l.bPort, func(msg []byte) { t.sendControl(l.ba, msg) })
+	}
+	for at := time.Duration(0); at <= t.speak.horizon; at += t.speak.refresh {
+		t.events = append(t.events, event{at: at, fn: func() {
+			for _, sp := range t.speakers {
+				sp.Refresh()
+			}
+		}})
+	}
+}
+
+// sendControl wraps an encoded route-exchange message in its DIP control
+// packet (F_ctl FN, NHRouteExchange) and puts it on the directed pipe.
+func (t *Topology) sendControl(pipe *netsim.Endpoint, msg []byte) {
+	pkt, err := buildPacket(profiles.RouteExchange(), msg)
+	if err != nil {
+		return
+	}
+	pipe.Send(pkt)
+}
+
+// deliverControl is the router's local-delivery sink with speakers on:
+// route-exchange payloads go to the speaker; anything else a router was
+// asked to deliver locally is absorbed (routers are not hosts).
+func (t *Topology) deliverControl(sp *bootstrap.Speaker, pkt []byte, inPort int) {
+	v, err := core.ParseView(pkt)
+	if err != nil || v.NextHeader() != profiles.NHRouteExchange {
+		return
+	}
+	sp.Handle(v.Payload(), inPort)
+}
+
+// Speaker returns the named router's route-exchange agent (nil without the
+// speakers directive or before the scenario started).
+func (t *Topology) Speaker(router string) *bootstrap.Speaker {
+	if t.speakers == nil {
+		return nil
+	}
+	return t.speakers[router]
+}

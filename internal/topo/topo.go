@@ -17,6 +17,11 @@
 //	produce H2 aa000001 "payload"   # H2 answers interests for the name
 //	interest H1 aa000001 [at 5ms]   # scenario traffic
 //	send   H1 ipv4 10.0.0.1 10.0.0.9 "payload" [at 1ms]
+//	speakers [refresh=50ms] [hold=150ms] [horizon=1s] [maxmetric=16]
+//	                                # in-fabric route exchange on all routers
+//	linkdown R1 R2 at 10ms [silent] # kill a router-router link (silent: no
+//	                                # carrier loss; only hold-timer recovery)
+//	linkup   R1 R2 at 30ms          # revive it
 package topo
 
 import (
@@ -28,6 +33,7 @@ import (
 	"strings"
 	"time"
 
+	"dip/internal/bootstrap"
 	"dip/internal/core"
 	"dip/internal/cs"
 	"dip/internal/drkey"
@@ -57,6 +63,9 @@ type Topology struct {
 	events     []event
 	faulty     []faultyLink
 	links      []topoLink
+	rlinks     []*routerLink
+	speak      *speakOptions
+	speakers   map[string]*bootstrap.Speaker
 	journeys   *journey.Collector
 	Deliveries []Delivery
 	// Log receives a line per notable event; nil discards.
@@ -143,6 +152,12 @@ func (t *Topology) directive(line string) error {
 		return t.addInterest(fields[1:])
 	case "send":
 		return t.addSend(fields[1:])
+	case "speakers":
+		return t.addSpeakers(fields[1:])
+	case "linkdown":
+		return t.addLinkEvent(false, fields[1:])
+	case "linkup":
+		return t.addLinkEvent(true, fields[1:])
 	default:
 		return fmt.Errorf("unknown directive %q", fields[0])
 	}
@@ -530,6 +545,14 @@ func (t *Topology) addLink(args []string) error {
 	t.links = append(t.links,
 		topoLink{label: aName + "->" + bName, pipe: abPipe},
 		topoLink{label: bName + "->" + aName, pipe: baPipe})
+	if !aHost && !bHost {
+		// Router↔router adjacency: route-exchange speakers peer over it and
+		// linkdown/linkup events target it by router-name pair.
+		t.rlinks = append(t.rlinks, &routerLink{
+			aName: aName, bName: bName, aPort: aPort, bPort: bPort,
+			ab: abPipe, ba: baPipe,
+		})
+	}
 	attach := func(name string, isHost bool, port int, pipe *netsim.Endpoint) error {
 		if isHost {
 			t.hosts[name].port = pipe
@@ -806,6 +829,7 @@ func (h *hostNode) receive(pkt []byte) {
 // Run schedules the scenario and drains the simulator, returning the
 // deliveries observed.
 func (t *Topology) Run() []Delivery {
+	t.buildSpeakers()
 	for _, e := range t.events {
 		e := e
 		t.sim.Schedule(e.at, e.fn)
@@ -834,6 +858,7 @@ func (t *Topology) RunSampled(interval time.Duration) ([]Delivery, []Sample) {
 	if interval <= 0 {
 		return t.Run(), nil
 	}
+	t.buildSpeakers()
 	for _, e := range t.events {
 		t.sim.Schedule(e.at, e.fn)
 	}

@@ -8,7 +8,7 @@
 # dataplane must sustain at least MINSPEED x the batch=1 packet rate at
 # the highest GOMAXPROCS measured.
 #
-# Usage: scripts/benchguard.sh [new.json] [old.json] [tolerance-%] [min-speedup]
+# Usage: scripts/benchguard.sh [new.json] [old.json] [tolerance-%] [min-speedup] [max-churn-jitter]
 set -eu
 
 NEW=${1:-BENCH_6.json}
@@ -104,3 +104,28 @@ print("benchguard: cstier hot hit  cat%d %.0fns -> cat%d %.0fns  %+.1f%% (slack 
       % (small, base, big, top, delta, limit))
 sys.exit(0 if top - base <= limit else 1)
 ' "$NEW" "$TOL"
+
+# Gate the control plane's churn claim (E21): lookups must not degrade
+# while the FIB churns. The within-file ratio of storm p99 to quiescent
+# p99 lookup latency is capped — the RCU design promises readers never
+# block on writers, so churn-time jitter beyond a small multiple means a
+# reader started paying for publication (a lock, a torn snapshot, GC
+# pressure from unbatched COW garbage). The cap is deliberately loose
+# (both p99s sit near the scheduler noise floor); the oracle inside the
+# harness already hard-fails a desynchronized run before records are
+# written. Skipped when the new file predates the churn experiment.
+MAXJITTER=${5:-30}
+python3 -c '
+import json, sys
+new, maxjitter = sys.argv[1], float(sys.argv[2])
+rows = {r["name"]: r["ns_per_op"] for r in json.load(open(new))
+        if r["name"].startswith("churn/")}
+if not rows:
+    print("benchguard: no churn/ records in %s; skipping churn gate" % new)
+    sys.exit(0)
+q, s = rows["churn/lookup/quiesce-p99"], rows["churn/lookup/storm-p99"]
+ratio = s / q if q > 0 else 0.0
+print("benchguard: churn lookup p99  quiesce %.0fns / storm %.0fns = %.2fx (cap %.0fx)"
+      % (q, s, ratio, maxjitter))
+sys.exit(0 if ratio <= maxjitter else 1)
+' "$NEW" "$MAXJITTER"
