@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race vet fuzz soak bench benchrace metricssmoke journeysmoke burstsmoke ccsmoke cssmoke churnsmoke benchguard clean
+.PHONY: build test check race vet fuzz soak bench benchrace metricssmoke journeysmoke burstsmoke ccsmoke cssmoke churnsmoke intsmoke benchguard clean
 
 build:
 	$(GO) build ./...
@@ -20,10 +20,11 @@ race:
 # target, a live scrape of the metrics endpoint, a smoke of the batched
 # dataplane (ordering/zero-alloc tests plus a short scaling run), the
 # congestion-control smoke (fleet fairness + chaos acceptance + E19 row),
-# the tiered content-store smoke (never-block acceptance + E20 sweep), and
-# the control-plane smoke (route-exchange reconvergence scenarios + a
-# scaled-down E21 churn run with its built-in oracle).
-check: vet race benchrace fuzz metricssmoke journeysmoke burstsmoke ccsmoke cssmoke churnsmoke
+# the tiered content-store smoke (never-block acceptance + E20 sweep), the
+# control-plane smoke (route-exchange reconvergence scenarios + a
+# scaled-down E21 churn run with its built-in oracle), and the in-band
+# telemetry smoke (digest oracles + live dip_int_* scrape).
+check: vet race benchrace fuzz metricssmoke journeysmoke burstsmoke ccsmoke cssmoke churnsmoke intsmoke
 
 # Short benchstat-friendly run of the forwarding hot-path benchmarks
 # (compare runs with: make bench > old.txt; ...; make bench > new.txt;
@@ -163,10 +164,47 @@ churnsmoke:
 	echo "$$out"; echo "$$out" | grep -q 'jitter ratio' \
 		|| { echo "churnsmoke: churn run produced no jitter line"; exit 1; }
 
+# In-band telemetry smoke: the topo-level oracles (every delivered packet's
+# hop digest equals the FIB-dictated path; diamond reconvergence attributed
+# with the exact old/new hop sequences; INT↔journey cross-correlation), a
+# diptopo run of the int= scenario checking the collector summary and the
+# per-link heatmap render, then a live diprouter with -int-every: a
+# telemetry-stamped packet is pushed through it (diphost -tel) and the
+# scrape must carry the dip_int_* families plus a counting F_tel op series.
+INT_METRICS_PORT ?= 17492
+intsmoke:
+	$(GO) test -run 'TestINT' ./internal/topo/
+	@set -e; out=$$($(GO) run ./cmd/diptopo -q testdata/int3hop.topo); \
+	echo "$$out" | grep -q 'in-band telemetry: postcards=5 overflows=0 flows=3 changes=0 loops=0' \
+		|| { echo "intsmoke: collector summary wrong"; echo "$$out"; exit 1; }; \
+	echo "$$out" | grep -q 'link latency heatmap' \
+		|| { echo "intsmoke: no heatmap"; echo "$$out"; exit 1; }; \
+	echo "intsmoke: digests match, heatmap rendered"
+	@set -e; \
+	tmp=$$(mktemp -d); trap 'kill $$pid 2>/dev/null; rm -rf $$tmp' EXIT; \
+	$(GO) build -o $$tmp/diprouter ./cmd/diprouter; \
+	$(GO) build -o $$tmp/diphost ./cmd/diphost; \
+	$$tmp/diprouter -listen 127.0.0.1:17410 -peer 127.0.0.1:17411 \
+		-route32 10.0.0.0/8=0 -int-every 1 -int-slots 8 \
+		-metrics-addr 127.0.0.1:$(INT_METRICS_PORT) \
+		>$$tmp/router.log 2>&1 & pid=$$!; \
+	sleep 1; \
+	$$tmp/diphost -mode send -proto ipv4 -src 1.1.1.1 -dst 10.0.0.9 \
+		-to 127.0.0.1:17410 -tel 8 -payload intsmoke >/dev/null; \
+	sleep 0.3; \
+	curl -sf http://127.0.0.1:$(INT_METRICS_PORT)/metrics > $$tmp/scrape; \
+	for s in 'dip_int_postcards_total' 'dip_int_path_changes_total' \
+		'dip_int_loops_total' 'dip_int_expected_mismatch_total'; do \
+		grep -q "^$$s" $$tmp/scrape || { echo "missing series $$s"; cat $$tmp/scrape; exit 1; }; \
+	done; \
+	grep '^dip_op_latency_ns_count{.*op="F_tel"' $$tmp/scrape | awk '{ exit !($$NF > 0) }' \
+		|| { echo "F_tel never executed on the live router"; cat $$tmp/scrape; exit 1; }; \
+	echo "intsmoke: dip_int_* families live, F_tel stamping on the wire path"
+
 # Hot-path benchmark regression gate: compare this PR's dipbench records
 # against the previous baseline (see scripts/benchguard.sh for knobs).
 benchguard:
-	sh scripts/benchguard.sh BENCH_9.json BENCH_8.json 15
+	sh scripts/benchguard.sh BENCH_10.json BENCH_9.json 15
 
 # Long-running soak and heavy-chaos tests are skipped under -short; this
 # target runs everything, including them.

@@ -16,7 +16,7 @@
 //	dipbench -experiment fig2   # one experiment: fig2, table2, mac,
 //	                            # parallel, fncount, fibscale, pisa,
 //	                            # fiblookup, mixed, journey, burst,
-//	                            # fetchcc, cstier, churn
+//	                            # fetchcc, cstier, churn, int
 //	dipbench -trials 1000       # per-measurement packet count (paper: 1000)
 //	dipbench -json out.json     # also write machine-readable records
 //	                            # (name, ns/op, B/op, allocs/op, GOMAXPROCS)
@@ -41,12 +41,15 @@ import (
 	"dip/internal/churn"
 	"dip/internal/core"
 	"dip/internal/cs"
+	"dip/internal/extops"
 	"dip/internal/fib"
+	"dip/internal/inband"
 	"dip/internal/ip"
 	"dip/internal/journey"
 	"dip/internal/lpm"
 	"dip/internal/ndn"
 	"dip/internal/pisa"
+	"dip/internal/profiles"
 	"dip/internal/telemetry"
 	"dip/internal/workload"
 )
@@ -87,7 +90,7 @@ func writeJSON() {
 }
 
 func main() {
-	exp := flag.String("experiment", "all", "fig2 | table2 | mac | parallel | fncount | fibscale | pisa | fiblookup | mixed | journey | burst | fetchcc | cstier | churn | all")
+	exp := flag.String("experiment", "all", "fig2 | table2 | mac | parallel | fncount | fibscale | pisa | fiblookup | mixed | journey | burst | fetchcc | cstier | churn | int | all")
 	flag.Parse()
 	switch *exp {
 	case "fig2":
@@ -118,6 +121,8 @@ func main() {
 		csTier()
 	case "churn":
 		churnExperiment()
+	case "int":
+		intOverhead()
 	case "all":
 		table2()
 		fig2()
@@ -133,6 +138,7 @@ func main() {
 		fetchCC()
 		csTier()
 		churnExperiment()
+		intOverhead()
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -679,6 +685,123 @@ func journeyOverhead() {
 	fmt.Printf("  journeys off:     %v/packet\n", dOff)
 	fmt.Printf("  sampled 1-in-1024: %v/packet (+%v)\n", dSampled, dSampled-dOff)
 	fmt.Printf("  always-on:        %v/packet (+%v)\n", dAlways, dAlways-dOff)
+	fmt.Println()
+}
+
+// intOverhead measures the in-band telemetry tax on the forwarding hot path
+// (E22): the same DIP-32 loop with no F_tel FN, with an 8-slot telemetry
+// region stamped every pass, and with 1-in-1024 edge postcard collection
+// (decode + digest + aggregate) on top. The stamped loop resets the
+// region's count byte each iteration — without that, the region would hit
+// steady-state overflow after eight packets and the number measured would
+// be the cheap overflow-bit path, not the 24-byte record write every
+// fabric hop actually pays.
+func intOverhead() {
+	fmt.Println("== E22: in-band telemetry stamping + postcard collection ==")
+	telNode := func() *node {
+		nd := newNode(dip.MAC2EM)
+		reg := dip.NewRouterRegistry(nd.state.OpsConfig())
+		reg.MustRegister(extops.NewTelWith(extops.TelConfig{
+			HopID: 7,
+			Epoch: nd.state.FIB32.Epoch,
+		}))
+		nd.engine = core.NewEngine(reg, dip.Limits{})
+		nd.engine.SetRecorder(&telemetry.Metrics{})
+		return nd
+	}
+	profile := func(slots int) *core.Header {
+		h := dip.IPv4Profile([4]byte{1, 1, 1, 1}, [4]byte{10, 0, 0, 9})
+		if slots > 0 {
+			h = profiles.WithTelemetry(h, slots)
+		}
+		return h
+	}
+	stampedPkt := func() ([]byte, []byte) {
+		pkt, err := dip.BuildPacket(profile(8), nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		v, err := dip.ParsePacket(pkt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		region, _, ok := profiles.TelemetryRegion(v)
+		if !ok {
+			log.Fatal("stamped packet has no telemetry region")
+		}
+		return pkt, region
+	}
+	runStamped := func(nd *node, pkt, region []byte, post func(core.View)) func(int) {
+		var ctx dip.ExecContext
+		return func(n int) {
+			for i := 0; i < n; i++ {
+				pkt[3] = 64
+				region[0] = 0 // fresh region: stamp slot 0, not the overflow bit
+				v, err := dip.ParsePacket(pkt)
+				if err != nil {
+					log.Fatal(err)
+				}
+				v.DecHopLimit()
+				ctx.Reset(v, 0)
+				nd.engine.Process(&ctx)
+				if ctx.Verdict == dip.VerdictDrop {
+					log.Fatalf("dropped: %v", ctx.Reason)
+				}
+				if post != nil {
+					post(v)
+				}
+			}
+		}
+	}
+
+	nd := telNode()
+	plain, err := dip.BuildPacket(profile(0), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dPlain := measure("int/unstamped", nd.runDIP(plain))
+
+	nd = telNode()
+	pkt, region := stampedPkt()
+	dStamped := measure("int/stamped8", runStamped(nd, pkt, region, nil))
+
+	nd = telNode()
+	pkt, region = stampedPkt()
+	collector := inband.NewCollector(inband.Config{})
+	var seen int64
+	collect := func(v core.View) {
+		seen++
+		if (seen-1)%1024 != 0 {
+			return
+		}
+		reg, off, ok := profiles.TelemetryRegion(v)
+		if !ok {
+			return
+		}
+		hops, overflow, err := extops.DecodeTel(reg)
+		if err != nil {
+			collector.CountDecodeError()
+			return
+		}
+		collector.Add(inband.Postcard{
+			Flow:  inband.FlowOf(v.Locations(), off),
+			Node:  "edge",
+			Proto: "ipv4",
+			Hops:  hops, Overflow: overflow,
+		})
+	}
+	dPostcard := measure("int/postcard1in1024", runStamped(nd, pkt, region, collect))
+
+	ratio := 0.0
+	if dPlain > 0 {
+		ratio = float64(dStamped) / float64(dPlain)
+	}
+	st := collector.Stats()
+	fmt.Printf("  unstamped:          %v/packet\n", dPlain)
+	fmt.Printf("  stamped, 8 slots:   %v/packet (+%v, %.2fx)\n", dStamped, dStamped-dPlain, ratio)
+	fmt.Printf("  + postcards 1/1024: %v/packet (+%v)\n", dPostcard, dPostcard-dStamped)
+	fmt.Printf("  collector: postcards=%d overflows=%d decode_errors=%d\n",
+		st.Postcards, st.Overflows, st.DecodeErrors)
 	fmt.Println()
 }
 

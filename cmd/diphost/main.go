@@ -48,6 +48,7 @@ func main() {
 		dst     = flag.String("dst", "10.0.0.2", "destination address")
 		name    = flag.String("name", "0xAA000001", "32-bit content name (hex)")
 		payload = flag.String("payload", "", "payload string")
+		tel     = flag.Int("tel", 0, "append an F_tel telemetry region with this many hop slots (send mode, 0 = off)")
 		to      = flag.String("to", "", "router UDP address (send/fetch mode)")
 		listen  = flag.String("listen", "", "UDP address to bind (recv/fetch mode)")
 		count   = flag.Int("count", 0, "packets to receive before exiting (0 = forever)")
@@ -62,7 +63,7 @@ func main() {
 
 	switch *mode {
 	case "send":
-		if err := send(*proto, *src, *dst, *name, *payload, *to); err != nil {
+		if err := send(*proto, *src, *dst, *name, *payload, *to, *tel); err != nil {
 			log.Fatal(err)
 		}
 	case "recv":
@@ -79,7 +80,7 @@ func main() {
 	}
 }
 
-func send(proto, src, dst, name, payload, to string) error {
+func send(proto, src, dst, name, payload, to string, tel int) error {
 	if to == "" {
 		return fmt.Errorf("send mode needs -to")
 	}
@@ -119,6 +120,9 @@ func send(proto, src, dst, name, payload, to string) error {
 		h = dip.NDNDataProfile(id)
 	default:
 		return fmt.Errorf("unknown -proto %q", proto)
+	}
+	if tel > 0 {
+		h = dip.WithTelemetry(h, tel)
 	}
 	pkt, err := dip.BuildPacket(h, []byte(payload))
 	if err != nil {

@@ -79,6 +79,13 @@
 //	                  onto A/journeys (0 = off); a central collector (or
 //	                  dipdump) stitches spans from every process
 //	-journey-ring N   journey span ring capacity (default 4096)
+//	-int-every N      in-band telemetry: register the F_tel stamping op (so
+//	                  transit packets carrying a telemetry region get this
+//	                  hop's record) and, at the delivering edge, strip every
+//	                  Nth telemetry-carrying packet into a postcard collector
+//	                  exported as dip_int_* (0 = off)
+//	-int-slots N      telemetry slot capacity for packets this router
+//	                  originates (cold-tier re-injects; default 8)
 package main
 
 import (
@@ -90,11 +97,16 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"dip"
 	"dip/internal/bootstrap"
+	"dip/internal/core"
+	"dip/internal/extops"
+	"dip/internal/inband"
 	"dip/internal/journey"
+	"dip/internal/nhash"
 	"dip/internal/pit"
 	"dip/internal/profiles"
 	"dip/internal/telemetry"
@@ -134,6 +146,8 @@ func main() {
 		traceRing = flag.Int("trace-ring", 0, "trace ring capacity in records (0 = default)")
 		journeyN  = flag.Int("journey-every", 0, "emit a journey span for every Nth packet (0 = off)")
 		journeyRg = flag.Int("journey-ring", 0, "journey span ring capacity (0 = default)")
+		intEvery  = flag.Int("int-every", 0, "stamp F_tel and collect every Nth delivered telemetry postcard (0 = off)")
+		intSlots  = flag.Int("int-slots", 8, "telemetry slot capacity for locally originated packets")
 		peers     stringList
 		routes32  stringList
 		routes128 stringList
@@ -234,9 +248,17 @@ func main() {
 	if *traceN > 0 {
 		tracer = dip.NewTraceRecorder(metrics, *traceN, *traceRing)
 	}
-	// speakerAgent is assigned (if -speaker) before the socket read loop
-	// starts, so the delivery path below never races the assignment.
+	// speakerAgent and intCollector are assigned (if their flags are set)
+	// before the socket read loop starts, so the delivery path below never
+	// races the assignments.
 	var speakerAgent *bootstrap.Speaker
+	var intCollector *inband.Collector
+	var intSeen atomic.Int64
+	// dataClock is shared between the serve layer (which stamps admission
+	// time into the exec context) and the F_tel module (which reads it back
+	// out), so stamped per-hop latencies are admission→execution.
+	routerStart := time.Now()
+	dataClock := func() time.Duration { return time.Since(routerStart) }
 	r := dip.NewRouter(state.OpsConfig(), dip.RouterOptions{
 		Name:    *listen,
 		Limits:  dip.Limits{MaxFNs: *maxFNs},
@@ -251,11 +273,29 @@ func main() {
 					return
 				}
 			}
+			if intCollector != nil {
+				if v, err := dip.ParsePacket(pkt); err == nil {
+					collectPostcard(intCollector, &intSeen, *intEvery, *listen, v, pkt)
+				}
+			}
 			if *verbose {
 				log.Printf("delivered locally: %d bytes from port %d", len(pkt), inPort)
 			}
 		},
 	})
+
+	if *intEvery > 0 {
+		intCollector = inband.NewCollector(inband.Config{})
+		hopID := uint32(nhash.Bytes([]byte(*listen)))
+		r.Registry().MustRegister(extops.NewTelWith(extops.TelConfig{
+			HopID:   hopID,
+			ClockNs: func() int64 { return int64(dataClock()) },
+			Epoch: func() uint32 {
+				return state.FIB32.Epoch() + state.FIB128.Epoch() + state.NameFIB.Epoch()
+			},
+		}))
+		log.Printf("in-band telemetry: stamping as hop %#08x, collecting 1-in-%d postcards", hopID, *intEvery)
+	}
 
 	if *speaker {
 		if *speakRef <= 0 {
@@ -318,6 +358,9 @@ func main() {
 		}
 		if speakerAgent != nil {
 			src.Routes = speakerAgent.Stats
+		}
+		if intCollector != nil {
+			src.INT = intCollector.Stats
 		}
 		bound, _, err := dip.ServeMetrics(*metricsAt, src)
 		if err != nil {
@@ -397,6 +440,7 @@ func main() {
 			Batch:          *batchSize,
 			DispatchShards: *dispatch,
 			Admission:      admission,
+			Clock:          dataClock,
 		})
 		defer in.Close()
 		handle = func(pkt []byte, inPort int) {
@@ -417,7 +461,13 @@ func main() {
 	// payload back to the hot tier.
 	if tiered != nil {
 		tiered.SetReinject(func(cname uint32, data []byte, start, end int64) {
-			pkt, err := dip.BuildPacket(dip.NDNDataProfile(cname), data)
+			profile := dip.NDNDataProfile(cname)
+			if *intEvery > 0 && *intSlots > 0 {
+				// Locally originated packets get a fresh telemetry region:
+				// this hop and everything downstream stamp into it.
+				profile = profiles.WithTelemetry(profile, *intSlots)
+			}
+			pkt, err := dip.BuildPacket(profile, data)
 			if err != nil {
 				return
 			}
@@ -453,6 +503,39 @@ func main() {
 			log.Printf("rx %d bytes from %v (port %d)", n, raddr, inPort)
 		}
 		handle(buf[:n], inPort)
+	}
+}
+
+// collectPostcard is the delivering-edge telemetry termination: sample every
+// Nth telemetry-carrying delivered packet, decode its hop records into a
+// postcard, and zero the region so local consumers never see fabric state.
+func collectPostcard(c *inband.Collector, seen *atomic.Int64, every int, node string, v core.View, pkt []byte) {
+	region, off, ok := profiles.TelemetryRegion(v)
+	if !ok {
+		return
+	}
+	if every > 1 && (seen.Add(1)-1)%int64(every) != 0 {
+		return
+	}
+	hops, overflow, err := extops.DecodeTel(region)
+	if err != nil {
+		c.CountDecodeError()
+		return
+	}
+	// Fold the leading FN key into the flow identity so an interest and its
+	// data reply (same name bytes, opposite paths) stay distinct flows.
+	flow := inband.FlowOf(v.Locations(), off) ^ (uint64(v.FN(0).Key)+1)*0x9E3779B97F4A7C15
+	c.Add(inband.Postcard{
+		Flow:     flow,
+		Trace:    uint64(journey.TraceOf(pkt)),
+		Node:     node,
+		At:       time.Now().UnixNano(),
+		Proto:    journey.ProtoOf(v),
+		Hops:     hops,
+		Overflow: overflow,
+	})
+	for i := range region {
+		region[i] = 0
 	}
 }
 

@@ -7,6 +7,7 @@
 //	diptopo -sample 10ms x.topo   # also print per-interval counter deltas
 //	diptopo -journeys x.topo      # stitched per-packet journey waterfalls
 //	diptopo -journeys -journey-every 8 x.topo  # sample 1-in-8 per router
+//	diptopo -int 1 x.topo         # in-band telemetry + per-link heatmap
 //
 // Example file:
 //
@@ -30,8 +31,11 @@ import (
 	"log"
 	"os"
 	"sort"
+	"time"
 
+	"dip/internal/inband"
 	"dip/internal/journey"
+	"dip/internal/telemetry"
 	"dip/internal/topo"
 )
 
@@ -40,6 +44,8 @@ func main() {
 	sample := flag.Duration("sample", 0, "snapshot router counters every interval of virtual time (0 = off)")
 	journeys := flag.Bool("journeys", false, "stitch and print per-packet journey waterfalls")
 	journeyEvery := flag.Int("journey-every", 1, "journey-sample every Nth packet per router (with -journeys)")
+	intEvery := flag.Int("int", 0, "stamp in-band telemetry on every Nth injected packet (0 = only if the file says int=)")
+	intSlots := flag.Int("int-slots", 0, "F_tel hop-record slots per stamped packet (with -int; 0 = file/default)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: diptopo [-q] <file.topo>")
@@ -63,6 +69,9 @@ func main() {
 	if *journeys {
 		t.EnableJourneys(*journeyEvery)
 	}
+	if *intEvery > 0 {
+		t.EnableINT(*intEvery, *intSlots)
+	}
 	deliveries, series := t.RunSampled(*sample)
 	fmt.Printf("\n%d deliveries:\n", len(deliveries))
 	for _, d := range deliveries {
@@ -76,6 +85,95 @@ func main() {
 	if c := t.Journeys(); c != nil {
 		printJourneys(c)
 	}
+	if c := t.INT(); c != nil {
+		printINT(c)
+	}
+}
+
+// intShade maps a bucket count to a heatmap cell: ramp position is the
+// count's share of the row maximum, so each link's latency mode reads as
+// the darkest cell and spread shows as lighter neighbours.
+const intShade = " .:-=+*#%@"
+
+func shadeCell(count, rowMax int64) byte {
+	if count == 0 || rowMax == 0 {
+		return intShade[0]
+	}
+	i := 1 + int((count*int64(len(intShade)-2))/rowMax)
+	if i >= len(intShade) {
+		i = len(intShade) - 1
+	}
+	return intShade[i]
+}
+
+// printINT renders the in-band telemetry summary: collector counters, the
+// per-link latency heatmap (log2 buckets, darkest = modal latency), per-hop
+// aggregates, and the retained path-change ring.
+func printINT(c *inband.Collector) {
+	st := c.Stats()
+	fmt.Printf("\nin-band telemetry: postcards=%d overflows=%d flows=%d changes=%d loops=%d microbursts=%d mismatches=%d decode_errors=%d\n",
+		st.Postcards, st.Overflows, st.Flows, st.PathChanges, st.Loops,
+		st.Microbursts, st.ExpectedMismatch, st.DecodeErrors)
+	if len(st.Links) > 0 {
+		// Trim the heatmap to the occupied bucket range across all links.
+		lo, hi := telemetry.HistBuckets, -1
+		for _, l := range st.Links {
+			for b, n := range l.Hist {
+				if n == 0 {
+					continue
+				}
+				if b < lo {
+					lo = b
+				}
+				if b > hi {
+					hi = b
+				}
+			}
+		}
+		if hi < 0 {
+			lo, hi = 0, 0
+		}
+		fmt.Printf("link latency heatmap (log2 buckets %v..%v):\n",
+			telemetry.BucketUpper(lo), telemetry.BucketUpper(hi))
+		for _, l := range st.Links {
+			var rowMax int64
+			for _, n := range l.Hist {
+				if n > rowMax {
+					rowMax = n
+				}
+			}
+			row := make([]byte, hi-lo+1)
+			for b := lo; b <= hi; b++ {
+				row[b-lo] = shadeCell(l.Hist[b], rowMax)
+			}
+			mean := time.Duration(0)
+			if l.Count > 0 {
+				mean = time.Duration(l.SumNs / l.Count)
+			}
+			fmt.Printf("  %-8s > %-8s |%s| n=%-6d mean=%v\n",
+				intLabel(l.FromName, l.From), intLabel(l.ToName, l.To), row, l.Count, mean)
+		}
+	}
+	for _, h := range st.Hops {
+		meanLat, meanQ := int64(0), int64(0)
+		if h.Count > 0 {
+			meanLat, meanQ = h.LatSumNs/h.Count, h.QueueSum/h.Count
+		}
+		fmt.Printf("  hop %-8s records=%-6d lat_mean=%-10v queue_mean=%d queue_max=%d congested=%d microbursts=%d\n",
+			intLabel(h.Name, h.HopID), h.Count, time.Duration(meanLat),
+			meanQ, h.QueueMax, h.Congested, h.Microbursts)
+	}
+	for _, ch := range st.Changes {
+		fmt.Printf("  path change [%8v] flow=%016x %v -> %v\n",
+			time.Duration(ch.At), ch.Flow, ch.OldHops, ch.NewHops)
+	}
+}
+
+func intLabel(name string, id uint32) string {
+	if name != "" {
+		return name
+	}
+	return fmt.Sprintf("#%d", id)
 }
 
 // printJourneys renders each stitched journey's summary line and waterfall

@@ -611,6 +611,9 @@ var (
 	// XIAOPTProfile builds the XIA+OPT derived protocol (secure DAG
 	// routing) — a composition beyond the paper's own NDN+OPT.
 	XIAOPTProfile = profiles.XIAOPT
+	// WithTelemetry appends an F_tel hop-record region (N slots) to any
+	// profile, making the packet's fabric path observable in band.
+	WithTelemetry = profiles.WithTelemetry
 	// BuildPacket serializes a header plus payload into a wire packet.
 	BuildPacket = host.BuildPacket
 	// ParsePacket parses a wire packet into a zero-copy view.

@@ -157,6 +157,25 @@ type ExecContext struct {
 	// stamp their hint after Reset, before Process.
 	Sample SampleHint
 
+	// AdmittedAt and QueueDepth are the serving layer's admission snapshot
+	// for in-band telemetry: the dataplane clock reading (ns) when this
+	// packet's burst was picked up, and how many packets were queued behind
+	// it at that moment. F_tel folds them into the hop record (per-hop
+	// latency, queue depth at admission). They are burst-scoped — stamped
+	// once per burst on the pooled context — so Reset deliberately leaves
+	// them alone; single-packet entry points zero them instead. Zero means
+	// "unknown": F_tel then records no latency and falls back to its own
+	// depth provider.
+	AdmittedAt int64
+	QueueDepth int32
+
+	// MonoNow is the engine's monotonic reading (relative to MonoBase)
+	// taken just before dispatching the current operation — the same read
+	// that starts the op-latency measurement. Operations needing "now" at
+	// coarse granularity (F_tel's wall-µs stamp) reuse it instead of
+	// paying their own clock read. Zero when the engine isn't recording.
+	MonoNow time.Duration
+
 	stateBudget int // remaining per-packet state bytes; <0 means unlimited
 }
 
@@ -177,6 +196,7 @@ func (c *ExecContext) Reset(v View, inPort int) {
 	c.Deadline = time.Time{}
 	c.Trace = nil
 	c.Sample = SampleAuto
+	c.MonoNow = 0
 	c.stateBudget = -1
 }
 

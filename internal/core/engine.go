@@ -20,6 +20,16 @@ type Limits struct {
 	MaxStateBytes int
 }
 
+// monoBase anchors the engine's per-op latency reads: durations are taken
+// as differences of time.Since(monoBase), which touches only the monotonic
+// clock instead of time.Now's wall+mono pair.
+var monoBase = time.Now()
+
+// MonoBase is the process-wide anchor of ExecContext.MonoNow readings.
+// Modules converting MonoNow to wall time subtract their own construction
+// instant's offset from it (see extops.Tel).
+func MonoBase() time.Time { return monoBase }
+
 // Recorder receives execution telemetry. Implementations must be safe for
 // concurrent use. A nil Recorder disables recording with no timing overhead.
 type Recorder interface {
@@ -194,9 +204,13 @@ func (e *Engine) execute(reg *Registry, ctx *ExecContext, fn FN) bool {
 		return true // PolicyIgnore, §2.4: "the router can simply ignore this FN"
 	}
 	if e.rec != nil {
-		start := time.Now()
+		// time.Since against a fixed base reads only the monotonic clock
+		// (~half the cost of time.Now's wall+mono read) — this runs twice
+		// per op on the hot path.
+		start := time.Since(monoBase)
+		ctx.MonoNow = start
 		err := op.Execute(ctx, uint(fn.Loc), uint(fn.Len))
-		d := time.Since(start)
+		d := time.Since(monoBase) - start
 		e.rec.RecordOp(fn.Key, d)
 		if ctx.Trace != nil {
 			ctx.Trace.Step(fn.Key, d)

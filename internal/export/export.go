@@ -26,6 +26,7 @@ import (
 	"dip/internal/core"
 	"dip/internal/cs"
 	"dip/internal/host"
+	"dip/internal/inband"
 	"dip/internal/journey"
 	"dip/internal/router"
 	"dip/internal/telemetry"
@@ -80,6 +81,10 @@ type Source struct {
 	// Routes supplies the route-exchange speaker snapshot for the
 	// dip_route_* series (bootstrap.Speaker.Stats).
 	Routes func() bootstrap.SpeakerStats
+	// INT supplies the in-band telemetry collector snapshot for the
+	// dip_int_* series (inband.Collector.Stats) — set on the process
+	// terminating telemetry at its delivering edge.
+	INT func() inband.Stats
 }
 
 // WriteMetrics renders the full Prometheus text exposition to w.
@@ -286,6 +291,60 @@ func (s Source) WriteMetrics(w io.Writer) {
 		writeHeader(w, "dip_route_noop_batches_total", "counter", "Speaker transaction batches discarded as no-ops (nothing changed).")
 		writeSample(w, "dip_route_noop_batches_total", label, float64(rs.NoopBatches))
 	}
+	if s.INT != nil {
+		st := s.INT()
+		writeHeader(w, "dip_int_postcards_total", "counter", "Telemetry postcards stripped at this delivering edge.")
+		writeSample(w, "dip_int_postcards_total", label, float64(st.Postcards))
+		writeHeader(w, "dip_int_overflows_total", "counter", "Postcards whose path outgrew the slot capacity.")
+		writeSample(w, "dip_int_overflows_total", label, float64(st.Overflows))
+		writeHeader(w, "dip_int_flows", "gauge", "Flows with tracked path digests.")
+		writeSample(w, "dip_int_flows", label, float64(st.Flows))
+		writeHeader(w, "dip_int_path_changes_total", "counter", "Per-flow path digest flips (reroutes observed in band).")
+		writeSample(w, "dip_int_path_changes_total", label, float64(st.PathChanges))
+		writeHeader(w, "dip_int_loops_total", "counter", "Postcards with a repeated hop ID (forwarding loop).")
+		writeSample(w, "dip_int_loops_total", label, float64(st.Loops))
+		writeHeader(w, "dip_int_microbursts_total", "counter", "Hop records at or above the microburst queue depth.")
+		writeSample(w, "dip_int_microbursts_total", label, float64(st.Microbursts))
+		writeHeader(w, "dip_int_expected_mismatch_total", "counter", "Recorded paths disagreeing with the FIB-derived prediction.")
+		writeSample(w, "dip_int_expected_mismatch_total", label, float64(st.ExpectedMismatch))
+		writeHeader(w, "dip_int_decode_errors_total", "counter", "Telemetry regions that failed to decode at the edge.")
+		writeSample(w, "dip_int_decode_errors_total", label, float64(st.DecodeErrors))
+		if len(st.Links) > 0 {
+			writeHeader(w, "dip_int_link_latency_ns", "histogram", "Per-link transit latency from hop timestamp deltas (log2 buckets).")
+			for _, l := range st.Links {
+				ll := join(label, `from=`+quote(linkName(l.FromName, l.From)), `to=`+quote(linkName(l.ToName, l.To)))
+				var cum int64
+				for b := 0; b < telemetry.HistBuckets; b++ {
+					if l.Hist[b] == 0 {
+						continue
+					}
+					cum += l.Hist[b]
+					le := fmt.Sprintf("%d", int64(telemetry.BucketUpper(b)))
+					writeSample(w, "dip_int_link_latency_ns_bucket", join(ll, `le=`+quote(le)), float64(cum))
+				}
+				writeSample(w, "dip_int_link_latency_ns_bucket", join(ll, `le="+Inf"`), float64(l.Count))
+				writeSample(w, "dip_int_link_latency_ns_sum", ll, float64(l.SumNs))
+				writeSample(w, "dip_int_link_latency_ns_count", ll, float64(l.Count))
+			}
+		}
+		if len(st.Hops) > 0 {
+			writeHeader(w, "dip_int_hop_records_total", "counter", "Hop records folded per stamping hop.")
+			for _, h := range st.Hops {
+				hl := join(label, `hop=`+quote(linkName(h.Name, h.HopID)))
+				writeSample(w, "dip_int_hop_records_total", hl, float64(h.Count))
+			}
+			writeHeader(w, "dip_int_hop_congested_total", "counter", "Hop records carrying the congestion flag.")
+			for _, h := range st.Hops {
+				hl := join(label, `hop=`+quote(linkName(h.Name, h.HopID)))
+				writeSample(w, "dip_int_hop_congested_total", hl, float64(h.Congested))
+			}
+			writeHeader(w, "dip_int_hop_queue_depth_max", "gauge", "Deepest admission queue each hop stamped.")
+			for _, h := range st.Hops {
+				hl := join(label, `hop=`+quote(linkName(h.Name, h.HopID)))
+				writeSample(w, "dip_int_hop_queue_depth_max", hl, float64(h.QueueMax))
+			}
+		}
+	}
 	if s.Journeys != nil {
 		writeHeader(w, "dip_journey_spans_total", "counter", "Journey spans emitted by this process.")
 		writeSample(w, "dip_journey_spans_total", label, float64(s.Journeys.Added()))
@@ -382,6 +441,14 @@ func Serve(addr string, s Source) (bound net.Addr, closeFn func() error, err err
 	srv := &http.Server{Handler: s.Handler()}
 	go func() { _ = srv.Serve(ln) }()
 	return ln.Addr(), srv.Close, nil
+}
+
+// linkName prefers a hop's display name, falling back to its numeric ID.
+func linkName(name string, id uint32) string {
+	if name != "" {
+		return name
+	}
+	return fmt.Sprintf("%d", id)
 }
 
 // labels renders the constant label set (node=...) or "".

@@ -12,8 +12,10 @@ import (
 	"dip/internal/bootstrap"
 	"dip/internal/cc"
 	"dip/internal/core"
+	"dip/internal/extops"
 	"dip/internal/fib"
 	"dip/internal/host"
+	"dip/internal/inband"
 	"dip/internal/netsim"
 	"dip/internal/profiles"
 	"dip/internal/telemetry"
@@ -80,17 +82,17 @@ func TestWriteMetricsRendersAllFamilies(t *testing.T) {
 	samples := parsePromText(t, b.String())
 
 	for key, want := range map[string]float64{
-		`dip_packets_received_total{node="r1"}`:                3,
-		`dip_packets_total{node="r1",verdict="forward"}`:       1,
-		`dip_packets_total{node="r1",verdict="deliver"}`:       1,
-		`dip_packets_total{node="r1",verdict="drop"}`:          1,
-		`dip_drops_total{node="r1",reason="no-route"}`:         1,
-		`dip_events_total{node="r1",event="retransmit"}`:       1,
-		`dip_op_executions_total{node="r1",op="F_FIB"}`:        2,
-		`dip_op_latency_ns_count{node="r1",op="F_FIB"}`:        2,
+		`dip_packets_received_total{node="r1"}`:                    3,
+		`dip_packets_total{node="r1",verdict="forward"}`:           1,
+		`dip_packets_total{node="r1",verdict="deliver"}`:           1,
+		`dip_packets_total{node="r1",verdict="drop"}`:              1,
+		`dip_drops_total{node="r1",reason="no-route"}`:             1,
+		`dip_events_total{node="r1",event="retransmit"}`:           1,
+		`dip_op_executions_total{node="r1",op="F_FIB"}`:            2,
+		`dip_op_latency_ns_count{node="r1",op="F_FIB"}`:            2,
 		`dip_op_latency_ns_bucket{node="r1",op="F_FIB",le="+Inf"}`: 2,
-		`dip_trace_sample_every{node="r1"}`:                    1,
-		`dip_trace_ring_records{node="r1"}`:                    8,
+		`dip_trace_sample_every{node="r1"}`:                        1,
+		`dip_trace_ring_records{node="r1"}`:                        8,
 	} {
 		if got, ok := samples[key]; !ok {
 			t.Errorf("missing sample %s", key)
@@ -327,5 +329,70 @@ func TestWriteMetricsRouteFamily(t *testing.T) {
 	}
 	if got := samples[`dip_route_local_entries{node="r2"}`]; got != 0 {
 		t.Errorf("local entries = %g, want 0", got)
+	}
+}
+
+func TestWriteMetricsINTFamily(t *testing.T) {
+	// Feed a collector a reroute: two postcards over A→B, then one over
+	// A→C with a congested, microbursting hop.
+	c := inband.NewCollector(inband.Config{
+		MicroburstDepth: 10,
+		HopName: func(id uint32) string {
+			return map[uint32]string{1: "A", 2: "B", 3: "C"}[id]
+		},
+	})
+	ab := []extops.HopRecord{
+		{HopID: 1, TimestampUs: 1000},
+		{HopID: 2, TimestampUs: 2000, QueueDepth: 3},
+	}
+	c.Add(inband.Postcard{Flow: 7, At: 1, Hops: ab})
+	c.Add(inband.Postcard{Flow: 7, At: 2, Hops: ab})
+	c.Add(inband.Postcard{Flow: 7, At: 3, Hops: []extops.HopRecord{
+		{HopID: 1, TimestampUs: 5000},
+		{HopID: 3, TimestampUs: 9000, QueueDepth: 12, Flags: extops.TelFlagCongested},
+	}})
+
+	src := Source{Node: "e1", INT: c.Stats}
+	var sb strings.Builder
+	src.WriteMetrics(&sb)
+	samples := parsePromText(t, sb.String())
+
+	if got := samples[`dip_int_postcards_total{node="e1"}`]; got != 3 {
+		t.Errorf("postcards = %g, want 3", got)
+	}
+	if got := samples[`dip_int_path_changes_total{node="e1"}`]; got != 1 {
+		t.Errorf("path changes = %g, want 1", got)
+	}
+	if got := samples[`dip_int_flows{node="e1"}`]; got != 1 {
+		t.Errorf("flows = %g, want 1", got)
+	}
+	if got := samples[`dip_int_microbursts_total{node="e1"}`]; got != 1 {
+		t.Errorf("microbursts = %g, want 1", got)
+	}
+	// A→B saw two 1ms transits, A→C one 4ms transit.
+	if got := samples[`dip_int_link_latency_ns_sum{node="e1",from="A",to="B"}`]; got != 2_000_000 {
+		t.Errorf("A->B latency sum = %g, want 2ms", got)
+	}
+	if got := samples[`dip_int_link_latency_ns_count{node="e1",from="A",to="C"}`]; got != 1 {
+		t.Errorf("A->C transit count = %g, want 1", got)
+	}
+	if got := samples[`dip_int_link_latency_ns_bucket{node="e1",from="A",to="C",le="+Inf"}`]; got != 1 {
+		t.Errorf("A->C +Inf bucket = %g, want 1", got)
+	}
+	if got := samples[`dip_int_hop_records_total{node="e1",hop="A"}`]; got != 3 {
+		t.Errorf("hop A records = %g, want 3", got)
+	}
+	if got := samples[`dip_int_hop_congested_total{node="e1",hop="C"}`]; got != 1 {
+		t.Errorf("hop C congested = %g, want 1", got)
+	}
+	if got := samples[`dip_int_hop_queue_depth_max{node="e1",hop="C"}`]; got != 12 {
+		t.Errorf("hop C queue max = %g, want 12", got)
+	}
+
+	// Absent INT source renders no dip_int_* series at all.
+	var none strings.Builder
+	Source{Node: "e1"}.WriteMetrics(&none)
+	if strings.Contains(none.String(), "dip_int_") {
+		t.Error("dip_int_* rendered without an INT source")
 	}
 }

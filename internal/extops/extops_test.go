@@ -258,8 +258,16 @@ func TestDecodeTelValidation(t *testing.T) {
 }
 
 func TestTelZeroAlloc(t *testing.T) {
+	// All providers wired: the rich record (latency, depth, epoch,
+	// congestion) must stamp at 0 allocs, same as the toy one did.
 	reg := core.NewRegistry()
-	reg.MustRegister(NewTel(7, func() time.Time { return time.UnixMicro(1) }))
+	reg.MustRegister(NewTelWith(TelConfig{
+		HopID:      7,
+		Now:        func() time.Time { return time.UnixMicro(1) },
+		ClockNs:    func() int64 { return 5_000 },
+		QueueDepth: func() int { return 3 },
+		Epoch:      func() uint32 { return 1 },
+	}))
 	e := core.NewEngine(reg, core.Limits{})
 	pkt := telPacket(t, 4)
 	var ctx core.ExecContext
@@ -267,9 +275,116 @@ func TestTelZeroAlloc(t *testing.T) {
 		pkt[core.BasicHeaderSize+core.FNSize] = 0 // reset the slot counter byte
 		v, _ := core.ParseView(pkt)
 		ctx.Reset(v, 0)
+		ctx.AdmittedAt = 2_000
+		ctx.QueueDepth = 8
 		e.Process(&ctx)
 	})
 	if allocs != 0 {
 		t.Errorf("F_tel allocates %.1f", allocs)
 	}
+}
+
+func TestTelemetryRichRecord(t *testing.T) {
+	reg := core.NewRegistry()
+	reg.MustRegister(NewTelWith(TelConfig{
+		HopID:      42,
+		Now:        func() time.Time { return time.UnixMicro(5000) },
+		ClockNs:    func() int64 { return 12_500 },
+		QueueDepth: func() int { return 3 },
+		Epoch:      func() uint32 { return 9 },
+		CongestAt:  10,
+	}))
+	e := core.NewEngine(reg, core.Limits{})
+	pkt := telPacket(t, 2)
+	v, _ := core.ParseView(pkt)
+	var ctx core.ExecContext
+	ctx.Reset(v, 5)
+	ctx.AdmittedAt = 10_000 // latency = 12500 - 10000
+	ctx.QueueDepth = 12     // beats the provider's 3, trips CongestAt=10
+	e.Process(&ctx)
+	if ctx.Verdict == core.VerdictDrop {
+		t.Fatalf("dropped: %v", ctx.Reason)
+	}
+	v, _ = core.ParseView(pkt)
+	records, overflow, err := DecodeTel(v.Locations())
+	if err != nil || overflow || len(records) != 1 {
+		t.Fatalf("decode: %v overflow=%v records=%v", err, overflow, records)
+	}
+	r := records[0]
+	if r.HopID != 42 || r.TimestampUs != 5000 {
+		t.Errorf("identity fields: %+v", r)
+	}
+	if r.LatencyNs != 2500 {
+		t.Errorf("latency %d ns, want 2500", r.LatencyNs)
+	}
+	if r.Epoch != 9 {
+		t.Errorf("epoch %d, want 9", r.Epoch)
+	}
+	if r.Ingress != 5 {
+		t.Errorf("ingress %d, want 5", r.Ingress)
+	}
+	if r.Egress != TelPortNone {
+		t.Errorf("egress %d, want none (no match FN ran)", r.Egress)
+	}
+	if r.QueueDepth != 12 {
+		t.Errorf("queue depth %d, want 12", r.QueueDepth)
+	}
+	if !r.Congested() {
+		t.Error("congestion flag not set at depth 12 ≥ threshold 10")
+	}
+}
+
+func TestTelemetryEgressAndFallbackDepth(t *testing.T) {
+	// Without a burst-admission snapshot, the hop's own provider supplies
+	// the depth; a chosen egress port is stamped.
+	tel := NewTelWith(TelConfig{HopID: 7, QueueDepth: func() int { return 4 }})
+	pkt := telPacket(t, 1)
+	v, _ := core.ParseView(pkt)
+	var ctx core.ExecContext
+	ctx.Reset(v, 1)
+	ctx.AddEgress(3)
+	if err := tel.Execute(&ctx, 0, uint(TelOperandBits(1))); err != nil {
+		t.Fatal(err)
+	}
+	records, _, err := DecodeTel(v.Locations())
+	if err != nil || len(records) != 1 {
+		t.Fatalf("decode: %v records=%v", err, records)
+	}
+	if records[0].Ingress != 1 || records[0].Egress != 3 {
+		t.Errorf("ports in=%d out=%d, want 1/3", records[0].Ingress, records[0].Egress)
+	}
+	if records[0].QueueDepth != 4 {
+		t.Errorf("fallback depth %d, want 4", records[0].QueueDepth)
+	}
+	if records[0].LatencyNs != 0 {
+		t.Errorf("latency %d without a clock provider, want 0", records[0].LatencyNs)
+	}
+}
+
+func FuzzDecodeTel(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	ok2 := NewTelRegion(2)
+	ok2[0] = 2
+	f.Add(ok2)
+	over := NewTelRegion(1)
+	over[0] = 0x81 // one slot, overflow bit set
+	f.Add(over)
+	bad := NewTelRegion(1)
+	bad[0] = 5 // count beyond capacity
+	f.Add(bad)
+	f.Add(append(NewTelRegion(1), 0xFF)) // ragged tail byte
+	f.Fuzz(func(t *testing.T, region []byte) {
+		records, _, err := DecodeTel(region)
+		if err != nil {
+			if records != nil {
+				t.Fatalf("records returned alongside error %v", err)
+			}
+			return
+		}
+		capacity := (len(region) - telSlotsOff) / TelSlotSize
+		if len(records) > capacity {
+			t.Fatalf("%d records from capacity-%d region", len(records), capacity)
+		}
+	})
 }

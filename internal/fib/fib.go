@@ -40,8 +40,9 @@ var Local = NextHop{Port: PortLocal}
 // lock-free (they read the current immutable snapshot); mutators serialize
 // on an internal mutex and publish copy-on-write snapshots.
 type Table struct {
-	mu   sync.Mutex // serializes mutators; lookups never take it
-	trie atomic.Pointer[lpm.BitTrie[NextHop]]
+	mu    sync.Mutex // serializes mutators; lookups never take it
+	trie  atomic.Pointer[lpm.BitTrie[NextHop]]
+	epoch atomic.Uint32
 }
 
 // New returns an empty table.
@@ -60,6 +61,7 @@ func (t *Table) Add(prefix []byte, plen int, nh NextHop) error {
 		return err
 	}
 	t.trie.Store(nt)
+	t.epoch.Add(1)
 	return nil
 }
 
@@ -81,9 +83,17 @@ func (t *Table) Remove(prefix []byte, plen int) bool {
 	nt, removed := t.trie.Load().DeleteCOW(prefix, plen)
 	if removed {
 		t.trie.Store(nt)
+		t.epoch.Add(1)
 	}
 	return removed
 }
+
+// Epoch returns the table's snapshot epoch: a counter bumped every time a
+// new snapshot is published (and only then — no-op commits leave it
+// untouched). F_tel stamps it into hop records so a postcard pins exactly
+// which forwarding state forwarded the packet; a mid-flight change in the
+// carried epoch is route churn caught in the act.
+func (t *Table) Epoch() uint32 { return t.epoch.Load() }
 
 // Lookup returns the longest-prefix match for the first bits of key.
 // It never allocates and never blocks: any number of lookups proceed
@@ -196,6 +206,7 @@ func (x *Txn) Commit() {
 	x.done = true
 	if x.trie != x.orig {
 		x.t.trie.Store(x.trie)
+		x.t.epoch.Add(1)
 	}
 	x.t.mu.Unlock()
 }
@@ -212,8 +223,9 @@ func (x *Txn) Abort() {
 // NameTable is an LPM forwarding table over hierarchical content names,
 // following the same RCU snapshot discipline as Table.
 type NameTable struct {
-	mu   sync.Mutex // serializes mutators; lookups never take it
-	trie atomic.Pointer[lpm.NameTrie[NextHop]]
+	mu    sync.Mutex // serializes mutators; lookups never take it
+	trie  atomic.Pointer[lpm.NameTrie[NextHop]]
+	epoch atomic.Uint32
 }
 
 // NewNameTable returns an empty name table.
@@ -234,6 +246,7 @@ func (t *NameTable) Add(prefix names.Name, nh NextHop) {
 	}
 	nt, _ := cur.InsertCOW(prefix.Components(), nh)
 	t.trie.Store(nt)
+	t.epoch.Add(1)
 }
 
 // Remove withdraws the exact name prefix.
@@ -243,9 +256,13 @@ func (t *NameTable) Remove(prefix names.Name) bool {
 	nt, removed := t.trie.Load().DeleteCOW(prefix.Components())
 	if removed {
 		t.trie.Store(nt)
+		t.epoch.Add(1)
 	}
 	return removed
 }
+
+// Epoch returns the name table's snapshot epoch (see Table.Epoch).
+func (t *NameTable) Epoch() uint32 { return t.epoch.Load() }
 
 // Lookup returns the longest-prefix match for name. It is lock-free.
 func (t *NameTable) Lookup(name names.Name) (NextHop, bool) {
@@ -327,6 +344,7 @@ func (x *NameTxn) Commit() {
 	x.done = true
 	if x.trie != x.orig {
 		x.t.trie.Store(x.trie)
+		x.t.epoch.Add(1)
 	}
 	x.t.mu.Unlock()
 }

@@ -1,0 +1,167 @@
+package inband
+
+import (
+	"testing"
+
+	"dip/internal/extops"
+)
+
+func hops(ids ...uint32) []extops.HopRecord {
+	out := make([]extops.HopRecord, len(ids))
+	for i, id := range ids {
+		out[i] = extops.HopRecord{HopID: id}
+	}
+	return out
+}
+
+func TestDigestOrderSensitive(t *testing.T) {
+	a := Digest(hops(1, 2, 3))
+	b := Digest(hops(3, 2, 1))
+	if a == b {
+		t.Error("digest ignores hop order")
+	}
+	if Digest(hops(1, 2, 3)) != a {
+		t.Error("digest not deterministic")
+	}
+	if Digest(nil) == a {
+		t.Error("empty path digests like a 3-hop path")
+	}
+}
+
+func TestPathChangeDetection(t *testing.T) {
+	c := NewCollector(Config{})
+	for i := 0; i < 5; i++ {
+		c.Add(Postcard{Flow: 1, At: int64(i), Hops: hops(1, 2, 4)})
+	}
+	st := c.Stats()
+	if st.PathChanges != 0 {
+		t.Fatalf("quiescent flow reported %d changes", st.PathChanges)
+	}
+	c.Add(Postcard{Flow: 1, At: 100, Hops: hops(1, 3, 4)})
+	c.Add(Postcard{Flow: 1, At: 101, Hops: hops(1, 3, 4)})
+	st = c.Stats()
+	if st.PathChanges != 1 || len(st.Changes) != 1 {
+		t.Fatalf("changes=%d ring=%d, want 1/1", st.PathChanges, len(st.Changes))
+	}
+	ch := st.Changes[0]
+	if ch.At != 100 {
+		t.Errorf("change at %d, want 100 (first packet on the new path)", ch.At)
+	}
+	wantOld, wantNew := []uint32{1, 2, 4}, []uint32{1, 3, 4}
+	for i := range wantOld {
+		if ch.OldHops[i] != wantOld[i] || ch.NewHops[i] != wantNew[i] {
+			t.Fatalf("old=%v new=%v", ch.OldHops, ch.NewHops)
+		}
+	}
+	// A second flow on a different path is not a change for the first.
+	c.Add(Postcard{Flow: 2, At: 102, Hops: hops(9, 8)})
+	if st := c.Stats(); st.PathChanges != 1 || st.Flows != 2 {
+		t.Errorf("changes=%d flows=%d", st.PathChanges, st.Flows)
+	}
+}
+
+func TestOverflowedPostcardNeverFlipsDigest(t *testing.T) {
+	c := NewCollector(Config{})
+	c.Add(Postcard{Flow: 1, Hops: hops(1, 2, 3)})
+	// The same flow arrives with a truncated (overflowed) hop list: the
+	// visible prefix differs, but that is slot exhaustion, not a reroute.
+	c.Add(Postcard{Flow: 1, Hops: hops(1, 2), Overflow: true})
+	st := c.Stats()
+	if st.PathChanges != 0 {
+		t.Errorf("overflowed postcard reported a path change")
+	}
+	if st.Overflows != 1 {
+		t.Errorf("overflows=%d", st.Overflows)
+	}
+}
+
+func TestLoopDetection(t *testing.T) {
+	c := NewCollector(Config{})
+	c.Add(Postcard{Flow: 1, Hops: hops(1, 2, 1, 2)})
+	c.Add(Postcard{Flow: 2, Hops: hops(1, 2, 3)})
+	if st := c.Stats(); st.Loops != 1 {
+		t.Errorf("loops=%d, want 1", st.Loops)
+	}
+}
+
+func TestExpectedPathCrossCheck(t *testing.T) {
+	want := []uint32{1, 2}
+	c := NewCollector(Config{
+		Expected: func(pc *Postcard) ([]uint32, bool) { return want, true },
+	})
+	c.Add(Postcard{Flow: 1, Hops: hops(1, 2)})
+	c.Add(Postcard{Flow: 1, Hops: hops(1, 3)})
+	if st := c.Stats(); st.ExpectedMismatch != 1 {
+		t.Errorf("mismatches=%d, want 1", st.ExpectedMismatch)
+	}
+}
+
+func TestLinkAndHopAggregation(t *testing.T) {
+	c := NewCollector(Config{
+		MicroburstDepth: 10,
+		HopName:         func(id uint32) string { return string(rune('A' + id - 1)) },
+	})
+	pc := Postcard{Flow: 1, Hops: []extops.HopRecord{
+		{HopID: 1, TimestampUs: 1000, LatencyNs: 500, QueueDepth: 2},
+		{HopID: 2, TimestampUs: 4000, LatencyNs: 700, QueueDepth: 15, Flags: extops.TelFlagCongested},
+	}}
+	c.Add(pc)
+	st := c.Stats()
+	if len(st.Links) != 1 || len(st.Hops) != 2 {
+		t.Fatalf("links=%d hops=%d", len(st.Links), len(st.Hops))
+	}
+	l := st.Links[0]
+	if l.From != 1 || l.To != 2 || l.FromName != "A" || l.ToName != "B" {
+		t.Errorf("link %+v", l)
+	}
+	if l.SumNs != 3_000_000 { // 3000 µs timestamp delta
+		t.Errorf("link latency sum %d ns, want 3ms", l.SumNs)
+	}
+	h2 := st.Hops[1]
+	if h2.LatSumNs != 700 || h2.QueueMax != 15 || h2.Congested != 1 || h2.Microbursts != 1 {
+		t.Errorf("hop stat %+v", h2)
+	}
+	if st.Microbursts != 1 {
+		t.Errorf("global microbursts=%d", st.Microbursts)
+	}
+}
+
+func TestChangeRingBounded(t *testing.T) {
+	c := NewCollector(Config{MaxChanges: 2})
+	path := 0
+	for i := 0; i < 6; i++ {
+		// Alternate paths so every postcard after the first is a change.
+		var h []extops.HopRecord
+		if path = 1 - path; path == 0 {
+			h = hops(1, 2)
+		} else {
+			h = hops(1, 3)
+		}
+		c.Add(Postcard{Flow: 7, At: int64(i), Hops: h})
+	}
+	st := c.Stats()
+	if st.PathChanges != 5 {
+		t.Errorf("changes=%d, want 5", st.PathChanges)
+	}
+	if len(st.Changes) != 2 {
+		t.Fatalf("ring=%d, want 2", len(st.Changes))
+	}
+	if st.Changes[0].At != 4 || st.Changes[1].At != 5 {
+		t.Errorf("ring keeps %d,%d — want the most recent (4,5)", st.Changes[0].At, st.Changes[1].At)
+	}
+}
+
+func TestFlowOf(t *testing.T) {
+	locs := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	full := FlowOf(locs, -1)
+	prefix := FlowOf(locs, 4)
+	if full == prefix {
+		t.Error("prefix hash equals full hash")
+	}
+	// The tel region mutating must not change the flow key.
+	mutated := append([]byte(nil), locs...)
+	mutated[6] = 0xFF
+	if FlowOf(mutated, 4) != prefix {
+		t.Error("flow key depends on bytes past the telemetry offset")
+	}
+}

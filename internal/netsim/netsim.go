@@ -118,7 +118,15 @@ type Endpoint struct {
 	impair *Impairment
 	// obs, when set, receives every transit's fate (see observe.go).
 	obs TransitObserver
+	// inFlight counts packet copies scheduled but not yet delivered — the
+	// link's instantaneous occupancy, which telemetry uses as a queue-depth
+	// proxy on bps=0 links where serialization occupancy is always zero.
+	inFlight int
 }
+
+// InFlight returns how many packet copies are currently in transit on this
+// endpoint (scheduled, not yet delivered).
+func (e *Endpoint) InFlight() int { return e.inFlight }
 
 // Pipe creates an endpoint that delivers into dst's dstPort with the given
 // propagation delay and bandwidth (bits per second; 0 means infinite).
@@ -217,7 +225,9 @@ func (e *Endpoint) Send(pkt []byte) {
 			}
 			at += lag
 		}
+		e.inFlight++
 		sim.Schedule(at, func() {
+			e.inFlight--
 			sim.Delivered++
 			dst.Receive(cp, port)
 		})

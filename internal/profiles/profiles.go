@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"dip/internal/core"
+	"dip/internal/extops"
 	"dip/internal/opt"
 	"dip/internal/xia"
 )
@@ -185,6 +186,44 @@ func WithPass(h *core.Header, name uint32, label [16]byte) *core.Header {
 	out.Locations = locs
 	out.FNs = append(append([]core.FN(nil), core.RouterFN(off, 160, core.KeyPass)), h.FNs...)
 	return &out
+}
+
+// WithTelemetry appends an F_tel in-band telemetry region to any profile
+// header: a zeroed slot region (capacity `slots` hop records) joins the end
+// of the locations — existing operand offsets are untouched, so the profile
+// still parses and forwards identically — and the FN list gains the
+// telemetry triple *after* the existing FNs, so each hop stamps its record
+// once the match operation has already chosen the egress port. Routers
+// without F_tel skip it per Algorithm 1 (PolicyIgnore): carrying telemetry
+// through a non-INT hop is safe, the hop just leaves no record.
+func WithTelemetry(h *core.Header, slots int) *core.Header {
+	off := uint16(len(h.Locations) * 8)
+	region := extops.NewTelRegion(slots)
+	locs := make([]byte, 0, len(h.Locations)+len(region))
+	locs = append(append(locs, h.Locations...), region...)
+	out := *h
+	out.Locations = locs
+	out.FNs = append(append([]core.FN(nil), h.FNs...),
+		core.RouterFN(off, extops.TelOperandBits(slots), extops.KeyTel))
+	return &out
+}
+
+// TelemetryRegion locates the F_tel operand in a parsed view, returning the
+// in-place region bytes, its byte offset in the locations, and whether the
+// packet carries telemetry at all — the delivering edge's strip hook.
+func TelemetryRegion(v core.View) (region []byte, off int, ok bool) {
+	for i := 0; i < v.FNNum(); i++ {
+		fn := v.FN(i)
+		if fn.Key != extops.KeyTel || fn.Loc%8 != 0 || fn.Len%8 != 0 {
+			continue
+		}
+		locs := v.Locations()
+		o, n := int(fn.Loc)/8, int(fn.Len)/8
+		if o+n <= len(locs) {
+			return locs[o : o+n], o, true
+		}
+	}
+	return nil, 0, false
 }
 
 // SourceOf extracts the source address recorded by an F_source FN, for

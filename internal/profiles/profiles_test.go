@@ -7,6 +7,7 @@ import (
 
 	"dip/internal/core"
 	"dip/internal/drkey"
+	"dip/internal/extops"
 	"dip/internal/ip"
 	"dip/internal/ndn"
 	"dip/internal/opt"
@@ -248,6 +249,88 @@ func TestWithPass(t *testing.T) {
 	// The base header must be untouched.
 	if len(base.FNs) != 1 || len(base.Locations) != 4 {
 		t.Error("WithPass mutated its input")
+	}
+}
+
+// TestWithTelemetryRoundTripsTable2 splices F_tel onto every shipped
+// profile and checks each still reproduces its Table 2 cost row exactly,
+// plus the known telemetry overhead — and that the result marshals, parses,
+// validates, and exposes its region to the delivering edge.
+func TestWithTelemetryRoundTripsTable2(t *testing.T) {
+	sess := session(t, 1)
+	optHdr, err := OPT(sess, []byte("x"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ndnOptHdr, err := NDNOPTData(sess, 1, []byte("x"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ndnOptIntr, err := NDNOPTInterest(sess, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xiaHdr, err := XIA(&xia.DAG{
+		SrcEdges: []int{0},
+		Nodes:    []xia.Node{{XID: xia.NewXID(xia.TypeSID, []byte("s"))}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []struct {
+		name string
+		h    *core.Header
+		base int // Table 2 row; 0 = no fixed row, measure
+	}{
+		{"DIP-32", IPv4([4]byte{1, 2, 3, 4}, [4]byte{5, 6, 7, 8}), 26},
+		{"DIP-128", IPv6([16]byte{}, [16]byte{}), 50},
+		{"NDN interest", NDNInterest(1), 16},
+		{"NDN data", NDNData(1), 16},
+		{"OPT", optHdr, 98},
+		{"NDN+OPT data", ndnOptHdr, 108},
+		{"NDN+OPT interest", ndnOptIntr, 0},
+		{"XIA", xiaHdr, 0},
+	}
+	const slots = 8
+	telBytes := 4 + slots*extops.TelSlotSize
+	for _, r := range rows {
+		base := r.base
+		if base == 0 {
+			base = r.h.WireSize()
+		} else if r.h.WireSize() != base {
+			t.Errorf("%s: base %d bytes, want Table 2's %d", r.name, r.h.WireSize(), base)
+			continue
+		}
+		baseFNs, baseLocs := len(r.h.FNs), len(r.h.Locations)
+		ht := WithTelemetry(r.h, slots)
+		if got, want := ht.WireSize(), base+core.FNSize+telBytes; got != want {
+			t.Errorf("%s+tel: %d bytes, want %d", r.name, got, want)
+		}
+		if err := ht.Validate(); err != nil {
+			t.Errorf("%s+tel: %v", r.name, err)
+			continue
+		}
+		b, err := ht.MarshalBinary()
+		if err != nil {
+			t.Errorf("%s+tel marshal: %v", r.name, err)
+			continue
+		}
+		v, err := core.ParseView(b)
+		if err != nil {
+			t.Errorf("%s+tel parse: %v", r.name, err)
+			continue
+		}
+		region, off, ok := TelemetryRegion(v)
+		if !ok || off != baseLocs || len(region) != telBytes {
+			t.Errorf("%s+tel region: ok=%v off=%d len=%d", r.name, ok, off, len(region))
+		}
+		want := core.RouterFN(uint16(baseLocs*8), extops.TelOperandBits(slots), extops.KeyTel)
+		if ht.FNs[len(ht.FNs)-1] != want {
+			t.Errorf("%s+tel FN = %v, want %v (appended last)", r.name, ht.FNs[len(ht.FNs)-1], want)
+		}
+		if len(r.h.FNs) != baseFNs || len(r.h.Locations) != baseLocs {
+			t.Errorf("%s: WithTelemetry mutated its input", r.name)
+		}
 	}
 }
 

@@ -126,6 +126,10 @@ func (r *Router) NumPorts() int { return len(r.ports) }
 func (r *Router) HandlePacket(pkt []byte, inPort int) {
 	ctx := ctxPool.Get().(*core.ExecContext)
 	defer releaseCtx(ctx)
+	// Burst-scoped admission fields survive Reset by design; a pooled
+	// context may carry another burst's stamp, so the packet-at-a-time
+	// entry point clears them to "unknown".
+	ctx.AdmittedAt, ctx.QueueDepth = 0, 0
 	r.handlePacket(ctx, pkt, inPort, core.SampleAuto)
 }
 

@@ -330,14 +330,20 @@ func (in *Ingress) forwarder(q *burstQueue, w *workerState, plan core.BurstPlan)
 // quarantine, so a poison packet costs exactly itself — the rest of its
 // burst completes.
 func (in *Ingress) runBurst(burst []queuedPacket, w *workerState, plan core.BurstPlan) {
+	at := int64(in.cfg.Clock())
 	if w != nil {
-		w.beat.Store(int64(in.cfg.Clock()))
+		w.beat.Store(at)
 		w.busy.Store(true)
 	}
 	if plan != nil {
 		plan.BeginBurst(len(burst))
 	}
 	ctx := ctxPool.Get().(*core.ExecContext)
+	// Admission snapshot for in-band telemetry: one clock read and one
+	// depth reading amortized over the burst. F_tel (when the packet
+	// carries it) turns these into per-hop latency and queue depth.
+	ctx.AdmittedAt = at
+	ctx.QueueDepth = int32(len(burst))
 	for i := range burst {
 		hint := core.SampleAuto
 		if plan != nil {

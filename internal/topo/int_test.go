@@ -1,0 +1,292 @@
+package topo
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"dip/internal/inband"
+	"dip/internal/journey"
+)
+
+// chainINTTopo is a quiescent 3-router chain with static routes: ipv4
+// probes H1→H2 plus one NDN fetch, all telemetry-stamped.
+func chainINTTopo(sends int) string {
+	var b strings.Builder
+	b.WriteString(`
+int=1 intslots=8
+router A
+router B
+router C
+host H1
+host H2
+link H1 A:0 1ms
+link A:1 B:0 1ms
+link B:1 C:0 1ms
+link C:1 H2 1ms
+route32 A 10.0.2.0/24 1
+route32 B 10.0.2.0/24 1
+route32 C 10.0.2.0/24 1
+name A aa000001/32 1
+name B aa000001/32 1
+name C aa000001/32 1
+produce H2 aa000001 "the-data"
+interest H1 aa000001 at 5ms
+`)
+	for i := 0; i < sends; i++ {
+		fmt.Fprintf(&b, "send H1 ipv4 10.0.1.1 10.0.2.9 \"p%d\" at %dms\n", i, 10+5*i)
+	}
+	return b.String()
+}
+
+// TestINTDigestMatchesTopologyPath is the quiescent-path oracle: every
+// delivered packet's recorded hop sequence must equal the topology path its
+// FIBs dictate — zero false path changes, zero loops, zero cross-check
+// mismatches — and the per-link latency aggregation must reproduce the
+// configured link delays exactly (virtual time has no noise).
+func TestINTDigestMatchesTopologyPath(t *testing.T) {
+	const sends = 9
+	tp, err := Parse(strings.NewReader(chainINTTopo(sends)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deliveries := tp.Run()
+	c := tp.INT()
+	if c == nil {
+		t.Fatal("int=1 directive did not enable telemetry")
+	}
+	st := c.Stats()
+
+	// Every delivery plus the producer-consumed interest left a postcard.
+	if want := len(deliveries) + 1; st.Postcards != int64(want) {
+		t.Errorf("postcards=%d, want %d (deliveries %d + consumed interest)",
+			st.Postcards, want, len(deliveries))
+	}
+	if st.PathChanges != 0 || st.Loops != 0 || st.ExpectedMismatch != 0 {
+		t.Errorf("quiescent run: changes=%d loops=%d mismatches=%d, want all 0",
+			st.PathChanges, st.Loops, st.ExpectedMismatch)
+	}
+	if st.Overflows != 0 || st.DecodeErrors != 0 {
+		t.Errorf("overflows=%d decode errors=%d", st.Overflows, st.DecodeErrors)
+	}
+	// Three flows: the ipv4 probes, the interest, the data reply.
+	if st.Flows != 3 {
+		t.Errorf("flows=%d, want 3", st.Flows)
+	}
+
+	// Hop IDs are sorted-name order: A=1, B=2, C=3. Forward traffic
+	// (probes + interest) crosses A→B and B→C; the data reply crosses
+	// C→B and B→A. Each transit is exactly the configured 1ms.
+	wantLinks := map[[2]uint32]int64{
+		{1, 2}: sends + 1, {2, 3}: sends + 1,
+		{3, 2}: 1, {2, 1}: 1,
+	}
+	if len(st.Links) != len(wantLinks) {
+		t.Fatalf("links=%d, want %d: %+v", len(st.Links), len(wantLinks), st.Links)
+	}
+	for _, l := range st.Links {
+		want, ok := wantLinks[[2]uint32{l.From, l.To}]
+		if !ok || l.Count != want {
+			t.Errorf("link %s->%s count=%d, want %d", l.FromName, l.ToName, l.Count, want)
+		}
+		if l.SumNs != l.Count*1_000_000 {
+			t.Errorf("link %s->%s latency sum %dns over %d transits, want exactly 1ms each",
+				l.FromName, l.ToName, l.SumNs, l.Count)
+		}
+	}
+	// Every router stamped every packet that passed it.
+	perHop := int64(sends + 2) // probes + interest + data
+	for _, h := range st.Hops {
+		if h.Count != perHop {
+			t.Errorf("hop %s count=%d, want %d", h.Name, h.Count, perHop)
+		}
+	}
+	// The payload consumer never sees fabric telemetry: stripINT zeroes
+	// the region, and payloads arrive intact regardless.
+	for _, d := range deliveries {
+		if d.Host == "H1" && d.Payload != "the-data" {
+			t.Errorf("data payload %q corrupted by telemetry strip", d.Payload)
+		}
+	}
+}
+
+// TestINTFlagsDiamondReconvergence replays PR 9's linkdown scenario with
+// telemetry on: the probes' postcards must expose exactly one path change —
+// old path A,B,D; new path A,C,D — giving the reconvergence event
+// packet-level attribution.
+func TestINTFlagsDiamondReconvergence(t *testing.T) {
+	src := "int=1 intslots=8\n" + diamondTopo("linkdown B D at 100ms")
+	tp, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp.Run()
+	st := tp.INT().Stats()
+	if st.Loops != 0 {
+		t.Errorf("loops=%d on a loop-free topology", st.Loops)
+	}
+	if st.PathChanges != 1 || len(st.Changes) != 1 {
+		t.Fatalf("changes=%d ring=%d, want exactly the reconvergence flip", st.PathChanges, len(st.Changes))
+	}
+	ch := st.Changes[0]
+	// Sorted-name hop IDs: A=1 B=2 C=3 D=4.
+	wantOld, wantNew := []uint32{1, 2, 4}, []uint32{1, 3, 4}
+	if len(ch.OldHops) != 3 || len(ch.NewHops) != 3 {
+		t.Fatalf("old=%v new=%v", ch.OldHops, ch.NewHops)
+	}
+	for i := range wantOld {
+		if ch.OldHops[i] != wantOld[i] || ch.NewHops[i] != wantNew[i] {
+			t.Fatalf("old=%v new=%v, want %v -> %v", ch.OldHops, ch.NewHops, wantOld, wantNew)
+		}
+	}
+	// The change is observed after the fault, within the reconvergence
+	// window PR 9 bounds (service resumed by 125ms; +3ms flight time).
+	if ms := ch.At / 1_000_000; ms <= 100 || ms > 128 {
+		t.Errorf("change observed at %dms, want inside the (100,128]ms reconvergence window", ms)
+	}
+}
+
+// TestINTQuiescentDiamondReportsNoChanges is the false-positive guard: the
+// same diamond without a fault must report zero path changes even though
+// routes are learned dynamically while probes flow.
+func TestINTQuiescentDiamondReportsNoChanges(t *testing.T) {
+	src := "int=1\n" + diamondTopo("# no fault")
+	tp, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp.Run()
+	st := tp.INT().Stats()
+	if st.PathChanges != 0 || st.Loops != 0 {
+		t.Errorf("quiescent diamond: changes=%d loops=%d, want 0/0", st.PathChanges, st.Loops)
+	}
+	if st.Postcards == 0 {
+		t.Error("no postcards collected")
+	}
+}
+
+// TestINTJourneyCrossCorrelation runs telemetry and journey tracing
+// together: each stamped packet's hop records must name the same routers in
+// the same order as its journey's router spans, hop timestamp deltas must
+// equal the span-to-span gaps, and the journey decomposition must conserve
+// (FN + queue + wire + PIT-wait == total).
+func TestINTJourneyCrossCorrelation(t *testing.T) {
+	tp, err := Parse(strings.NewReader(chainINTTopo(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jc := tp.EnableJourneys(1)
+	var postcards []inband.Postcard
+	tp.EnableINT(0, 0).SetTap(func(pc inband.Postcard) { postcards = append(postcards, pc) })
+	tp.Run()
+
+	checked := 0
+	for _, pc := range postcards {
+		if pc.Proto != "ipv4" {
+			continue
+		}
+		if pc.Trace == 0 {
+			t.Fatal("stamped packet has no trace ID; fingerprinting would be hop-variant")
+		}
+		js := jc.JourneysOf(journey.TraceID(pc.Trace))
+		if len(js) != 1 || !js[0].Complete() {
+			t.Fatalf("trace %016x: %d journeys (complete=%v), want exactly one complete",
+				pc.Trace, len(js), len(js) == 1 && js[0].Complete())
+		}
+		j := js[0]
+		checked++
+
+		// The INT hop sequence and the journey's router spans must name the
+		// same routers in the same order.
+		var spanRouters []string
+		var spanStarts []int64
+		for i := range j.Spans {
+			if j.Spans[i].Kind == journey.SpanRouter {
+				spanRouters = append(spanRouters, j.Spans[i].Node)
+				spanStarts = append(spanStarts, j.Spans[i].Start)
+			}
+		}
+		if len(spanRouters) != len(pc.Hops) {
+			t.Fatalf("trace %016x: %d INT hops vs %d router spans", pc.Trace, len(pc.Hops), len(spanRouters))
+		}
+		for i, r := range pc.Hops {
+			if name := tp.intNames[r.HopID]; name != spanRouters[i] {
+				t.Errorf("trace %016x hop %d: INT says %s, journey says %s", pc.Trace, i, name, spanRouters[i])
+			}
+			// The hop's µs timestamp is the router span's start instant.
+			if int64(r.TimestampUs)*1000 != spanStarts[i] {
+				t.Errorf("trace %016x hop %d: INT ts %dµs vs span start %dns",
+					pc.Trace, i, r.TimestampUs, spanStarts[i])
+			}
+		}
+
+		// Conservation: the decomposition components sum to the total, and
+		// on this quiescent chain all of it is wire time (4 links × 1ms).
+		d := j.Decompose()
+		if d.TotalNs != d.FNNs+d.QueueNs+d.WireNs+d.PITWaitNs {
+			t.Errorf("trace %016x: decomposition does not conserve: total=%d fn=%d queue=%d wire=%d pit=%d",
+				pc.Trace, d.TotalNs, d.FNNs, d.QueueNs, d.WireNs, d.PITWaitNs)
+		}
+		if d.WireNs != 4_000_000 || d.QueueNs != 0 {
+			t.Errorf("trace %016x: wire=%d queue=%d, want 4ms/0", pc.Trace, d.WireNs, d.QueueNs)
+		}
+		// And the INT view agrees end to end: first→last stamp plus the two
+		// edge links (H1→A, C→H2) spans the same 4ms the journey measured.
+		intSpanNs := int64(pc.Hops[len(pc.Hops)-1].TimestampUs-pc.Hops[0].TimestampUs) * 1000
+		if intSpanNs+2_000_000 != d.TotalNs {
+			t.Errorf("trace %016x: INT fabric span %dns + 2ms edges != journey total %dns",
+				pc.Trace, intSpanNs, d.TotalNs)
+		}
+		if got, want := j.Path(), "H1>A>B>C>H2"; got != want {
+			t.Errorf("journey path %q, want %q", got, want)
+		}
+	}
+	if checked != 4 {
+		t.Fatalf("cross-checked %d ipv4 postcards, want 4", checked)
+	}
+}
+
+func TestINTDirectiveErrors(t *testing.T) {
+	cases := []string{
+		"int=0",
+		"int=-3",
+		"int=abc",
+		"int=1 intslots=0",
+		"intslots=128",
+		"int=1 bogus=2",
+		"int=1 intslots",
+	}
+	for _, src := range cases {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+// TestINTSamplingPeriod checks int=3 stamps every third injected packet.
+func TestINTSamplingPeriod(t *testing.T) {
+	var b strings.Builder
+	b.WriteString(`
+int=3
+router A
+host H1
+host H2
+link H1 A:0 1ms
+link A:1 H2 1ms
+route32 A 10.0.2.0/24 1
+`)
+	for i := 0; i < 9; i++ {
+		fmt.Fprintf(&b, "send H1 ipv4 10.0.1.1 10.0.2.9 \"p%d\" at %dms\n", i, 10+5*i)
+	}
+	tp, err := Parse(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deliveries := tp.Run()
+	if len(deliveries) != 9 {
+		t.Fatalf("delivered %d/9", len(deliveries))
+	}
+	if st := tp.INT().Stats(); st.Postcards != 3 {
+		t.Errorf("postcards=%d with int=3 over 9 sends, want 3", st.Postcards)
+	}
+}

@@ -22,6 +22,10 @@
 //	linkdown R1 R2 at 10ms [silent] # kill a router-router link (silent: no
 //	                                # carrier loss; only hold-timer recovery)
 //	linkup   R1 R2 at 30ms          # revive it
+//	int=1 intslots=8                # in-band telemetry: every int-th injected
+//	                                # packet carries an F_tel region with
+//	                                # intslots hop records; delivering hosts
+//	                                # strip it into the INT() collector
 package topo
 
 import (
@@ -37,7 +41,9 @@ import (
 	"dip/internal/core"
 	"dip/internal/cs"
 	"dip/internal/drkey"
+	"dip/internal/extops"
 	"dip/internal/fib"
+	"dip/internal/inband"
 	"dip/internal/journey"
 	"dip/internal/netsim"
 	"dip/internal/ops"
@@ -68,6 +74,14 @@ type Topology struct {
 	speakers   map[string]*bootstrap.Speaker
 	journeys   *journey.Collector
 	Deliveries []Delivery
+	// In-band telemetry state (int=/intslots= or EnableINT).
+	intEvery int
+	intSlots int
+	intSeq   int64
+	intBuilt bool
+	intc     *inband.Collector
+	intIDs   map[string]uint32
+	intNames map[uint32]string
 	// Log receives a line per notable event; nil discards.
 	Log func(format string, args ...any)
 }
@@ -96,6 +110,24 @@ type routerNode struct {
 	// links Submit into it and schedule a Pump, so queue service runs
 	// burst-shaped but still in deterministic virtual-time order.
 	in *router.Ingress
+	// pipes are the router's outgoing link endpoints; their in-flight sum
+	// is F_tel's queue-depth source on zero-bandwidth links.
+	pipes []*netsim.Endpoint
+	// peers maps each port to what hangs off it, for FIB-walk path
+	// prediction.
+	peers map[int]intPeer
+}
+
+type intPeer struct {
+	name string
+	host bool
+}
+
+func (rn *routerNode) notePeer(port int, name string, host bool) {
+	if rn.peers == nil {
+		rn.peers = map[int]intPeer{}
+	}
+	rn.peers[port] = intPeer{name: name, host: host}
 }
 
 type hostNode struct {
@@ -159,8 +191,44 @@ func (t *Topology) directive(line string) error {
 	case "linkup":
 		return t.addLinkEvent(true, fields[1:])
 	default:
+		if k, _, ok := strings.Cut(fields[0], "="); ok && (k == "int" || k == "intslots") {
+			return t.addINT(fields)
+		}
 		return fmt.Errorf("unknown directive %q", fields[0])
 	}
+}
+
+// addINT parses the `int=N [intslots=M]` telemetry directive.
+func (t *Topology) addINT(args []string) error {
+	for _, opt := range args {
+		k, v, ok := strings.Cut(opt, "=")
+		if !ok {
+			return fmt.Errorf("int options want key=value, got %q", opt)
+		}
+		switch k {
+		case "int":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				return fmt.Errorf("int= wants a positive sampling period, got %q", v)
+			}
+			t.intEvery = n
+		case "intslots":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 || n > 127 {
+				return fmt.Errorf("intslots= wants 1..127 slots, got %q", v)
+			}
+			t.intSlots = n
+		default:
+			return fmt.Errorf("unknown int option %q", opt)
+		}
+	}
+	if t.intEvery == 0 {
+		t.intEvery = 1
+	}
+	if t.intSlots == 0 {
+		t.intSlots = 8
+	}
+	return nil
 }
 
 // tokenize splits on spaces but keeps quoted strings whole (without quotes).
@@ -559,6 +627,7 @@ func (t *Topology) addLink(args []string) error {
 			return nil
 		}
 		rn := t.routers[name]
+		rn.pipes = append(rn.pipes, pipe)
 		for rn.ports <= port {
 			// Pad unassigned ports with black holes so indices line up.
 			if rn.ports == port {
@@ -573,7 +642,16 @@ func (t *Topology) addLink(args []string) error {
 	if err := attach(aName, aHost, aPort, abPipe); err != nil {
 		return err
 	}
-	return attach(bName, bHost, bPort, baPipe)
+	if err := attach(bName, bHost, bPort, baPipe); err != nil {
+		return err
+	}
+	if !aHost {
+		t.routers[aName].notePeer(aPort, bName, bHost)
+	}
+	if !bHost {
+		t.routers[bName].notePeer(bPort, aName, aHost)
+	}
+	return nil
 }
 
 func (t *Topology) addRoute(kind string, args []string) error {
@@ -674,7 +752,7 @@ func (t *Topology) addInterest(args []string) error {
 		return err
 	}
 	t.events = append(t.events, event{at: at, fn: func() {
-		b, err := buildPacket(profiles.NDNInterest(name), nil)
+		b, err := buildPacket(t.intWrap(profiles.NDNInterest(name)), nil)
 		if err != nil {
 			return
 		}
@@ -705,7 +783,7 @@ func (t *Topology) addSend(args []string) error {
 	}
 	payload := args[4]
 	t.events = append(t.events, event{at: at, fn: func() {
-		b, err := buildPacket(profiles.IPv4(src, dst), []byte(payload))
+		b, err := buildPacket(t.intWrap(profiles.IPv4(src, dst)), []byte(payload))
 		if err != nil {
 			return
 		}
@@ -760,6 +838,201 @@ func (t *Topology) Close() {
 // Journeys returns the collector installed by EnableJourneys, or nil.
 func (t *Topology) Journeys() *journey.Collector { return t.journeys }
 
+// EnableINT turns on in-band telemetry programmatically, equivalent to the
+// int=/intslots= directives: every int-th injected packet carries an F_tel
+// region, routers stamp it, and delivering hosts strip it into the returned
+// collector. every or slots of 0 keep the current (or default 1/8) values.
+// Call after Parse, before Run.
+func (t *Topology) EnableINT(every, slots int) *inband.Collector {
+	if every > 0 {
+		t.intEvery = every
+	} else if t.intEvery == 0 {
+		t.intEvery = 1
+	}
+	if slots > 0 {
+		t.intSlots = slots
+	} else if t.intSlots == 0 {
+		t.intSlots = 8
+	}
+	t.buildINT()
+	return t.intc
+}
+
+// INT returns the in-band telemetry collector, or nil when telemetry is off.
+func (t *Topology) INT() *inband.Collector { return t.intc }
+
+// buildINT registers a rich F_tel operation on every router and creates the
+// postcard collector. Hop IDs are 1-based positions in sorted router-name
+// order, so a given topology always numbers hops the same way. Idempotent;
+// no-op while telemetry is off.
+func (t *Topology) buildINT() {
+	if t.intBuilt || t.intEvery <= 0 {
+		return
+	}
+	t.intBuilt = true
+	names := make([]string, 0, len(t.routers))
+	for n := range t.routers {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	t.intIDs = make(map[string]uint32, len(names))
+	t.intNames = make(map[uint32]string, len(names))
+	for i, n := range names {
+		t.intIDs[n] = uint32(i + 1)
+		t.intNames[uint32(i+1)] = n
+	}
+	t.intc = inband.NewCollector(inband.Config{
+		Expected: t.expectedPath,
+		HopName:  func(id uint32) string { return t.intNames[id] },
+	})
+	for _, n := range names {
+		rn := t.routers[n]
+		pipes := rn.pipes
+		cfg := rn.cfg
+		rn.r.Registry().MustRegister(extops.NewTelWith(extops.TelConfig{
+			HopID: t.intIDs[n],
+			Now:   func() time.Time { return time.Unix(0, int64(t.sim.Now())) },
+			// Same clock the batched serve layer stamps AdmittedAt with, so
+			// per-hop latency is admission→F_tel in virtual nanoseconds.
+			ClockNs: func() int64 { return int64(t.sim.Now()) },
+			// Topo links are zero-bandwidth, so serialization queues never
+			// form; in-flight copies on the router's egress pipes are the
+			// depth proxy (max'd with the serve layer's burst depth).
+			QueueDepth: func() int {
+				d := 0
+				for _, p := range pipes {
+					d += p.InFlight()
+				}
+				return d
+			},
+			Epoch: func() uint32 {
+				return cfg.FIB32.Epoch() + cfg.FIB128.Epoch() + cfg.NameFIB.Epoch()
+			},
+		}))
+	}
+}
+
+// intWrap appends an F_tel region to every int-th injected packet. Routers
+// mutate that region in flight, which defeats fingerprint-based trace
+// correlation, so when journey tracing is also on the packet additionally
+// carries an explicit TraceCtx — appended after the telemetry region so the
+// per-packet ID stays out of the flow key (locations before the region).
+func (t *Topology) intWrap(h *core.Header) *core.Header {
+	if t.intEvery <= 0 {
+		return h
+	}
+	t.intSeq++
+	if (t.intSeq-1)%int64(t.intEvery) != 0 {
+		return h
+	}
+	h = profiles.WithTelemetry(h, t.intSlots)
+	if t.journeys != nil {
+		h = journey.WithTraceCtx(h, journey.TraceID(t.intSeq))
+	}
+	return h
+}
+
+// expectedPath predicts the hop sequence a postcard's packet should have
+// taken by walking the current FIBs from its first recorded hop — the oracle
+// the collector cross-checks recorded paths against. Interests walk the
+// name FIBs, ipv4 the 32-bit tables; data packets ride PIT reverse state,
+// which no table predicts, so they get no prediction.
+func (t *Topology) expectedPath(pc *inband.Postcard) ([]uint32, bool) {
+	if len(pc.Hops) == 0 || (pc.Proto != "interest" && pc.Proto != "ipv4") {
+		return nil, false
+	}
+	cur, ok := t.intNames[pc.Hops[0].HopID]
+	if !ok {
+		return nil, false
+	}
+	var path []uint32
+	for range t.routers { // bounded: a longer walk means a FIB loop
+		rn := t.routers[cur]
+		path = append(path, t.intIDs[cur])
+		var nh fib.NextHop
+		if pc.Proto == "interest" {
+			nh, ok = rn.cfg.NameFIB.LookupUint32(pc.Dst)
+		} else {
+			nh, ok = rn.cfg.FIB32.LookupUint32(pc.Dst)
+		}
+		if !ok {
+			return nil, false
+		}
+		if nh.Port == fib.PortLocal {
+			return path, true
+		}
+		peer, ok := rn.peers[nh.Port]
+		if !ok {
+			return nil, false
+		}
+		if peer.host {
+			return path, true
+		}
+		cur = peer.name
+	}
+	return nil, false
+}
+
+// stripINT is the delivering-edge termination: decode the packet's F_tel
+// region into a postcard, hand it to the collector, and zero the region so
+// consumers of the delivered packet never see fabric telemetry.
+func (h *hostNode) stripINT(pkt []byte, v core.View, profile string) {
+	t := h.topo
+	region, off, ok := profiles.TelemetryRegion(v)
+	if !ok {
+		return
+	}
+	hops, overflow, err := extops.DecodeTel(region)
+	if err != nil {
+		t.intc.CountDecodeError()
+		return
+	}
+	if profile == "other" && v.FNNum() > 0 {
+		switch v.FN(0).Key {
+		case core.KeyMatch32:
+			profile = "ipv4"
+		case core.KeyMatch128:
+			profile = "ipv6"
+		}
+	}
+	// Fold the leading FN key into the flow identity: an interest and its
+	// data reply carry the same name bytes but traverse opposite paths, and
+	// must not look like one rerouted flow.
+	flow := inband.FlowOf(v.Locations(), off) ^ (uint64(v.FN(0).Key)+1)*0x9E3779B97F4A7C15
+	t.intc.Add(inband.Postcard{
+		Flow:     flow,
+		Trace:    uint64(journey.TraceOf(pkt)),
+		Node:     h.name,
+		At:       int64(t.sim.Now()),
+		Dst:      dstOf(v),
+		Proto:    profile,
+		Hops:     hops,
+		Overflow: overflow,
+	})
+	for i := range region {
+		region[i] = 0
+	}
+}
+
+// dstOf reads the 4-byte operand the packet's first FN matches on — the
+// content name for interests, the destination address for ipv4 — which is
+// exactly the key expectedPath feeds back into the FIB walk.
+func dstOf(v core.View) uint32 {
+	if v.FNNum() == 0 {
+		return 0
+	}
+	fn := v.FN(0)
+	if fn.Loc%8 != 0 {
+		return 0
+	}
+	locs := v.Locations()
+	off := int(fn.Loc / 8)
+	if off+4 > len(locs) {
+		return 0
+	}
+	return uint32(locs[off])<<24 | uint32(locs[off+1])<<16 | uint32(locs[off+2])<<8 | uint32(locs[off+3])
+}
+
 // hostSpan files a host-edge span when journey tracing is on.
 func (h *hostNode) hostSpan(kind journey.SpanKind, pkt []byte) {
 	c := h.topo.journeys
@@ -801,6 +1074,9 @@ func (h *hostNode) receive(pkt []byte) {
 			profile = "data"
 		}
 	}
+	if t.intc != nil {
+		h.stripINT(pkt, v, profile)
+	}
 	// Producers answer interests for names they serve.
 	if profile == "interest" {
 		name := nameOf(v)
@@ -808,7 +1084,7 @@ func (h *hostNode) receive(pkt []byte) {
 			if t.Log != nil {
 				t.Log("[%v] %s serves %#08x", t.sim.Now(), h.name, name)
 			}
-			reply, err := buildPacket(profiles.NDNData(name), []byte(payload))
+			reply, err := buildPacket(t.intWrap(profiles.NDNData(name)), []byte(payload))
 			if err == nil {
 				t.sim.Schedule(0, func() { h.send(reply) })
 			}
@@ -830,6 +1106,7 @@ func (h *hostNode) receive(pkt []byte) {
 // deliveries observed.
 func (t *Topology) Run() []Delivery {
 	t.buildSpeakers()
+	t.buildINT()
 	for _, e := range t.events {
 		e := e
 		t.sim.Schedule(e.at, e.fn)
@@ -859,6 +1136,7 @@ func (t *Topology) RunSampled(interval time.Duration) ([]Delivery, []Sample) {
 		return t.Run(), nil
 	}
 	t.buildSpeakers()
+	t.buildINT()
 	for _, e := range t.events {
 		t.sim.Schedule(e.at, e.fn)
 	}

@@ -93,10 +93,19 @@ func TestSamplingDivisor(t *testing.T) {
 	e := routerEngine(t, r)
 	pkt := buildIPv4(t)
 	const n = 200
+	// One reused context, as in the pooled dataplane: stripes select by
+	// context address, so a stable address means one stripe and an exact
+	// 1-in-10 count (fresh contexts per packet would scatter the counters).
+	var ctx core.ExecContext
 	for i := 0; i < n; i++ {
-		process(t, e, pkt)
+		pkt[3] = 64
+		v, err := core.ParseView(pkt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx.Reset(v, 3)
+		e.Process(&ctx)
 	}
-	// All packets run on one goroutine → one stripe → exactly n/10 samples.
 	if got := r.Sampled(); got != n/10 {
 		t.Fatalf("sampled %d of %d at 1-in-10, want %d", got, n, n/10)
 	}

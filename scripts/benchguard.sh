@@ -11,8 +11,8 @@
 # Usage: scripts/benchguard.sh [new.json] [old.json] [tolerance-%] [min-speedup] [max-churn-jitter]
 set -eu
 
-NEW=${1:-BENCH_6.json}
-OLD=${2:-BENCH_5.json}
+NEW=${1:-BENCH_10.json}
+OLD=${2:-BENCH_9.json}
 TOL=${3:-15}
 MINSPEED=${4:-1.5}
 
@@ -129,3 +129,23 @@ print("benchguard: churn lookup p99  quiesce %.0fns / storm %.0fns = %.2fx (cap 
       % (q, s, ratio, maxjitter))
 sys.exit(0 if ratio <= maxjitter else 1)
 ' "$NEW" "$MAXJITTER"
+
+# Gate the in-band telemetry stamping claim (E22): an 8-slot F_tel stamp may
+# cost at most TOL percent over the unstamped forwarding loop. The int/ rows
+# come from the same dipbench run (same machine, same trial count), so the
+# within-file ratio is noise-robust; the absolute ns live in the fig2 gate
+# above. Skipped when the new file predates the int experiment.
+python3 -c '
+import json, sys
+new, tol = sys.argv[1], float(sys.argv[2])
+rows = {r["name"]: r["ns_per_op"] for r in json.load(open(new))
+        if r["name"].startswith("int/")}
+if not rows:
+    print("benchguard: no int/ records in %s; skipping telemetry gate" % new)
+    sys.exit(0)
+plain, stamped = rows["int/unstamped"], rows["int/stamped8"]
+overhead = (stamped - plain) * 100.0 / plain if plain > 0 else 0.0
+print("benchguard: F_tel stamp  unstamped %.0fns / stamped8 %.0fns  %+.1f%% (tolerance %.0f%%)"
+      % (plain, stamped, overhead, tol))
+sys.exit(0 if overhead <= tol else 1)
+' "$NEW" "$TOL"
